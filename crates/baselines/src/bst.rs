@@ -1,0 +1,504 @@
+//! The "BST (vCAS)" baseline: an external (leaf-oriented) binary search tree
+//! whose child pointers are versioned, giving timestamped snapshot range
+//! queries in the style of Wei et al.
+//!
+//! Internal nodes are routers; every key/value pair lives in a leaf.  An
+//! insertion replaces a leaf with a small subtree (router + two leaves); a
+//! removal splices the leaf's parent out.  Both updates go through
+//! [`VcasLink`]s stamped with a timestamp from the configured
+//! [`TimestampOracle`], so a range query can traverse the tree exactly as it
+//! was at its snapshot timestamp while updates proceed.
+//!
+//! As with the other baselines, structural updates take per-node locks
+//! instead of the original's CAS helping protocol (see the crate-level
+//! documentation for the substitution rationale).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ordered::{SnapshotRegistry, VersionedLink};
+use crate::timestamp::{TimestampMode, TimestampOracle};
+use crate::vcas::VcasLink;
+
+struct Internal<K, V> {
+    /// Routing key; `None` only for the pseudo-root, which behaves like +∞.
+    key: Option<K>,
+    left: VcasLink<Arc<BstNode<K, V>>>,
+    right: VcasLink<Arc<BstNode<K, V>>>,
+    lock: Mutex<()>,
+    /// Set when this router has been spliced out of the tree.
+    retired: AtomicBool,
+}
+
+struct Leaf<K, V> {
+    /// `None` marks the empty sentinel leaf.
+    key: Option<K>,
+    value: Option<V>,
+}
+
+enum BstNode<K, V> {
+    Internal(Internal<K, V>),
+    Leaf(Leaf<K, V>),
+}
+
+impl<K, V> BstNode<K, V> {
+    fn empty_leaf() -> Arc<Self> {
+        Arc::new(BstNode::Leaf(Leaf {
+            key: None,
+            value: None,
+        }))
+    }
+
+    fn leaf(key: K, value: V) -> Arc<Self> {
+        Arc::new(BstNode::Leaf(Leaf {
+            key: Some(key),
+            value: Some(value),
+        }))
+    }
+
+    fn as_internal(&self) -> Option<&Internal<K, V>> {
+        match self {
+            BstNode::Internal(i) => Some(i),
+            BstNode::Leaf(_) => None,
+        }
+    }
+
+    fn as_leaf(&self) -> Option<&Leaf<K, V>> {
+        match self {
+            BstNode::Leaf(l) => Some(l),
+            BstNode::Internal(_) => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dir {
+    Left,
+    Right,
+}
+
+/// The vCAS external binary search tree baseline.
+pub struct VcasBst<K, V> {
+    root: Internal<K, V>,
+    oracle: TimestampOracle,
+    registry: Arc<SnapshotRegistry>,
+}
+
+impl<K, V> fmt::Debug for VcasBst<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VcasBst").finish()
+    }
+}
+
+impl<K, V> VcasBst<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create an empty tree using timestamps from `mode`.
+    pub fn new(mode: TimestampMode) -> Self {
+        Self {
+            root: Internal {
+                key: None,
+                left: VcasLink::with_initial(BstNode::empty_leaf()),
+                right: VcasLink::with_initial(BstNode::empty_leaf()),
+                lock: Mutex::new(()),
+                retired: AtomicBool::new(false),
+            },
+            oracle: TimestampOracle::new(mode),
+            registry: Arc::new(SnapshotRegistry::new()),
+        }
+    }
+
+    /// The timestamp mode this tree was created with.
+    pub fn timestamp_mode(&self) -> TimestampMode {
+        self.oracle.mode()
+    }
+
+    fn go_left(internal_key: &Option<K>, key: &K) -> bool {
+        match internal_key {
+            None => true, // pseudo-root behaves like +∞
+            Some(k) => key < k,
+        }
+    }
+
+    fn child(&self, internal: &Internal<K, V>, dir: Dir) -> Arc<BstNode<K, V>> {
+        match dir {
+            Dir::Left => internal.left.load_latest(),
+            Dir::Right => internal.right.load_latest(),
+        }
+    }
+
+    fn child_at(&self, internal: &Internal<K, V>, dir: Dir, ts: u64) -> Arc<BstNode<K, V>> {
+        match dir {
+            Dir::Left => internal.left.load_at(ts),
+            Dir::Right => internal.right.load_at(ts),
+        }
+    }
+
+    fn set_child(&self, internal: &Internal<K, V>, dir: Dir, node: Arc<BstNode<K, V>>, ts: u64) {
+        match dir {
+            Dir::Left => internal.left.store(node, ts, &self.registry),
+            Dir::Right => internal.right.store(node, ts, &self.registry),
+        }
+    }
+
+    /// Walk from the root to the leaf where `key` belongs, recording the
+    /// parent and grandparent routers and the directions taken.
+    ///
+    /// Returned tuple: (grandparent, gp->parent direction, parent,
+    /// parent->leaf direction, leaf).  The grandparent is `None` when the
+    /// parent is the pseudo-root.
+    #[allow(clippy::type_complexity)]
+    fn search(
+        &self,
+        key: &K,
+    ) -> (
+        Option<Arc<BstNode<K, V>>>,
+        Dir,
+        Option<Arc<BstNode<K, V>>>,
+        Dir,
+        Arc<BstNode<K, V>>,
+    ) {
+        let mut grandparent: Option<Arc<BstNode<K, V>>> = None;
+        let mut gp_dir = Dir::Left;
+        let mut parent: Option<Arc<BstNode<K, V>>> = None;
+        let mut p_dir = if Self::go_left(&self.root.key, key) {
+            Dir::Left
+        } else {
+            Dir::Right
+        };
+        let mut current = self.child(&self.root, p_dir);
+        loop {
+            let internal = match current.as_internal() {
+                Some(i) => i,
+                None => break,
+            };
+            let dir = if Self::go_left(&internal.key, key) {
+                Dir::Left
+            } else {
+                Dir::Right
+            };
+            grandparent = parent.take();
+            gp_dir = p_dir;
+            parent = Some(Arc::clone(&current));
+            p_dir = dir;
+            current = self.child(internal, dir);
+        }
+        (grandparent, gp_dir, parent, p_dir, current)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let (_, _, _, _, leaf) = self.search(key);
+        let leaf = leaf.as_leaf().expect("search always ends at a leaf");
+        if leaf.key.as_ref() == Some(key) {
+            leaf.value.clone()
+        } else {
+            None
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `key -> value`; returns `false` if the key is already present.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        loop {
+            let (_, _, parent, p_dir, leaf_node) = self.search(&key);
+            let leaf = leaf_node.as_leaf().expect("search always ends at a leaf");
+            if leaf.key.as_ref() == Some(&key) {
+                return false;
+            }
+            // Lock the parent router (or the pseudo-root) and validate that
+            // the leaf we found is still in place.
+            let parent_internal = match &parent {
+                Some(node) => node.as_internal().expect("parents are routers"),
+                None => &self.root,
+            };
+            let _guard = match parent_internal.lock.try_lock() {
+                Some(guard) => guard,
+                None => {
+                    std::thread::yield_now();
+                    continue;
+                }
+            };
+            if parent_internal.retired.load(Ordering::Acquire)
+                || !Arc::ptr_eq(&self.child(parent_internal, p_dir), &leaf_node)
+            {
+                continue;
+            }
+            let ts = self.oracle.update_timestamp();
+            let new_leaf = BstNode::leaf(key.clone(), value.clone());
+            let replacement = match &leaf.key {
+                // Replacing the empty sentinel leaf: no router needed.
+                None => new_leaf,
+                Some(existing_key) => {
+                    let (router_key, left, right) = if key < *existing_key {
+                        (existing_key.clone(), new_leaf, Arc::clone(&leaf_node))
+                    } else {
+                        (key.clone(), Arc::clone(&leaf_node), new_leaf)
+                    };
+                    Arc::new(BstNode::Internal(Internal {
+                        key: Some(router_key),
+                        left: VcasLink::with_initial(left),
+                        right: VcasLink::with_initial(right),
+                        lock: Mutex::new(()),
+                        retired: AtomicBool::new(false),
+                    }))
+                }
+            };
+            self.set_child(parent_internal, p_dir, replacement, ts);
+            return true;
+        }
+    }
+
+    /// Remove `key`; returns `false` if it was absent.
+    pub fn remove(&self, key: &K) -> bool {
+        loop {
+            let (grandparent, gp_dir, parent, p_dir, leaf_node) = self.search(key);
+            let leaf = leaf_node.as_leaf().expect("search always ends at a leaf");
+            if leaf.key.as_ref() != Some(key) {
+                return false;
+            }
+            match parent {
+                None => {
+                    // The leaf hangs directly off the pseudo-root: replace it
+                    // with the empty sentinel.
+                    let _guard = match self.root.lock.try_lock() {
+                        Some(guard) => guard,
+                        None => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    if !Arc::ptr_eq(&self.child(&self.root, p_dir), &leaf_node) {
+                        continue;
+                    }
+                    let ts = self.oracle.update_timestamp();
+                    self.set_child(&self.root, p_dir, BstNode::empty_leaf(), ts);
+                    return true;
+                }
+                Some(parent_node) => {
+                    let parent_internal =
+                        parent_node.as_internal().expect("parents are routers");
+                    let grandparent_internal = match &grandparent {
+                        Some(node) => node.as_internal().expect("grandparents are routers"),
+                        None => &self.root,
+                    };
+                    let gp_guard = match grandparent_internal.lock.try_lock() {
+                        Some(guard) => guard,
+                        None => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let p_guard = match parent_internal.lock.try_lock() {
+                        Some(guard) => guard,
+                        None => {
+                            drop(gp_guard);
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let valid = !grandparent_internal.retired.load(Ordering::Acquire)
+                        && !parent_internal.retired.load(Ordering::Acquire)
+                        && Arc::ptr_eq(&self.child(grandparent_internal, gp_dir), &parent_node)
+                        && Arc::ptr_eq(&self.child(parent_internal, p_dir), &leaf_node);
+                    if !valid {
+                        drop(p_guard);
+                        drop(gp_guard);
+                        continue;
+                    }
+                    let sibling_dir = match p_dir {
+                        Dir::Left => Dir::Right,
+                        Dir::Right => Dir::Left,
+                    };
+                    let sibling = self.child(parent_internal, sibling_dir);
+                    parent_internal.retired.store(true, Ordering::Release);
+                    let ts = self.oracle.update_timestamp();
+                    self.set_child(grandparent_internal, gp_dir, sibling, ts);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Collect every `(key, value)` pair with `low <= key <= high` as of a
+    /// single snapshot timestamp, in ascending key order.
+    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        let ts = self.oracle.snapshot_timestamp();
+        let _guard = self.registry.register(ts);
+        let mut out = Vec::new();
+        // Iterative depth-first traversal, pushing right before left so keys
+        // come out in ascending order.
+        let mut stack: Vec<Arc<BstNode<K, V>>> = vec![self.child_at(&self.root, Dir::Left, ts)];
+        while let Some(node) = stack.pop() {
+            match &*node {
+                BstNode::Leaf(leaf) => {
+                    if let (Some(k), Some(v)) = (&leaf.key, &leaf.value) {
+                        if k >= low && k <= high {
+                            out.push((k.clone(), v.clone()));
+                        }
+                    }
+                }
+                BstNode::Internal(internal) => {
+                    let router = internal.key.as_ref();
+                    // Right subtree holds keys >= router; visit when the
+                    // range's upper bound reaches it.
+                    let visit_right = match router {
+                        None => true,
+                        Some(k) => high >= k,
+                    };
+                    // Left subtree holds keys < router; visit when the
+                    // range's lower bound is below it.
+                    let visit_left = match router {
+                        None => true,
+                        Some(k) => low < k,
+                    };
+                    if visit_right {
+                        stack.push(self.child_at(internal, Dir::Right, ts));
+                    }
+                    if visit_left {
+                        stack.push(self.child_at(internal, Dir::Left, ts));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of present keys (full traversal; tests and reporting only).
+    pub fn len(&self) -> usize {
+        let mut count = 0;
+        let mut stack = vec![self.child(&self.root, Dir::Left)];
+        while let Some(node) = stack.pop() {
+            match &*node {
+                BstNode::Leaf(leaf) => {
+                    if leaf.key.is_some() {
+                        count += 1;
+                    }
+                }
+                BstNode::Internal(internal) => {
+                    stack.push(self.child(internal, Dir::Left));
+                    stack.push(self.child(internal, Dir::Right));
+                }
+            }
+        }
+        count
+    }
+
+    /// True when the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let tree: VcasBst<u64, u64> = VcasBst::new(TimestampMode::Rdtscp);
+        assert!(tree.is_empty());
+        assert!(tree.insert(5, 50));
+        assert!(tree.insert(2, 20));
+        assert!(tree.insert(8, 80));
+        assert!(!tree.insert(5, 55), "duplicate insert must fail");
+        assert_eq!(tree.get(&2), Some(20));
+        assert_eq!(tree.get(&3), None);
+        assert_eq!(tree.len(), 3);
+        assert!(tree.remove(&5));
+        assert!(!tree.remove(&5));
+        assert_eq!(tree.get(&5), None);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn removing_the_only_key_leaves_an_empty_tree() {
+        let tree: VcasBst<u64, u64> = VcasBst::new(TimestampMode::Rdtscp);
+        assert!(tree.insert(1, 1));
+        assert!(tree.remove(&1));
+        assert!(tree.is_empty());
+        assert!(tree.insert(1, 2));
+        assert_eq!(tree.get(&1), Some(2));
+    }
+
+    #[test]
+    fn range_returns_sorted_inclusive_bounds() {
+        let tree: VcasBst<u64, u64> = VcasBst::new(TimestampMode::Rdtscp);
+        for k in [50u64, 20, 80, 10, 30, 70, 90, 25, 35] {
+            assert!(tree.insert(k, k));
+        }
+        assert_eq!(
+            tree.range(&20, &70),
+            vec![(20, 20), (25, 25), (30, 30), (35, 35), (50, 50), (70, 70)]
+        );
+        assert_eq!(tree.range(&0, &5), vec![]);
+        assert_eq!(tree.range(&90, &200), vec![(90, 90)]);
+    }
+
+    #[test]
+    fn range_snapshot_is_isolated_from_later_updates() {
+        let tree: VcasBst<u64, u64> = VcasBst::new(TimestampMode::SharedCounter);
+        for k in 0..20u64 {
+            assert!(tree.insert(k, k));
+        }
+        // Register a snapshot, then mutate, then verify a query at the old
+        // timestamp still sees the old contents.
+        let ts = tree.oracle.snapshot_timestamp();
+        let guard = tree.registry.register(ts);
+        assert!(tree.remove(&10));
+        assert!(tree.insert(100, 100));
+        // Traverse manually at the old snapshot.
+        let mut stack = vec![tree.child_at(&tree.root, Dir::Left, ts)];
+        let mut keys = Vec::new();
+        while let Some(node) = stack.pop() {
+            match &*node {
+                BstNode::Leaf(leaf) => {
+                    if let Some(k) = &leaf.key {
+                        keys.push(*k);
+                    }
+                }
+                BstNode::Internal(internal) => {
+                    stack.push(tree.child_at(internal, Dir::Left, ts));
+                    stack.push(tree.child_at(internal, Dir::Right, ts));
+                }
+            }
+        }
+        keys.sort_unstable();
+        assert_eq!(keys, (0..20u64).collect::<Vec<_>>());
+        drop(guard);
+        // A fresh range query sees the new state.
+        let fresh: Vec<u64> = tree.range(&0, &200).into_iter().map(|(k, _)| k).collect();
+        assert!(!fresh.contains(&10));
+        assert!(fresh.contains(&100));
+    }
+
+    #[test]
+    fn concurrent_inserts_from_multiple_threads() {
+        use std::thread;
+        let tree = Arc::new(VcasBst::<u64, u64>::new(TimestampMode::Rdtscp));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tree = Arc::clone(&tree);
+            handles.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    assert!(tree.insert(t * 10_000 + i, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tree.len(), 1000);
+        assert_eq!(tree.range(&0, &u64::MAX).len(), 1000);
+    }
+}

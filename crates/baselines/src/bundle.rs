@@ -1,0 +1,194 @@
+//! Bundled references in the style of Nelson-Slivon et al.
+//!
+//! A *bundle* augments a link with a chain of `(timestamp, target)` entries,
+//! newest first.  Elemental operations dereference the newest entry; a range
+//! query at snapshot timestamp `ts` walks the chain from the newest entry to
+//! the first one whose timestamp is at or before `ts` and follows that
+//! target.  Stale entries — those older than the oldest in-flight range query
+//! — are pruned as new entries are added, mirroring the original's
+//! reclamation of bundle entries.
+//!
+//! Compared with [`crate::VcasLink`] the externally visible behaviour is the
+//! same (both implement [`VersionedLink`]); the representation differs in the
+//! same way the two papers differ: vCAS keeps an indirection to a version
+//! list, bundling keeps an inline chain of entries attached to the link.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::ordered::{SnapshotRegistry, VersionedLink};
+
+struct BundleEntry<T> {
+    timestamp: u64,
+    target: T,
+    older: Option<Arc<BundleEntry<T>>>,
+}
+
+/// A link augmented with a bundle of timestamped entries.
+pub struct BundleLink<T> {
+    newest: RwLock<Arc<BundleEntry<T>>>,
+}
+
+impl<T> fmt::Debug for BundleLink<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries = 1;
+        let mut cursor = Arc::clone(&*self.newest.read());
+        while let Some(older) = &cursor.older {
+            entries += 1;
+            let next = Arc::clone(older);
+            cursor = next;
+        }
+        f.debug_struct("BundleLink").field("entries", &entries).finish()
+    }
+}
+
+impl<T: Clone + Send + Sync> VersionedLink<T> for BundleLink<T> {
+    fn with_initial(value: T) -> Self {
+        Self {
+            newest: RwLock::new(Arc::new(BundleEntry {
+                timestamp: 0,
+                target: value,
+                older: None,
+            })),
+        }
+    }
+
+    fn load_latest(&self) -> T {
+        self.newest.read().target.clone()
+    }
+
+    fn load_at(&self, ts: u64) -> T {
+        let mut entry = Arc::clone(&*self.newest.read());
+        loop {
+            if entry.timestamp <= ts {
+                return entry.target.clone();
+            }
+            match &entry.older {
+                Some(older) => {
+                    let next = Arc::clone(older);
+                    entry = next;
+                }
+                // Nothing old enough survives: the initial entry (timestamp
+                // 0) is only pruned once no snapshot can need it, so this
+                // fallback returns the oldest retained view.
+                None => return entry.target.clone(),
+            }
+        }
+    }
+
+    fn store(&self, value: T, ts: u64, registry: &SnapshotRegistry) {
+        let mut newest = self.newest.write();
+        let entry = Arc::new(BundleEntry {
+            timestamp: ts,
+            target: value,
+            older: Some(Arc::clone(&*newest)),
+        });
+        *newest = entry;
+        // Prune entries older than the oldest active snapshot: walk the chain
+        // and cut it after the first entry at or before the horizon.
+        let horizon = registry.min_active().unwrap_or(u64::MAX);
+        let mut cursor = Arc::clone(&*newest);
+        loop {
+            if cursor.timestamp <= horizon {
+                // Everything older than `cursor` is unreachable by any
+                // current or future snapshot; drop the tail.
+                // SAFETY-free: we only mutate through the write lock we hold,
+                // and `BundleEntry::older` is never written after publication
+                // except by this pruning, which requires the same lock.
+                break;
+            }
+            match &cursor.older {
+                Some(older) => {
+                    let next = Arc::clone(older);
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        // Rebuild the retained prefix without the tail beyond `cursor`.
+        if cursor.older.is_some() {
+            let mut retained: Vec<(u64, T)> = Vec::new();
+            let mut walk = Arc::clone(&*newest);
+            loop {
+                retained.push((walk.timestamp, walk.target.clone()));
+                if Arc::ptr_eq(&walk, &cursor) {
+                    break;
+                }
+                match &walk.older {
+                    Some(older) => {
+                        let next = Arc::clone(older);
+                        walk = next;
+                    }
+                    None => break,
+                }
+            }
+            let mut rebuilt: Option<Arc<BundleEntry<T>>> = None;
+            for (timestamp, target) in retained.into_iter().rev() {
+                rebuilt = Some(Arc::new(BundleEntry {
+                    timestamp,
+                    target,
+                    older: rebuilt,
+                }));
+            }
+            *newest = rebuilt.expect("retained prefix is never empty");
+        }
+    }
+
+    fn history_len(&self) -> usize {
+        let mut count = 1;
+        let mut entry = Arc::clone(&*self.newest.read());
+        while let Some(older) = &entry.older {
+            count += 1;
+            let next = Arc::clone(older);
+            entry = next;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_at_walks_back_to_the_right_entry() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let link = BundleLink::with_initial(0u64);
+        let keeper = registry.register(1);
+        link.store(10, 5, &registry);
+        link.store(20, 9, &registry);
+        assert_eq!(link.load_latest(), 20);
+        assert_eq!(link.load_at(4), 0);
+        assert_eq!(link.load_at(5), 10);
+        assert_eq!(link.load_at(9), 20);
+        drop(keeper);
+    }
+
+    #[test]
+    fn entries_are_pruned_without_active_snapshots() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let link = BundleLink::with_initial(0u64);
+        for i in 1..50u64 {
+            link.store(i, i, &registry);
+        }
+        assert_eq!(link.history_len(), 1);
+        assert_eq!(link.load_latest(), 49);
+    }
+
+    #[test]
+    fn entries_survive_while_a_snapshot_needs_them() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let link = BundleLink::with_initial(0u64);
+        link.store(1, 10, &registry);
+        let guard = registry.register(12);
+        link.store(2, 20, &registry);
+        link.store(3, 30, &registry);
+        assert_eq!(link.load_at(12), 1);
+        assert!(link.history_len() >= 3);
+        drop(guard);
+        link.store(4, 40, &registry);
+        assert_eq!(link.history_len(), 1);
+    }
+}

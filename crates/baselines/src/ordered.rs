@@ -1,0 +1,136 @@
+//! Shared infrastructure for snapshot-based range queries: the active
+//! snapshot registry and the versioned-link abstraction.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Tracks the snapshot timestamps of in-flight range queries so that version
+/// histories ([`crate::VcasLink`]) and bundles ([`crate::BundleLink`]) know
+/// which old entries may still be needed.
+///
+/// This plays the role of the epoch/limbo machinery in the original
+/// lock-free implementations: entries older than the oldest active snapshot
+/// (keeping the newest such entry as the snapshot's view) can be reclaimed.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    active: Mutex<Vec<u64>>,
+}
+
+impl SnapshotRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an in-flight snapshot; the returned guard deregisters it when
+    /// dropped.
+    pub fn register(self: &Arc<Self>, timestamp: u64) -> SnapshotGuard {
+        self.active.lock().push(timestamp);
+        SnapshotGuard {
+            registry: Arc::clone(self),
+            timestamp,
+        }
+    }
+
+    /// The oldest snapshot still in flight, if any.
+    pub fn min_active(&self) -> Option<u64> {
+        self.active.lock().iter().copied().min()
+    }
+
+    /// Number of in-flight snapshots.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    fn deregister(&self, timestamp: u64) {
+        let mut active = self.active.lock();
+        if let Some(index) = active.iter().position(|&t| t == timestamp) {
+            active.swap_remove(index);
+        }
+    }
+}
+
+/// RAII registration of an in-flight snapshot.
+pub struct SnapshotGuard {
+    registry: Arc<SnapshotRegistry>,
+    timestamp: u64,
+}
+
+impl SnapshotGuard {
+    /// The snapshot timestamp this guard holds active.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+}
+
+impl fmt::Debug for SnapshotGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotGuard")
+            .field("timestamp", &self.timestamp)
+            .finish()
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        self.registry.deregister(self.timestamp);
+    }
+}
+
+/// A pointer-like location that remembers enough history for snapshot reads.
+///
+/// Implemented by [`crate::VcasLink`] (an explicit version list, as in the
+/// vCAS technique) and [`crate::BundleLink`] (a chain of bundle entries, as
+/// in bundled references).  The skip list and BST baselines are generic over
+/// this trait, which is what lets one structural implementation serve both
+/// papers' mechanisms.
+pub trait VersionedLink<T: Clone>: Send + Sync {
+    /// Create a link whose initial value is visible to every snapshot.
+    fn with_initial(value: T) -> Self;
+
+    /// The most recent value (what elemental operations follow).
+    fn load_latest(&self) -> T;
+
+    /// The value that was current at snapshot time `ts`.
+    fn load_at(&self, ts: u64) -> T;
+
+    /// Install `value` with timestamp `ts`, retiring history entries that no
+    /// snapshot in `registry` can still need.
+    fn store(&self, value: T, ts: u64, registry: &SnapshotRegistry);
+
+    /// Number of retained history entries (for tests and space accounting).
+    fn history_len(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_min_active() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        assert_eq!(registry.min_active(), None);
+        let g1 = registry.register(10);
+        let g2 = registry.register(5);
+        assert_eq!(registry.min_active(), Some(5));
+        assert_eq!(registry.active_count(), 2);
+        drop(g2);
+        assert_eq!(registry.min_active(), Some(10));
+        assert_eq!(g1.timestamp(), 10);
+        drop(g1);
+        assert_eq!(registry.min_active(), None);
+    }
+
+    #[test]
+    fn duplicate_timestamps_deregister_one_at_a_time() {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let g1 = registry.register(7);
+        let g2 = registry.register(7);
+        drop(g1);
+        assert_eq!(registry.min_active(), Some(7));
+        drop(g2);
+        assert_eq!(registry.min_active(), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for elemental operations (single-threaded
+//! latency), complementing the throughput drivers.
+//!
+//! These quantify the asymptotic claim behind Figures 5a–5b: skip hash
+//! lookups and removals are hash-routed (`O(1)`), while the skip list and BST
+//! baselines pay an `O(log n)` traversal.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skiphash_harness::MapKind;
+
+const POPULATION: u64 = 20_000;
+const UNIVERSE: u64 = 40_000;
+
+fn prefilled(kind: MapKind) -> std::sync::Arc<dyn skiphash_harness::BenchMap> {
+    let map = kind.build(UNIVERSE);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut inserted = 0;
+    while inserted < POPULATION {
+        if map.insert(rng.gen_range(0..UNIVERSE), 1) {
+            inserted += 1;
+        }
+    }
+    map
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for kind in [
+        MapKind::SkipHashTwoPath,
+        MapKind::VcasSkipList,
+        MapKind::VcasBst,
+        MapKind::StmSkipList,
+        MapKind::StmHashMap,
+    ] {
+        let map = prefilled(kind);
+        let mut rng = SmallRng::seed_from_u64(2);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| map.get(rng.gen_range(0..UNIVERSE)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for kind in [
+        MapKind::SkipHashTwoPath,
+        MapKind::VcasSkipList,
+        MapKind::VcasBst,
+        MapKind::StmHashMap,
+    ] {
+        let map = prefilled(kind);
+        let mut rng = SmallRng::seed_from_u64(3);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let key = rng.gen_range(0..UNIVERSE);
+                if rng.gen::<bool>() {
+                    map.insert(key, 1)
+                } else {
+                    map.remove(key)
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_updates);
+criterion_main!(benches);

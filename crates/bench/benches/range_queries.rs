@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for range queries of varying lengths,
+//! complementing the Figure 5c / Figure 6 throughput drivers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skiphash_harness::MapKind;
+
+const POPULATION: u64 = 20_000;
+const UNIVERSE: u64 = 40_000;
+
+fn prefilled(kind: MapKind) -> std::sync::Arc<dyn skiphash_harness::BenchMap> {
+    let map = kind.build(UNIVERSE);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut inserted = 0;
+    while inserted < POPULATION {
+        if map.insert(rng.gen_range(0..UNIVERSE), 1) {
+            inserted += 1;
+        }
+    }
+    map
+}
+
+fn bench_ranges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for kind in [
+        MapKind::SkipHashFastOnly,
+        MapKind::SkipHashSlowOnly,
+        MapKind::SkipHashTwoPath,
+        MapKind::VcasSkipList,
+        MapKind::BundledSkipList,
+        MapKind::VcasBst,
+    ] {
+        for range_len in [100u64, 1_024] {
+            let map = prefilled(kind);
+            let mut rng = SmallRng::seed_from_u64(4);
+            let mut buffer = Vec::with_capacity(range_len as usize);
+            group.bench_function(
+                BenchmarkId::new(kind.label(), range_len),
+                |b| {
+                    b.iter(|| {
+                        let low = rng.gen_range(0..UNIVERSE);
+                        map.range(low, low + range_len, &mut buffer)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranges);
+criterion_main!(benches);

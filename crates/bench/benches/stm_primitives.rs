@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the STM substrate itself: read-only
+//! transactions, small writer transactions, and clock sources.
+//!
+//! These support the paper's premise (§2.2) that a well-engineered STM makes
+//! multi-word atomic operations cheap enough to build data structures on, and
+//! the ablation between logical and hardware clocks discussed in §5.1.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiphash_stm::{ClockKind, Stm, TCell};
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_txn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+
+    for clock in [ClockKind::Hardware, ClockKind::Counter, ClockKind::Sampled] {
+        let stm = Stm::with_clock(clock);
+        let cells: Vec<TCell<u64>> = (0..64).map(TCell::new).collect();
+
+        group.bench_function(BenchmarkId::new("read_only_8", format!("{clock}")), |b| {
+            b.iter(|| {
+                stm.run(|tx| {
+                    let mut sum = 0;
+                    for cell in cells.iter().take(8) {
+                        sum += cell.read(tx)?;
+                    }
+                    Ok(sum)
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("read_write_4", format!("{clock}")), |b| {
+            b.iter(|| {
+                stm.run(|tx| {
+                    for cell in cells.iter().take(4) {
+                        let v = cell.read(tx)?;
+                        cell.write(tx, v + 1)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uninstrumented_baseline(c: &mut Criterion) {
+    // A plain (non-transactional) loop over the same data, to quantify STM
+    // instrumentation overhead.
+    let mut group = c.benchmark_group("stm_overhead_baseline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let mut cells = [0u64; 8];
+    group.bench_function("plain_read_write_4", |b| {
+        b.iter(|| {
+            for value in cells.iter_mut().take(4) {
+                *value = criterion::black_box(*value + 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transactions, bench_uninstrumented_baseline);
+criterion_main!(benches);

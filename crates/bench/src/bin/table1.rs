@@ -1,0 +1,219 @@
+//! Regenerates Table 1: aborts per successful range query in a
+//! fast-path-only skip hash, as the range length grows.
+//!
+//! The paper runs the Figure 6 split workload (update-only threads plus
+//! range-only threads) with the fast-path-only skip hash and reports, for
+//! range lengths 2^10 through 2^14, how many fast-path attempts aborted per
+//! successful range query.  At 2^14 no query completes in the paper (reported
+//! as ∞); the same starvation appears here once the range is long enough that
+//! concurrent updates always invalidate the single-transaction attempt.
+//!
+//! To keep the driver from hanging when starvation sets in, each range worker
+//! gives up on a query after `--max-attempts` fast-path tries (default 200)
+//! and counts it as failed; the abort ratio is still reported against
+//! successful queries only, so a saturated row prints `inf` exactly like the
+//! paper.
+//!
+//! Options: `--universe N`, `--update-threads N`, `--range-threads N`,
+//! `--min-exp N`, `--max-exp N`, `--duration-ms N`, `--max-attempts N`,
+//! `--paper`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skiphash::{RangePolicy, SkipHash, SkipHashBuilder};
+use skiphash_bench::BenchOptions;
+use skiphash_harness::Workload;
+
+struct Table1Row {
+    aborts: u64,
+    successes: u64,
+    gave_up: u64,
+}
+
+impl Table1Row {
+    fn ratio(&self) -> f64 {
+        if self.successes == 0 {
+            f64::INFINITY
+        } else {
+            self.aborts as f64 / self.successes as f64
+        }
+    }
+}
+
+fn build_map(universe: u64) -> Arc<SkipHash<u64, u64>> {
+    let buckets = {
+        let mut n = ((universe / 2) as f64 / 0.7).ceil() as usize;
+        let is_prime = |n: usize| {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n % d == 0 {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        };
+        while !is_prime(n) {
+            n += 1;
+        }
+        n
+    };
+    let mut levels = 1;
+    while (1u64 << levels) < universe && levels < 30 {
+        levels += 1;
+    }
+    Arc::new(
+        SkipHashBuilder::new()
+            .buckets(buckets)
+            .max_level(levels.max(4))
+            .range_policy(RangePolicy::FastOnly)
+            .build(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    universe: u64,
+    range_len: u64,
+    update_threads: u64,
+    range_threads: u64,
+    duration: Duration,
+    max_attempts: u64,
+) -> Table1Row {
+    let map = build_map(universe);
+    // Pre-fill half the universe.
+    {
+        let mut rng = SmallRng::seed_from_u64(0x7AB1E);
+        let mut inserted = 0;
+        while inserted < universe / 2 {
+            let key = rng.gen_range(0..universe);
+            if map.insert(key, key) {
+                inserted += 1;
+            }
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let aborts = Arc::new(AtomicU64::new(0));
+    let successes = Arc::new(AtomicU64::new(0));
+    let gave_up = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for t in 0..update_threads {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0xBEEF + t);
+            while !stop.load(Ordering::Relaxed) {
+                let key = rng.gen_range(0..universe);
+                if rng.gen::<bool>() {
+                    let _ = map.insert(key, key);
+                } else {
+                    let _ = map.remove(&key);
+                }
+            }
+        }));
+    }
+    for t in 0..range_threads {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        let aborts = Arc::clone(&aborts);
+        let successes = Arc::clone(&successes);
+        let gave_up = Arc::clone(&gave_up);
+        handles.push(thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0xCAFE + t);
+            while !stop.load(Ordering::Relaxed) {
+                let low = rng.gen_range(0..universe);
+                let high = low + range_len;
+                let mut attempts = 0;
+                loop {
+                    if map.range_attempt_fast(&low, &high).is_some() {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                        aborts.fetch_add(attempts, Ordering::Relaxed);
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts >= max_attempts || stop.load(Ordering::Relaxed) {
+                        gave_up.fetch_add(1, Ordering::Relaxed);
+                        aborts.fetch_add(attempts, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    Table1Row {
+        aborts: aborts.load(Ordering::Relaxed),
+        successes: successes.load(Ordering::Relaxed),
+        gave_up: gave_up.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let options = BenchOptions::from_args();
+    let paper_mode = options.get_flag("paper");
+    let universe = options.get_u64(
+        "universe",
+        if paper_mode {
+            Workload::PAPER_UNIVERSE
+        } else {
+            100_000
+        },
+    );
+    let duration = options.duration(if paper_mode { 3_000 } else { 500 });
+    let half = (std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(2)
+        / 2)
+    .max(1);
+    let update_threads = options.get_u64("update-threads", if paper_mode { 24 } else { half });
+    let range_threads = options.get_u64("range-threads", if paper_mode { 24 } else { half });
+    let min_exp = options.get_u64("min-exp", 10);
+    let max_exp = options.get_u64("max-exp", 14);
+    let max_attempts = options.get_u64("max-attempts", 200);
+
+    println!(
+        "# Table 1 reproduction: universe={universe}, update_threads={update_threads}, range_threads={range_threads}, duration={duration:?}"
+    );
+    println!(
+        "{:>14} {:>14} {:>14} {:>14} {:>18}",
+        "Range Length", "Aborts", "Successes", "Gave up", "Aborts/Success"
+    );
+    for exp in min_exp..=max_exp {
+        let range_len = 1u64 << exp;
+        let row = measure(
+            universe,
+            range_len,
+            update_threads,
+            range_threads,
+            duration,
+            max_attempts,
+        );
+        let ratio = row.ratio();
+        let ratio_text = if ratio.is_finite() {
+            format!("{ratio:.2}")
+        } else {
+            "inf".to_string()
+        };
+        println!(
+            "{:>14} {:>14} {:>14} {:>14} {:>18}",
+            format!("2^{exp} ({range_len})"),
+            row.aborts,
+            row.successes,
+            row.gave_up,
+            ratio_text
+        );
+    }
+}

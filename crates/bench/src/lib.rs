@@ -1,0 +1,120 @@
+//! Shared plumbing for the benchmark drivers (`fig5`, `fig6`, `table1`) and
+//! the Criterion micro-benchmarks.
+//!
+//! Each binary regenerates one figure or table from the paper's evaluation
+//! section; see `EXPERIMENTS.md` at the repository root for the mapping and
+//! for the measured results on this machine.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Command-line options shared by the benchmark drivers.
+///
+/// Parsing is deliberately tiny (`--key value` pairs) so the drivers stay
+/// dependency-free.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    raw: HashMap<String, String>,
+}
+
+impl BenchOptions {
+    /// Parse `--key value` pairs from the process arguments.
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse `--key value` pairs from an iterator (testable entry point).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut raw = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::from("true"),
+                };
+                raw.insert(key.to_string(), value);
+            }
+        }
+        Self { raw }
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.raw.get(key).map(String::as_str)
+    }
+
+    /// Integer option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn get_flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Comma-separated list of integers with default.
+    pub fn get_u64_list(&self, key: &str, default: &[u64]) -> Vec<u64> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .collect(),
+        }
+    }
+
+    /// Trial duration (`--duration-ms`, default `default_ms`).
+    pub fn duration(&self, default_ms: u64) -> Duration {
+        Duration::from_millis(self.get_u64("duration-ms", default_ms))
+    }
+}
+
+/// Default thread counts to sweep: 1, 2, 4, ... up to twice the available
+/// parallelism (mirroring the paper's sweep up to 2x hardware threads, scaled
+/// to this machine).
+pub fn default_thread_grid() -> Vec<u64> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let mut grid = vec![1];
+    let mut t = 2;
+    while t <= max * 2 {
+        grid.push(t);
+        t *= 2;
+    }
+    grid.dedup();
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_pairs_and_flags() {
+        let opts = BenchOptions::from_iter(
+            ["--universe", "5000", "--quick", "--threads", "1,2,4"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(opts.get_u64("universe", 1), 5000);
+        assert!(opts.get_flag("quick"));
+        assert_eq!(opts.get_u64_list("threads", &[8]), vec![1, 2, 4]);
+        assert_eq!(opts.get_u64_list("missing", &[8]), vec![8]);
+        assert_eq!(opts.get_u64("absent", 7), 7);
+        assert_eq!(opts.duration(250), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn thread_grid_starts_at_one_and_is_monotonic() {
+        let grid = default_thread_grid();
+        assert_eq!(grid[0], 1);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+}

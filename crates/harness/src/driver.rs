@@ -1,0 +1,261 @@
+//! Trial execution: pre-fill, thread spawning, timing, and aggregation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adapters::BenchMap;
+use crate::workload::{Operation, OperationSampler, Workload};
+
+/// Result of one mixed-workload trial (all threads run the same mix).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MixedTrialResult {
+    /// Total operations completed by all threads.
+    pub total_ops: u64,
+    /// Lookups completed.
+    pub lookups: u64,
+    /// Updates (insertions + removals) completed.
+    pub updates: u64,
+    /// Range queries completed.
+    pub ranges: u64,
+    /// Key/value pairs returned by range queries.
+    pub range_pairs: u64,
+    /// Wall-clock duration of the measured phase, in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl MixedTrialResult {
+    /// Throughput in millions of operations per second (the y-axis of the
+    /// paper's Figure 5).
+    pub fn mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.elapsed_secs / 1e6
+        }
+    }
+}
+
+/// Result of one split trial (dedicated update threads and range threads, as
+/// in the paper's Figure 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SplitTrialResult {
+    /// Updates completed by the update threads.
+    pub update_ops: u64,
+    /// Range queries completed by the range threads.
+    pub range_ops: u64,
+    /// Key/value pairs processed by the range threads.
+    pub range_pairs: u64,
+    /// Wall-clock duration of the measured phase, in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl SplitTrialResult {
+    /// Update throughput in millions of operations per second (Figure 6,
+    /// top).
+    pub fn update_mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.update_ops as f64 / self.elapsed_secs / 1e6
+        }
+    }
+
+    /// Range throughput in millions of *pairs processed* per second (Figure
+    /// 6, bottom).
+    pub fn range_pairs_mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.range_pairs as f64 / self.elapsed_secs / 1e6
+        }
+    }
+}
+
+/// Pre-fill `map` with `target` keys drawn uniformly from the workload's key
+/// universe (the paper fills half the universe before every experiment).
+pub fn prefill(map: &Arc<dyn BenchMap>, workload: &Workload, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let target = workload.prefill_target();
+    let mut inserted = 0;
+    while inserted < target {
+        let key = rng.gen_range(0..workload.key_universe);
+        if map.insert(key, key.wrapping_mul(31)) {
+            inserted += 1;
+        }
+    }
+}
+
+fn run_worker(
+    map: Arc<dyn BenchMap>,
+    workload: Workload,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) -> MixedTrialResult {
+    let sampler = OperationSampler::new(&workload);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut result = MixedTrialResult::default();
+    let mut buffer: Vec<(u64, u64)> = Vec::with_capacity(workload.range_len as usize + 16);
+    while !stop.load(Ordering::Relaxed) {
+        match sampler.next(&mut rng) {
+            Operation::Lookup(key) => {
+                let _ = map.get(key);
+                result.lookups += 1;
+            }
+            Operation::Insert(key) => {
+                let _ = map.insert(key, key.wrapping_mul(31));
+                result.updates += 1;
+            }
+            Operation::Remove(key) => {
+                let _ = map.remove(key);
+                result.updates += 1;
+            }
+            Operation::Range(low) => {
+                if let Some(found) = map.range(low, low + sampler.range_len(), &mut buffer) {
+                    result.range_pairs += found as u64;
+                }
+                result.ranges += 1;
+            }
+        }
+        result.total_ops += 1;
+    }
+    result
+}
+
+/// Run a single timed trial in which every thread executes the same mixed
+/// workload (Figure 5 style).  The map must already be pre-filled.
+pub fn run_mixed_trial(
+    map: &Arc<dyn BenchMap>,
+    workload: &Workload,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> MixedTrialResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = Arc::clone(map);
+            let workload = *workload;
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || run_worker(map, workload, stop, seed ^ (t as u64 + 1) * 0x9E37))
+        })
+        .collect();
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = MixedTrialResult::default();
+    for handle in handles {
+        let partial = handle.join().expect("worker thread panicked");
+        total.total_ops += partial.total_ops;
+        total.lookups += partial.lookups;
+        total.updates += partial.updates;
+        total.ranges += partial.ranges;
+        total.range_pairs += partial.range_pairs;
+    }
+    total.elapsed_secs = started.elapsed().as_secs_f64();
+    total
+}
+
+/// Run a split trial: `update_threads` run a 100%-update workload while
+/// `range_threads` run a 100%-range workload with ranges of `range_len`
+/// (Figure 6 style).  The map must already be pre-filled.
+pub fn run_split_trial(
+    map: &Arc<dyn BenchMap>,
+    key_universe: u64,
+    range_len: u64,
+    update_threads: usize,
+    range_threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> SplitTrialResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let update_workload = Workload::custom(
+        "fig6-update",
+        crate::workload::WorkloadMix::new(0, 100, 0),
+        key_universe,
+        range_len,
+    );
+    let range_workload = Workload::custom(
+        "fig6-range",
+        crate::workload::WorkloadMix::new(0, 0, 100),
+        key_universe,
+        range_len,
+    );
+    let started = Instant::now();
+    let mut update_handles = Vec::new();
+    for t in 0..update_threads {
+        let map = Arc::clone(map);
+        let stop = Arc::clone(&stop);
+        update_handles.push(thread::spawn(move || {
+            run_worker(map, update_workload, stop, seed ^ (t as u64 + 1) * 0xA5A5)
+        }));
+    }
+    let mut range_handles = Vec::new();
+    for t in 0..range_threads {
+        let map = Arc::clone(map);
+        let stop = Arc::clone(&stop);
+        range_handles.push(thread::spawn(move || {
+            run_worker(map, range_workload, stop, seed ^ (t as u64 + 101) * 0x5A5A)
+        }));
+    }
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut result = SplitTrialResult::default();
+    for handle in update_handles {
+        let partial = handle.join().expect("update worker panicked");
+        result.update_ops += partial.updates;
+    }
+    for handle in range_handles {
+        let partial = handle.join().expect("range worker panicked");
+        result.range_ops += partial.ranges;
+        result.range_pairs += partial.range_pairs;
+    }
+    result.elapsed_secs = started.elapsed().as_secs_f64();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::MapKind;
+
+    #[test]
+    fn prefill_reaches_the_target_population() {
+        let workload = Workload::fig5a(2_000);
+        let map = MapKind::SkipHashTwoPath.build(workload.key_universe);
+        prefill(&map, &workload, 1);
+        assert_eq!(map.population(), workload.prefill_target() as usize);
+    }
+
+    #[test]
+    fn mixed_trial_reports_consistent_totals() {
+        let workload = Workload::fig5d(2_000);
+        let map = MapKind::SkipHashTwoPath.build(workload.key_universe);
+        prefill(&map, &workload, 1);
+        let result = run_mixed_trial(&map, &workload, 2, Duration::from_millis(100), 7);
+        assert!(result.total_ops > 0);
+        assert_eq!(
+            result.total_ops,
+            result.lookups + result.updates + result.ranges
+        );
+        assert!(result.mops() > 0.0);
+        assert!(result.elapsed_secs >= 0.1);
+    }
+
+    #[test]
+    fn split_trial_counts_both_sides() {
+        let map = MapKind::SkipHashTwoPath.build(2_000);
+        let workload = Workload::fig5b(2_000);
+        prefill(&map, &workload, 3);
+        let result = run_split_trial(&map, 2_000, 64, 1, 1, Duration::from_millis(100), 11);
+        assert!(result.update_ops > 0);
+        assert!(result.range_ops > 0);
+        assert!(result.range_pairs > 0);
+        assert!(result.update_mops() > 0.0);
+        assert!(result.range_pairs_mops() > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Microbenchmark harness reproducing the skip hash paper's evaluation.
+//!
+//! The paper drives every map through the same framework: worker threads
+//! repeatedly pick an operation (lookup / insert / remove / range query)
+//! according to the workload's mix, keys are drawn uniformly from a fixed
+//! universe, the map is pre-filled to half the universe, and throughput is
+//! reported in operations per second.  This crate provides:
+//!
+//! * [`adapters`] — a common [`BenchMap`](adapters::BenchMap) trait and
+//!   adapters for the skip hash (fast-only / slow-only / two-path) and every
+//!   baseline;
+//! * [`workload`] — the operation mixes of Figures 5a–5f and the
+//!   parameterized workloads of Figure 6 and Table 1;
+//! * [`driver`] — thread spawning, pre-fill, timed trials, and statistics
+//!   collection;
+//! * [`report`] — plain-text and CSV emitters shaped like the paper's figures
+//!   and tables.
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod driver;
+pub mod report;
+pub mod workload;
+
+pub use adapters::{BenchMap, MapKind};
+pub use driver::{run_mixed_trial, run_split_trial, MixedTrialResult, SplitTrialResult};
+pub use workload::{Workload, WorkloadMix};

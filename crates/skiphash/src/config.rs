@@ -1,0 +1,246 @@
+//! Skip hash configuration.
+
+use skiphash_stm::ClockKind;
+
+/// How many buckets the paper's evaluation configures: the smallest prime
+/// such that a population of 500,000 keys keeps the table at most 70% full.
+pub const PAPER_BUCKET_COUNT: usize = 714_341;
+
+/// Default number of hash buckets for a general-purpose map.
+///
+/// The benchmarks override this with [`PAPER_BUCKET_COUNT`]; the library
+/// default is smaller so that casually constructed maps stay lightweight.
+pub const DEFAULT_BUCKET_COUNT: usize = 4_093;
+
+/// Default number of skip list levels (the paper uses 20, since 2^20 exceeds
+/// the evaluated key universe of 10^6).
+pub const DEFAULT_MAX_LEVEL: usize = 20;
+
+/// Default number of fast-path attempts before a range query falls back to
+/// the slow path (the paper sets `FAST_PATH_TRIES` to 3).
+pub const DEFAULT_FAST_PATH_TRIES: usize = 3;
+
+/// Default capacity of the per-thread deferred-removal buffer (the paper uses
+/// 32).
+pub const DEFAULT_REMOVAL_BUFFER: usize = 32;
+
+/// Strategy used by [`crate::SkipHash::range`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangePolicy {
+    /// Keep retrying the single-transaction fast path until it commits
+    /// (the paper's "Fast Only" variant).
+    FastOnly,
+    /// Always use the slow path coordinated by the RQC (the paper's
+    /// "Slow Only" variant).
+    SlowOnly,
+    /// Try the fast path `tries` times, then fall back to the slow path
+    /// (the paper's "Two-Path" variant, with `tries = 3`).
+    TwoPath {
+        /// Number of fast-path attempts before falling back.
+        tries: usize,
+    },
+}
+
+impl Default for RangePolicy {
+    fn default() -> Self {
+        RangePolicy::TwoPath {
+            tries: DEFAULT_FAST_PATH_TRIES,
+        }
+    }
+}
+
+/// How removals hand logically deleted nodes to the range query coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalPolicy {
+    /// Figure 4's `after_remove`: defer directly onto the most recent range
+    /// query's list inside the removing transaction.
+    Immediate,
+    /// §4.5's refinement: park deferred nodes in a per-thread buffer of the
+    /// given capacity and hand them over in batches, reducing contention on
+    /// the RQC.
+    Buffered(usize),
+}
+
+impl Default for RemovalPolicy {
+    fn default() -> Self {
+        RemovalPolicy::Buffered(DEFAULT_REMOVAL_BUFFER)
+    }
+}
+
+/// Complete configuration of a [`crate::SkipHash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of closed-addressing hash buckets.
+    pub bucket_count: usize,
+    /// Number of skip list levels.
+    pub max_level: usize,
+    /// Range query strategy.
+    pub range_policy: RangePolicy,
+    /// Deferred removal strategy.
+    pub removal_policy: RemovalPolicy,
+    /// Global clock used by the underlying STM.
+    pub clock: ClockKind,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            bucket_count: DEFAULT_BUCKET_COUNT,
+            max_level: DEFAULT_MAX_LEVEL,
+            range_policy: RangePolicy::default(),
+            removal_policy: RemovalPolicy::default(),
+            clock: ClockKind::Hardware,
+        }
+    }
+}
+
+impl Config {
+    /// The configuration used throughout the paper's evaluation section.
+    pub fn paper() -> Self {
+        Self {
+            bucket_count: PAPER_BUCKET_COUNT,
+            max_level: DEFAULT_MAX_LEVEL,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builder for [`crate::SkipHash`] instances.
+///
+/// ```
+/// use skiphash::{RangePolicy, SkipHashBuilder};
+///
+/// let map = SkipHashBuilder::new()
+///     .buckets(1024)
+///     .max_level(16)
+///     .range_policy(RangePolicy::FastOnly)
+///     .build::<u64, u64>();
+/// assert!(map.insert(1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SkipHashBuilder {
+    config: Config,
+}
+
+impl SkipHashBuilder {
+    /// Start from the library defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from the paper's evaluation configuration.
+    pub fn paper() -> Self {
+        Self {
+            config: Config::paper(),
+        }
+    }
+
+    /// Set the number of hash buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn buckets(mut self, count: usize) -> Self {
+        assert!(count > 0, "bucket count must be positive");
+        self.config.bucket_count = count;
+        self
+    }
+
+    /// Set the number of skip list levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero or greater than 63.
+    pub fn max_level(mut self, levels: usize) -> Self {
+        assert!(levels > 0 && levels < 64, "level count must be in 1..=63");
+        self.config.max_level = levels;
+        self
+    }
+
+    /// Set the range query strategy.
+    pub fn range_policy(mut self, policy: RangePolicy) -> Self {
+        self.config.range_policy = policy;
+        self
+    }
+
+    /// Set the deferred removal strategy.
+    pub fn removal_policy(mut self, policy: RemovalPolicy) -> Self {
+        self.config.removal_policy = policy;
+        self
+    }
+
+    /// Set the STM clock.
+    pub fn clock(mut self, clock: ClockKind) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Current configuration value.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Build a skip hash with this configuration.
+    pub fn build<K: crate::MapKey, V: crate::MapValue>(self) -> crate::SkipHash<K, V> {
+        crate::SkipHash::with_config(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = Config::default();
+        assert_eq!(c.max_level, 20);
+        assert_eq!(
+            c.range_policy,
+            RangePolicy::TwoPath {
+                tries: DEFAULT_FAST_PATH_TRIES
+            }
+        );
+        assert_eq!(c.removal_policy, RemovalPolicy::Buffered(32));
+    }
+
+    #[test]
+    fn paper_config_uses_prime_bucket_count() {
+        let c = Config::paper();
+        assert_eq!(c.bucket_count, 714_341);
+        // Verify primality the slow way; this runs once in tests.
+        let n = c.bucket_count as u64;
+        let mut d = 2;
+        while d * d <= n {
+            assert_ne!(n % d, 0, "{n} must be prime");
+            d += 1;
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_settings() {
+        let b = SkipHashBuilder::new()
+            .buckets(77)
+            .max_level(9)
+            .range_policy(RangePolicy::SlowOnly)
+            .removal_policy(RemovalPolicy::Immediate)
+            .clock(ClockKind::Counter);
+        let c = b.config();
+        assert_eq!(c.bucket_count, 77);
+        assert_eq!(c.max_level, 9);
+        assert_eq!(c.range_policy, RangePolicy::SlowOnly);
+        assert_eq!(c.removal_policy, RemovalPolicy::Immediate);
+        assert_eq!(c.clock, ClockKind::Counter);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count")]
+    fn zero_buckets_panics() {
+        let _ = SkipHashBuilder::new().buckets(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level count")]
+    fn zero_levels_panics() {
+        let _ = SkipHashBuilder::new().max_level(0);
+    }
+}

@@ -1,0 +1,461 @@
+//! The skip hash ordered map.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use skiphash_stm::{StatsSnapshot, Stm};
+
+use crate::config::{Config, RemovalPolicy, SkipHashBuilder};
+use crate::hashmap::TxHashMap;
+use crate::node::Node;
+use crate::rqc::{DeferralBuffer, Rqc};
+use crate::skiplist::SkipList;
+use crate::{MapKey, MapValue};
+
+/// Counters describing how range queries executed (fast path vs slow path).
+///
+/// `fast_path_aborts / fast_path_successes` reproduces the paper's Table 1
+/// metric ("aborts per successful range query").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeStats {
+    /// Fast-path attempts that committed.
+    pub fast_path_successes: u64,
+    /// Fast-path attempts that aborted.
+    pub fast_path_aborts: u64,
+    /// Range queries that completed on the slow path.
+    pub slow_path_completions: u64,
+}
+
+impl RangeStats {
+    /// Aborted fast-path attempts per successful fast-path range query;
+    /// `f64::INFINITY` when nothing succeeded but something aborted.
+    pub fn aborts_per_success(&self) -> f64 {
+        if self.fast_path_successes == 0 {
+            if self.fast_path_aborts == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.fast_path_aborts as f64 / self.fast_path_successes as f64
+        }
+    }
+}
+
+pub(crate) struct RangeCounters {
+    pub(crate) fast_success: AtomicU64,
+    pub(crate) fast_abort: AtomicU64,
+    pub(crate) slow_complete: AtomicU64,
+}
+
+impl RangeCounters {
+    fn new() -> Self {
+        Self {
+            fast_success: AtomicU64::new(0),
+            fast_abort: AtomicU64::new(0),
+            slow_complete: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent, linearizable ordered map composing a hash map and a doubly
+/// linked skip list behind software transactional memory.
+///
+/// All operations take `&self`; share the map across threads with
+/// [`std::sync::Arc`].
+///
+/// # Complexity
+///
+/// | operation | key present | key absent |
+/// |-----------|-------------|------------|
+/// | `get`     | `O(1)`      | `O(1)`     |
+/// | `insert`  | `O(1)` (fails) | `O(log n)` |
+/// | `remove`  | expected `O(1)` | `O(1)` (fails) |
+/// | `ceil`/`floor`/`succ`/`pred` | `O(1)` | `O(log n)` |
+/// | `range`   | `O(log n + k)` | — |
+///
+/// # Example
+///
+/// ```
+/// use skiphash::SkipHash;
+///
+/// let map: SkipHash<u64, u64> = SkipHash::new();
+/// for k in [4, 2, 9, 7] {
+///     map.insert(k, k * 100);
+/// }
+/// assert_eq!(map.succ(&4), Some(7));
+/// assert_eq!(map.range(&2, &7), vec![(2, 200), (4, 400), (7, 700)]);
+/// ```
+pub struct SkipHash<K: MapKey, V: MapValue> {
+    pub(crate) stm: Stm,
+    pub(crate) skiplist: SkipList<K, V>,
+    pub(crate) index: TxHashMap<K, Arc<Node<K, V>>>,
+    pub(crate) rqc: Rqc<K, V>,
+    pub(crate) buffer: DeferralBuffer<K, V>,
+    pub(crate) config: Config,
+    pub(crate) range_counters: RangeCounters,
+}
+
+impl<K: MapKey, V: MapValue> fmt::Debug for SkipHash<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipHash")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<K: MapKey, V: MapValue> Default for SkipHash<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: MapKey, V: MapValue> SkipHash<K, V> {
+    /// Create a skip hash with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// Start configuring a skip hash.
+    pub fn builder() -> SkipHashBuilder {
+        SkipHashBuilder::new()
+    }
+
+    /// Create a skip hash with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        let buffer_capacity = match config.removal_policy {
+            RemovalPolicy::Immediate => 1,
+            RemovalPolicy::Buffered(n) => n.max(1),
+        };
+        Self {
+            stm: Stm::with_clock(config.clock),
+            skiplist: SkipList::new(config.max_level),
+            index: TxHashMap::new(config.bucket_count),
+            rqc: Rqc::new(),
+            buffer: DeferralBuffer::new(buffer_capacity),
+            config,
+            range_counters: RangeCounters::new(),
+        }
+    }
+
+    /// The map's configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Statistics from the underlying STM (commits, aborts by cause).
+    pub fn stm_stats(&self) -> StatsSnapshot {
+        self.stm.stats()
+    }
+
+    /// Reset STM and range statistics (between benchmark trials).
+    pub fn reset_stats(&self) {
+        self.stm.reset_stats();
+        self.range_counters.fast_success.store(0, Ordering::Relaxed);
+        self.range_counters.fast_abort.store(0, Ordering::Relaxed);
+        self.range_counters.slow_complete.store(0, Ordering::Relaxed);
+    }
+
+    /// Range query execution statistics.
+    pub fn range_stats(&self) -> RangeStats {
+        RangeStats {
+            fast_path_successes: self.range_counters.fast_success.load(Ordering::Relaxed),
+            fast_path_aborts: self.range_counters.fast_abort.load(Ordering::Relaxed),
+            slow_path_completions: self.range_counters.slow_complete.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Look up `key`, returning a clone of its value.
+    ///
+    /// `O(1)`: a hash map lookup plus one value read.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.stm.run(|tx| match self.index.get(tx, key)? {
+            None => Ok(None),
+            Some(node) => Ok(Some(node.read_value(tx)?)),
+        })
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.stm.run(|tx| self.index.contains(tx, key))
+    }
+
+    /// Insert `key -> value` if `key` is absent.  Returns `false` (and leaves
+    /// the map unchanged) when the key is already present — the paper's
+    /// set-style `insert` semantics.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let height = {
+            let mut rng = rand::thread_rng();
+            self.skiplist.random_height(&mut rng)
+        };
+        self.stm.run(|tx| {
+            if self.index.contains(tx, &key)? {
+                return Ok(false);
+            }
+            let i_time = self.rqc.on_update(tx)?;
+            let node = self.skiplist.insert_after_logical_deletes(
+                tx,
+                key.clone(),
+                value.clone(),
+                height,
+                i_time,
+            )?;
+            self.index.insert(tx, key.clone(), node)?;
+            Ok(true)
+        })
+    }
+
+    /// Insert or overwrite, returning the previous value when the key was
+    /// present.  (A convenience beyond the paper's interface; an overwrite is
+    /// a value update on the existing node and costs `O(1)`.)
+    pub fn upsert(&self, key: K, value: V) -> Option<V> {
+        let height = {
+            let mut rng = rand::thread_rng();
+            self.skiplist.random_height(&mut rng)
+        };
+        self.stm.run(|tx| {
+            if let Some(node) = self.index.get(tx, &key)? {
+                let previous = node.read_value(tx)?;
+                node.value.write(tx, Some(value.clone()))?;
+                return Ok(Some(previous));
+            }
+            let i_time = self.rqc.on_update(tx)?;
+            let node = self.skiplist.insert_after_logical_deletes(
+                tx,
+                key.clone(),
+                value.clone(),
+                height,
+                i_time,
+            )?;
+            self.index.insert(tx, key.clone(), node)?;
+            Ok(None)
+        })
+    }
+
+    /// Remove `key`.  Returns `true` if the key was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.take(key).is_some()
+    }
+
+    /// Remove `key` and return its value if it was present.
+    pub fn take(&self, key: &K) -> Option<V> {
+        let (value, deferred) = self.stm.run(|tx| {
+            let node = match self.index.get(tx, key)? {
+                None => return Ok((None, None)),
+                Some(node) => node,
+            };
+            self.index.remove(tx, key)?;
+            let value = node.read_value(tx)?;
+            let r_time = self.rqc.on_update(tx)?;
+            node.r_time.write(tx, Some(r_time))?;
+            let deferred = self.after_remove(tx, node)?;
+            Ok((Some(value), deferred))
+        });
+        if let Some(node) = deferred {
+            self.buffer_deferred_node(node);
+        }
+        value
+    }
+
+    /// `after_remove` from Figure 4: either unstitch immediately (inside the
+    /// removing transaction) or arrange for deferral.  Under the buffered
+    /// policy the deferral itself happens after the transaction commits, via
+    /// the per-thread buffer, so this returns the node to be buffered.
+    fn after_remove(
+        &self,
+        tx: &mut skiphash_stm::Txn<'_>,
+        node: Arc<Node<K, V>>,
+    ) -> skiphash_stm::TxResult<Option<Arc<Node<K, V>>>> {
+        if self.rqc.can_unstitch_now(tx, &node)? {
+            self.skiplist.unstitch(tx, &node)?;
+            return Ok(None);
+        }
+        match self.config.removal_policy {
+            RemovalPolicy::Immediate => {
+                self.rqc.defer_to_latest(tx, node)?;
+                Ok(None)
+            }
+            RemovalPolicy::Buffered(_) => Ok(Some(node)),
+        }
+    }
+
+    /// Push a node whose unstitching must be deferred into the calling
+    /// thread's buffer, flushing the buffer to the RQC when it fills up.
+    fn buffer_deferred_node(&self, node: Arc<Node<K, V>>) {
+        if let Some(batch) = self.buffer.push(node) {
+            self.flush_deferred_batch(batch);
+        }
+    }
+
+    pub(crate) fn flush_deferred_batch(&self, batch: Vec<Arc<Node<K, V>>>) {
+        if batch.is_empty() {
+            return;
+        }
+        let accepted = self
+            .stm
+            .run(|tx| self.rqc.defer_batch_to_latest(tx, &batch));
+        if !accepted {
+            // No slow-path range query is in flight: unstitch the whole batch
+            // ourselves, one small transaction per node.
+            for node in &batch {
+                self.stm.run(|tx| self.skiplist.unstitch(tx, node));
+            }
+        }
+    }
+
+    /// Smallest key `>= key`, if any (`O(1)` when `key` itself is present).
+    pub fn ceil(&self, key: &K) -> Option<K> {
+        self.stm.run(|tx| {
+            if self.index.contains(tx, key)? {
+                return Ok(Some(key.clone()));
+            }
+            let node = self.skiplist.ceil_present(tx, key)?;
+            Ok(if node.is_tail() {
+                None
+            } else {
+                Some(node.key().clone())
+            })
+        })
+    }
+
+    /// Smallest key strictly `> key`, if any.
+    pub fn succ(&self, key: &K) -> Option<K> {
+        self.stm.run(|tx| {
+            let node = self.skiplist.succ_present(tx, key)?;
+            Ok(if node.is_tail() {
+                None
+            } else {
+                Some(node.key().clone())
+            })
+        })
+    }
+
+    /// Largest key `<= key`, if any (`O(1)` when `key` itself is present).
+    pub fn floor(&self, key: &K) -> Option<K> {
+        self.stm.run(|tx| {
+            if self.index.contains(tx, key)? {
+                return Ok(Some(key.clone()));
+            }
+            let node = self.skiplist.floor_present(tx, key)?;
+            Ok(if node.is_head() {
+                None
+            } else {
+                Some(node.key().clone())
+            })
+        })
+    }
+
+    /// Largest key strictly `< key`, if any.
+    pub fn pred(&self, key: &K) -> Option<K> {
+        self.stm.run(|tx| {
+            let node = self.skiplist.pred_present(tx, key)?;
+            Ok(if node.is_head() {
+                None
+            } else {
+                Some(node.key().clone())
+            })
+        })
+    }
+
+    /// Number of keys currently present.
+    ///
+    /// This walks the skip list (`O(n)`); the skip hash deliberately keeps no
+    /// shared size counter, which would serialize every update.
+    pub fn len(&self) -> usize {
+        self.stm.run(|tx| self.skiplist.count_present(tx))
+    }
+
+    /// True when the map holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.stm.run(|tx| {
+            let first = self.skiplist.first_present(tx)?;
+            Ok(first.is_tail())
+        })
+    }
+
+    /// Snapshot every `(key, value)` pair in ascending key order, as one
+    /// atomic (fast-path style) transaction.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        self.stm.run(|tx| self.skiplist.collect_present(tx))
+    }
+
+    /// Remove every key.  Runs as a sequence of individual removals (there is
+    /// no `O(1)` bulk clear in the paper's interface).
+    pub fn clear(&self) {
+        loop {
+            let keys: Vec<K> = self
+                .stm
+                .run(|tx| self.skiplist.collect_present(tx))
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            if keys.is_empty() {
+                return;
+            }
+            for key in keys {
+                self.take(&key);
+            }
+        }
+    }
+
+    /// Validate internal invariants (test/debug helper): the hash map and the
+    /// skip list agree on the set of present keys, and the skip list's
+    /// structure is well formed.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.stm.run(|tx| {
+            let structural = self.skiplist.check_invariants(tx)?;
+            if let Err(e) = structural {
+                return Ok(Err(e));
+            }
+            let mut from_list: Vec<K> = self
+                .skiplist
+                .collect_present(tx)?
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            let mut from_map: Vec<K> = self
+                .index
+                .keys(tx)?
+                .into_iter()
+                .collect();
+            from_list.sort();
+            from_map.sort();
+            if from_list != from_map {
+                return Ok(Err(format!(
+                    "hash map has {} keys but skip list has {} present keys",
+                    from_map.len(),
+                    from_list.len()
+                )));
+            }
+            Ok(Ok(()))
+        })
+    }
+}
+
+impl<K: MapKey, V: MapValue> FromIterator<(K, V)> for SkipHash<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let map = SkipHash::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: MapKey, V: MapValue> Extend<(K, V)> for SkipHash<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: MapKey, V: MapValue> Drop for SkipHash<K, V> {
+    fn drop(&mut self) {
+        // The doubly linked skip list is a large cycle of `Arc`s; sever every
+        // link so the nodes can actually be reclaimed.  `Drop` has exclusive
+        // access, so the non-transactional stores are safe.
+        self.skiplist.sever_all();
+    }
+}

@@ -1,0 +1,275 @@
+//! Skip list nodes.
+//!
+//! A node stores its key and tower height as plain immutable fields (the
+//! paper's `const` optimization: immutable data needs no STM
+//! instrumentation), and everything mutable — the value, the range-query
+//! timestamps, and the predecessor/successor links at every level — in
+//! [`TCell`]s.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use skiphash_stm::{TCell, TxResult, Txn};
+
+use crate::{MapKey, MapValue};
+
+/// A key position on the skip list axis: either a real key or one of the two
+/// sentinels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound<K> {
+    /// The head sentinel, smaller than every key.
+    NegInf,
+    /// A real key.
+    Key(K),
+    /// The tail sentinel, greater than every key.
+    PosInf,
+}
+
+impl<K: Ord> Bound<K> {
+    /// Compare this bound against a real key.
+    pub fn cmp_key(&self, key: &K) -> Ordering {
+        match self {
+            Bound::NegInf => Ordering::Less,
+            Bound::Key(k) => k.cmp(key),
+            Bound::PosInf => Ordering::Greater,
+        }
+    }
+
+    /// True if this bound is strictly less than `key`.
+    pub fn is_before(&self, key: &K) -> bool {
+        self.cmp_key(key) == Ordering::Less
+    }
+
+    /// True if this bound is less than or equal to `key`.
+    pub fn is_at_most(&self, key: &K) -> bool {
+        self.cmp_key(key) != Ordering::Greater
+    }
+}
+
+/// A link to a neighbouring node (absent only outside the sentinels).
+pub type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+/// Predecessor/successor links for one level of a node's tower.
+pub struct Level<K, V> {
+    /// Link to the previous node at this level.
+    pub pred: TCell<Link<K, V>>,
+    /// Link to the next node at this level.
+    pub succ: TCell<Link<K, V>>,
+}
+
+impl<K, V> Level<K, V> {
+    fn empty() -> Self {
+        Self {
+            pred: TCell::new(None),
+            succ: TCell::new(None),
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for Level<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Level { .. }")
+    }
+}
+
+/// A node of the doubly linked skip list.
+pub struct Node<K, V> {
+    /// The node's position on the key axis (immutable).
+    pub bound: Bound<K>,
+    /// Tower height (immutable, at least 1).
+    pub height: usize,
+    /// The associated value (`None` only for sentinels).
+    pub value: TCell<Option<V>>,
+    /// Version of the most recent slow-path range query that began before
+    /// this node was inserted.
+    pub i_time: TCell<u64>,
+    /// `None` while the node is logically present; set to the most recent
+    /// range query version when the node is logically deleted.
+    pub r_time: TCell<Option<u64>>,
+    /// Predecessor/successor links, one pair per level in `0..height`.
+    pub tower: Vec<Level<K, V>>,
+}
+
+impl<K, V> fmt::Debug for Node<K, V>
+where
+    K: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("bound", &self.bound)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+impl<K: MapKey, V: MapValue> Node<K, V> {
+    /// Create a regular node carrying `key`/`value` with the given tower
+    /// height and insertion time.
+    pub fn new(key: K, value: V, height: usize, i_time: u64) -> Arc<Self> {
+        assert!(height >= 1, "node height must be at least 1");
+        Arc::new(Self {
+            bound: Bound::Key(key),
+            height,
+            value: TCell::new(Some(value)),
+            i_time: TCell::new(i_time),
+            r_time: TCell::new(None),
+            tower: (0..height).map(|_| Level::empty()).collect(),
+        })
+    }
+
+    /// Create one of the two sentinel nodes with a full-height tower.
+    pub fn sentinel(bound: Bound<K>, height: usize) -> Arc<Self> {
+        debug_assert!(matches!(bound, Bound::NegInf | Bound::PosInf));
+        Arc::new(Self {
+            bound,
+            height,
+            value: TCell::new(None),
+            i_time: TCell::new(0),
+            r_time: TCell::new(None),
+            tower: (0..height).map(|_| Level::empty()).collect(),
+        })
+    }
+
+    /// True for the head or tail sentinel.
+    pub fn is_sentinel(&self) -> bool {
+        !matches!(self.bound, Bound::Key(_))
+    }
+
+    /// True for the tail sentinel.
+    pub fn is_tail(&self) -> bool {
+        matches!(self.bound, Bound::PosInf)
+    }
+
+    /// True for the head sentinel.
+    pub fn is_head(&self) -> bool {
+        matches!(self.bound, Bound::NegInf)
+    }
+
+    /// The node's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a sentinel.
+    pub fn key(&self) -> &K {
+        match &self.bound {
+            Bound::Key(k) => k,
+            _ => panic!("sentinel nodes have no key"),
+        }
+    }
+
+    /// Transactionally read the node's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a sentinel (sentinels never carry values).
+    pub fn read_value(&self, tx: &mut Txn<'_>) -> TxResult<V> {
+        Ok(self
+            .value
+            .read(tx)?
+            .expect("regular nodes always carry a value"))
+    }
+
+    /// Transactionally read the successor link at `level`.
+    pub fn succ(&self, tx: &mut Txn<'_>, level: usize) -> TxResult<Link<K, V>> {
+        self.tower[level].succ.read(tx)
+    }
+
+    /// Transactionally read the predecessor link at `level`.
+    pub fn pred(&self, tx: &mut Txn<'_>, level: usize) -> TxResult<Link<K, V>> {
+        self.tower[level].pred.read(tx)
+    }
+
+    /// Transactionally read the level-0 successor, which must exist (only the
+    /// tail sentinel has none, and callers never walk past the tail).
+    pub fn succ0(&self, tx: &mut Txn<'_>) -> TxResult<Arc<Node<K, V>>> {
+        Ok(self
+            .tower[0]
+            .succ
+            .read(tx)?
+            .expect("interior nodes always have a level-0 successor"))
+    }
+
+    /// True if the node is logically deleted (its `r_time` is set).
+    pub fn is_logically_deleted(&self, tx: &mut Txn<'_>) -> TxResult<bool> {
+        Ok(self.r_time.read(tx)?.is_some())
+    }
+
+    /// Sever all of this node's links (used only during teardown, outside of
+    /// any transaction, to break `Arc` cycles).
+    pub fn sever_links(&self) {
+        for level in &self.tower {
+            level.pred.store_atomic(None);
+            level.succ.store_atomic(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skiphash_stm::Stm;
+
+    #[test]
+    fn bound_ordering_relative_to_keys() {
+        let neg: Bound<u64> = Bound::NegInf;
+        let pos: Bound<u64> = Bound::PosInf;
+        let five = Bound::Key(5u64);
+        assert!(neg.is_before(&0));
+        assert!(!pos.is_before(&u64::MAX));
+        assert_eq!(five.cmp_key(&5), Ordering::Equal);
+        assert!(five.is_before(&6));
+        assert!(five.is_at_most(&5));
+        assert!(!five.is_at_most(&4));
+    }
+
+    #[test]
+    fn new_node_fields() {
+        let n = Node::<u64, String>::new(9, "x".into(), 3, 7);
+        assert_eq!(n.height, 3);
+        assert_eq!(n.tower.len(), 3);
+        assert_eq!(*n.key(), 9);
+        assert!(!n.is_sentinel());
+        assert_eq!(n.i_time.load_atomic(), 7);
+        assert_eq!(n.r_time.load_atomic(), None);
+    }
+
+    #[test]
+    fn sentinels_report_their_kind() {
+        let head = Node::<u64, u64>::sentinel(Bound::NegInf, 4);
+        let tail = Node::<u64, u64>::sentinel(Bound::PosInf, 4);
+        assert!(head.is_head() && head.is_sentinel() && !head.is_tail());
+        assert!(tail.is_tail() && tail.is_sentinel() && !tail.is_head());
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_key_panics() {
+        let head = Node::<u64, u64>::sentinel(Bound::NegInf, 1);
+        let _ = head.key();
+    }
+
+    #[test]
+    fn read_value_inside_transaction() {
+        let stm = Stm::new();
+        let n = Node::<u64, u64>::new(1, 10, 1, 0);
+        let v = stm.run(|tx| n.read_value(tx));
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn sever_links_clears_every_level() {
+        let a = Node::<u64, u64>::new(1, 1, 2, 0);
+        let b = Node::<u64, u64>::new(2, 2, 2, 0);
+        for l in 0..2 {
+            a.tower[l].succ.store_atomic(Some(Arc::clone(&b)));
+            b.tower[l].pred.store_atomic(Some(Arc::clone(&a)));
+        }
+        a.sever_links();
+        b.sever_links();
+        for l in 0..2 {
+            assert!(a.tower[l].succ.load_atomic().is_none());
+            assert!(b.tower[l].pred.load_atomic().is_none());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Linearizable range queries.
+//!
+//! Implements §4.4 of the paper: a **fast path** that runs the whole range
+//! query as a single `try_once` transaction, and a **slow path** that
+//! registers with the [range query coordinator](crate::rqc::Rqc), acquires a
+//! version number, and walks the range in many small transactions, pausing
+//! only on *safe nodes* — nodes guaranteed not to be unstitched before the
+//! query finishes.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use skiphash_stm::{TxResult, Txn};
+
+use crate::config::RangePolicy;
+use crate::map::SkipHash;
+use crate::node::Node;
+use crate::{MapKey, MapValue};
+
+impl<K: MapKey, V: MapValue> SkipHash<K, V> {
+    /// Collect every `(key, value)` pair with `low <= key <= high`, in
+    /// ascending key order, as of a single linearization point.
+    ///
+    /// The execution strategy (fast path, slow path, or fast-then-slow) is
+    /// chosen by the configured [`RangePolicy`].
+    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        match self.config.range_policy {
+            RangePolicy::FastOnly => loop {
+                if let Some(result) = self.range_fast(low, high) {
+                    return result;
+                }
+            },
+            RangePolicy::SlowOnly => self.range_slow(low, high),
+            RangePolicy::TwoPath { tries } => {
+                for _ in 0..tries.max(1) {
+                    if let Some(result) = self.range_fast(low, high) {
+                        return result;
+                    }
+                }
+                self.range_slow(low, high)
+            }
+        }
+    }
+
+    /// Perform exactly one fast-path attempt of a range query, returning
+    /// `None` if the single transaction aborted.
+    ///
+    /// This exposes the building block [`SkipHash::range`] uses so callers
+    /// (and the Table 1 benchmark) can implement custom fallback policies or
+    /// measure abort behaviour directly.
+    pub fn range_attempt_fast(&self, low: &K, high: &K) -> Option<Vec<(K, V)>> {
+        self.range_fast(low, high)
+    }
+
+    /// One fast-path attempt: the entire query as a single transaction that
+    /// does not retry on conflict.  Returns `None` if the attempt aborted.
+    pub(crate) fn range_fast(&self, low: &K, high: &K) -> Option<Vec<(K, V)>> {
+        let attempt = self.stm.try_once(|tx| {
+            let mut out = Vec::new();
+            let mut node = self.skiplist.ceil_raw(tx, low)?;
+            while !node.is_tail() && node.bound.is_at_most(high) {
+                if !node.is_logically_deleted(tx)? {
+                    out.push((node.key().clone(), node.read_value(tx)?));
+                }
+                node = node.succ0(tx)?;
+            }
+            Ok(out)
+        });
+        match attempt {
+            Ok(result) => {
+                self.range_counters
+                    .fast_success
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            Err(_) => {
+                self.range_counters
+                    .fast_abort
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The slow path: register with the RQC, then gather the range across
+    /// several transactions, pausing only on safe nodes.
+    pub(crate) fn range_slow(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        // Setup transaction: find the starting node and acquire a version
+        // number atomically, so the start node is a safe node for this query.
+        // This commit is the query's linearization point.
+        let (start, version) = self.stm.run(|tx| {
+            let start = self.skiplist.ceil_present(tx, low)?;
+            let version = self.rqc.on_range(tx)?;
+            Ok((start, version))
+        });
+
+        // Collection phase.  `collected` and `node` are plain locals captured
+        // by the closure (`no_local_undo`): when an attempt aborts, all pairs
+        // gathered so far and the current safe node are retained, so the next
+        // attempt resumes exactly where the previous one stopped.
+        let mut collected: Vec<(K, V)> = Vec::new();
+        let mut node: Arc<Node<K, V>> = start;
+        self.stm.run(|tx| {
+            while !node.is_tail() && node.bound.is_at_most(high) {
+                let value = node.read_value(tx)?;
+                let next = self.next_safe(tx, &node, version)?;
+                // Only update the locals once everything read for this node
+                // is known to be consistent, so an abort never records a
+                // partially processed node (and never records it twice).
+                collected.push((node.key().clone(), value));
+                node = next;
+            }
+            Ok(())
+        });
+
+        // Finalization: deregister from the RQC and unstitch any nodes whose
+        // removal was deferred onto this query.
+        let removals = self.stm.run(|tx| self.rqc.after_range(tx, version));
+        for removed in &removals {
+            self.stm.run(|tx| self.skiplist.unstitch(tx, removed));
+        }
+        self.range_counters
+            .slow_complete
+            .fetch_add(1, Ordering::Relaxed);
+        collected
+    }
+
+    /// Find the next safe node after `node` for a query with version
+    /// `version` by walking the bottom level.  The tail sentinel is always
+    /// safe, so this always terminates.
+    fn next_safe(
+        &self,
+        tx: &mut Txn<'_>,
+        node: &Arc<Node<K, V>>,
+        version: u64,
+    ) -> TxResult<Arc<Node<K, V>>> {
+        let mut candidate = node.succ0(tx)?;
+        while !Self::is_safe(tx, &candidate, version)? {
+            candidate = candidate.succ0(tx)?;
+        }
+        Ok(candidate)
+    }
+
+    /// §4.3's safety test: sentinels are always safe; a node is safe for a
+    /// query with version `version` iff it was inserted before the query
+    /// began and was not logically deleted before the query began.
+    fn is_safe(tx: &mut Txn<'_>, node: &Arc<Node<K, V>>, version: u64) -> TxResult<bool> {
+        if node.is_sentinel() {
+            return Ok(true);
+        }
+        if node.i_time.read(tx)? >= version {
+            return Ok(false);
+        }
+        Ok(match node.r_time.read(tx)? {
+            None => true,
+            Some(removed_at) => removed_at >= version,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RemovalPolicy, SkipHashBuilder};
+
+    fn map_with_policy(policy: RangePolicy) -> SkipHash<u64, u64> {
+        SkipHashBuilder::new()
+            .buckets(512)
+            .max_level(12)
+            .range_policy(policy)
+            .build()
+    }
+
+    fn fill(map: &SkipHash<u64, u64>, keys: impl IntoIterator<Item = u64>) {
+        for k in keys {
+            assert!(map.insert(k, k * 10));
+        }
+    }
+
+    #[test]
+    fn fast_path_range_collects_inclusive_bounds() {
+        let map = map_with_policy(RangePolicy::FastOnly);
+        fill(&map, [1, 3, 5, 7, 9]);
+        assert_eq!(map.range(&3, &7), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(map.range(&0, &100).len(), 5);
+        assert_eq!(map.range(&4, &4), vec![]);
+        let stats = map.range_stats();
+        assert!(stats.fast_path_successes >= 3);
+        assert_eq!(stats.slow_path_completions, 0);
+    }
+
+    #[test]
+    fn slow_path_range_matches_fast_path() {
+        let slow = map_with_policy(RangePolicy::SlowOnly);
+        fill(&slow, 0..200);
+        let result = slow.range(&10, &20);
+        let expected: Vec<(u64, u64)> = (10..=20).map(|k| (k, k * 10)).collect();
+        assert_eq!(result, expected);
+        assert_eq!(slow.range_stats().slow_path_completions, 1);
+        assert_eq!(slow.range_stats().fast_path_successes, 0);
+        // The RQC must be left empty after the query finishes.
+        assert_eq!(slow.rqc.active_queries(), 0);
+        assert!(slow.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn two_path_policy_uses_fast_path_when_uncontended() {
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        fill(&map, [2, 4, 6]);
+        assert_eq!(map.range(&1, &7), vec![(2, 20), (4, 40), (6, 60)]);
+        let stats = map.range_stats();
+        assert_eq!(stats.fast_path_successes, 1);
+        assert_eq!(stats.slow_path_completions, 0);
+    }
+
+    #[test]
+    fn empty_range_and_empty_map() {
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        assert_eq!(map.range(&0, &1000), vec![]);
+        fill(&map, [100]);
+        assert_eq!(map.range(&0, &99), vec![]);
+        assert_eq!(map.range(&101, &1000), vec![]);
+        assert_eq!(map.range(&100, &100), vec![(100, 1000)]);
+    }
+
+    #[test]
+    fn slow_path_skips_nodes_logically_deleted_before_it_started() {
+        let map = map_with_policy(RangePolicy::SlowOnly);
+        fill(&map, [1, 2, 3, 4, 5]);
+        assert!(map.remove(&3));
+        assert_eq!(
+            map.range(&1, &5),
+            vec![(1, 10), (2, 20), (4, 40), (5, 50)]
+        );
+        assert!(map.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn deferred_nodes_are_unstitched_after_the_query() {
+        // Use the Immediate removal policy so deferral goes straight to the
+        // RQC (no per-thread buffer), making the effect observable from a
+        // single thread.
+        let map: SkipHash<u64, u64> = SkipHashBuilder::new()
+            .buckets(256)
+            .range_policy(RangePolicy::SlowOnly)
+            .removal_policy(RemovalPolicy::Immediate)
+            .build();
+        fill(&map, 0..50);
+
+        // Register a slow-path query manually (setup phase only) by starting
+        // a range over everything, which finishes immediately...
+        // Instead, drive the scenario through the public API: a removal that
+        // happens while a query is registered must be deferred.  We simulate
+        // the interleaving by registering the query through the RQC directly.
+        let version = map.stm.run(|tx| map.rqc.on_range(tx));
+        assert!(map.remove(&25));
+        // The node is logically gone immediately...
+        assert_eq!(map.get(&25), None);
+        assert_eq!(map.len(), 49);
+        // ...but physically deferred while the query is active.
+        assert_eq!(map.rqc.active_queries(), 1);
+        let removals = map.stm.run(|tx| map.rqc.after_range(tx, version));
+        assert_eq!(removals.len(), 1, "removal must have been deferred");
+        for node in &removals {
+            map.stm.run(|tx| map.skiplist.unstitch(tx, node));
+        }
+        assert!(map.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reinserted_key_after_remove_is_visible_to_new_ranges() {
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        fill(&map, [1, 2, 3]);
+        assert!(map.remove(&2));
+        assert!(map.insert(2, 2222));
+        assert_eq!(map.range(&1, &3), vec![(1, 10), (2, 2222), (3, 30)]);
+        assert_eq!(map.get(&2), Some(2222));
+        assert!(map.check_invariants().is_ok());
+    }
+}

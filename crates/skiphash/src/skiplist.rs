@@ -1,0 +1,525 @@
+//! The doubly linked, transactional skip list half of the skip hash.
+//!
+//! Unlike lock-free skip lists, every structural change here happens inside
+//! an STM transaction, so the list can be doubly linked: each node knows its
+//! predecessor and successor at every level, which is what lets `remove`
+//! unstitch a node in `O(height)` without re-traversing from the head.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+use skiphash_stm::{TxResult, Txn};
+
+use crate::node::{Bound, Node};
+use crate::{MapKey, MapValue};
+
+/// A doubly linked skip list whose nodes map keys to values.
+///
+/// All methods must be called inside a transaction; the enclosing
+/// [`crate::SkipHash`] drives them.
+pub struct SkipList<K, V> {
+    head: Arc<Node<K, V>>,
+    tail: Arc<Node<K, V>>,
+    max_level: usize,
+}
+
+impl<K, V> fmt::Debug for SkipList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList")
+            .field("max_level", &self.max_level)
+            .finish()
+    }
+}
+
+impl<K: MapKey, V: MapValue> SkipList<K, V> {
+    /// Create an empty skip list with `max_level` levels; the sentinels are
+    /// stitched together at every level.
+    pub fn new(max_level: usize) -> Self {
+        assert!(max_level >= 1, "skip list needs at least one level");
+        let head = Node::sentinel(Bound::NegInf, max_level);
+        let tail = Node::sentinel(Bound::PosInf, max_level);
+        for level in 0..max_level {
+            head.tower[level].succ.store_atomic(Some(Arc::clone(&tail)));
+            tail.tower[level].pred.store_atomic(Some(Arc::clone(&head)));
+        }
+        Self {
+            head,
+            tail,
+            max_level,
+        }
+    }
+
+    /// The head sentinel.
+    pub fn head(&self) -> &Arc<Node<K, V>> {
+        &self.head
+    }
+
+    /// The tail sentinel.
+    pub fn tail(&self) -> &Arc<Node<K, V>> {
+        &self.tail
+    }
+
+    /// Number of levels.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Sample a tower height from the geometric distribution with p = 1/2,
+    /// capped at the list's level count.
+    pub fn random_height<R: Rng>(&self, rng: &mut R) -> usize {
+        let mut height = 1;
+        while height < self.max_level && rng.gen::<bool>() {
+            height += 1;
+        }
+        height
+    }
+
+    /// Find, at every level, the last node whose key is strictly less than
+    /// `key` (the "predecessor") and its successor at that level.
+    ///
+    /// Returned vectors are indexed by level and have `max_level` entries.
+    pub fn find_position(
+        &self,
+        tx: &mut Txn<'_>,
+        key: &K,
+    ) -> TxResult<(Vec<Arc<Node<K, V>>>, Vec<Arc<Node<K, V>>>)> {
+        let mut preds = Vec::with_capacity(self.max_level);
+        let mut succs = Vec::with_capacity(self.max_level);
+        preds.resize(self.max_level, Arc::clone(&self.head));
+        succs.resize(self.max_level, Arc::clone(&self.tail));
+
+        let mut pred = Arc::clone(&self.head);
+        for level in (0..self.max_level).rev() {
+            let mut curr = pred.tower[level]
+                .succ
+                .read(tx)?
+                .expect("levels are always terminated by the tail sentinel");
+            while curr.bound.is_before(key) {
+                pred = Arc::clone(&curr);
+                curr = curr.tower[level]
+                    .succ
+                    .read(tx)?
+                    .expect("levels are always terminated by the tail sentinel");
+            }
+            preds[level] = Arc::clone(&pred);
+            succs[level] = curr;
+        }
+        Ok((preds, succs))
+    }
+
+    /// First node (logically present *or* deleted) whose key is `>= key`,
+    /// possibly the tail sentinel.
+    pub fn ceil_raw(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+        let (_, succs) = self.find_position(tx, key)?;
+        Ok(Arc::clone(&succs[0]))
+    }
+
+    /// First *logically present* node whose key is `>= key`, possibly the
+    /// tail sentinel.
+    pub fn ceil_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+        let mut node = self.ceil_raw(tx, key)?;
+        while !node.is_tail() && node.is_logically_deleted(tx)? {
+            node = node.succ0(tx)?;
+        }
+        Ok(node)
+    }
+
+    /// First logically present node whose key is strictly `> key`, possibly
+    /// the tail sentinel.
+    pub fn succ_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+        let mut node = self.ceil_raw(tx, key)?;
+        while !node.is_tail()
+            && (node.is_logically_deleted(tx)? || node.bound.cmp_key(key) == Ordering::Equal)
+        {
+            node = node.succ0(tx)?;
+        }
+        Ok(node)
+    }
+
+    /// Last logically present node whose key is `<= key`, possibly the head
+    /// sentinel.  Uses the predecessor links (this is where double linking
+    /// pays off for `floor`/`pred` point queries).
+    pub fn floor_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+        // A logically present node with this exact key may sit *after*
+        // logically deleted nodes with the same key, so resolve equality via
+        // `ceil_present` before falling back to the strict predecessor.
+        let node = self.ceil_present(tx, key)?;
+        if !node.is_tail() && node.bound.cmp_key(key) == Ordering::Equal {
+            return Ok(node);
+        }
+        self.pred_present(tx, key)
+    }
+
+    /// Last logically present node whose key is strictly `< key`, possibly
+    /// the head sentinel.
+    pub fn pred_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+        let raw = self.ceil_raw(tx, key)?;
+        let mut node = raw.tower[0]
+            .pred
+            .read(tx)?
+            .expect("interior nodes always have a level-0 predecessor");
+        while !node.is_head() && node.is_logically_deleted(tx)? {
+            node = node.tower[0]
+                .pred
+                .read(tx)?
+                .expect("interior nodes always have a level-0 predecessor");
+        }
+        Ok(node)
+    }
+
+    /// First logically present node in the list (possibly the tail sentinel).
+    pub fn first_present(&self, tx: &mut Txn<'_>) -> TxResult<Arc<Node<K, V>>> {
+        let mut node = self.head.succ0(tx)?;
+        while !node.is_tail() && node.is_logically_deleted(tx)? {
+            node = node.succ0(tx)?;
+        }
+        Ok(node)
+    }
+
+    /// Insert a new node for `key`.
+    ///
+    /// The caller (the skip hash) guarantees that no *logically present* node
+    /// with this key exists; however, logically deleted nodes with the same
+    /// key may still be physically linked, in which case the new node is
+    /// inserted after all of them (the paper's
+    /// `insert_after_logical_deletes`).
+    pub fn insert_after_logical_deletes(
+        &self,
+        tx: &mut Txn<'_>,
+        key: K,
+        value: V,
+        height: usize,
+        i_time: u64,
+    ) -> TxResult<Arc<Node<K, V>>> {
+        debug_assert!(height >= 1 && height <= self.max_level);
+        let (mut preds, mut succs) = self.find_position(tx, &key)?;
+
+        // Advance past any logically deleted nodes that share the key so the
+        // new node lands after them.
+        for level in 0..height {
+            loop {
+                let succ = Arc::clone(&succs[level]);
+                if succ.is_tail() || succ.bound.cmp_key(&key) != Ordering::Equal {
+                    break;
+                }
+                let next = succ.tower[level]
+                    .succ
+                    .read(tx)?
+                    .expect("levels are always terminated by the tail sentinel");
+                preds[level] = succ;
+                succs[level] = next;
+            }
+        }
+
+        let node = Node::new(key, value, height, i_time);
+        for level in 0..height {
+            node.tower[level]
+                .pred
+                .write(tx, Some(Arc::clone(&preds[level])))?;
+            node.tower[level]
+                .succ
+                .write(tx, Some(Arc::clone(&succs[level])))?;
+        }
+        for level in 0..height {
+            preds[level].tower[level]
+                .succ
+                .write(tx, Some(Arc::clone(&node)))?;
+            succs[level].tower[level]
+                .pred
+                .write(tx, Some(Arc::clone(&node)))?;
+        }
+        Ok(node)
+    }
+
+    /// Physically unlink `node` from every level.
+    ///
+    /// Thanks to the predecessor links this is `O(height)`: no traversal from
+    /// the head is required.  The node's own links are left intact so that a
+    /// slow-path range query paused on it can still move forward.
+    pub fn unstitch(&self, tx: &mut Txn<'_>, node: &Arc<Node<K, V>>) -> TxResult<()> {
+        debug_assert!(!node.is_sentinel(), "sentinels are never unstitched");
+        for level in 0..node.height {
+            let pred = node.tower[level]
+                .pred
+                .read(tx)?
+                .expect("linked nodes always have predecessors");
+            let succ = node.tower[level]
+                .succ
+                .read(tx)?
+                .expect("linked nodes always have successors");
+            pred.tower[level].succ.write(tx, Some(Arc::clone(&succ)))?;
+            succ.tower[level].pred.write(tx, Some(pred))?;
+        }
+        Ok(())
+    }
+
+    /// Count logically present nodes by walking level 0.
+    pub fn count_present(&self, tx: &mut Txn<'_>) -> TxResult<usize> {
+        let mut count = 0;
+        let mut node = self.head.succ0(tx)?;
+        while !node.is_tail() {
+            if !node.is_logically_deleted(tx)? {
+                count += 1;
+            }
+            node = node.succ0(tx)?;
+        }
+        Ok(count)
+    }
+
+    /// Collect every logically present `(key, value)` pair in order by
+    /// walking level 0.
+    pub fn collect_present(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        let mut node = self.head.succ0(tx)?;
+        while !node.is_tail() {
+            if !node.is_logically_deleted(tx)? {
+                out.push((node.key().clone(), node.read_value(tx)?));
+            }
+            node = node.succ0(tx)?;
+        }
+        Ok(out)
+    }
+
+    /// Validate the structural invariants of the list (test helper):
+    ///
+    /// 1. keys are non-decreasing along level 0 (duplicates may appear only
+    ///    when logically deleted nodes linger);
+    /// 2. `pred`/`succ` links are mutually consistent at every level;
+    /// 3. every node linked at level `l > 0` is also linked at level `l - 1`.
+    pub fn check_invariants(&self, tx: &mut Txn<'_>) -> TxResult<Result<(), String>> {
+        // Level 0 ordering + doubly-linked consistency on all levels.
+        for level in 0..self.max_level {
+            let mut prev = Arc::clone(&self.head);
+            let mut curr = prev.tower[level]
+                .succ
+                .read(tx)?
+                .expect("levels are always terminated by the tail sentinel");
+            loop {
+                let back = curr.tower[level]
+                    .pred
+                    .read(tx)?
+                    .expect("linked nodes always have predecessors");
+                if !Arc::ptr_eq(&back, &prev) {
+                    return Ok(Err(format!("level {level}: pred link mismatch")));
+                }
+                if !prev.is_head() && !curr.is_tail() {
+                    let ordering = match (&prev.bound, &curr.bound) {
+                        (Bound::Key(a), Bound::Key(b)) => a.cmp(b),
+                        _ => Ordering::Less,
+                    };
+                    if ordering == Ordering::Greater {
+                        return Ok(Err(format!("level {level}: keys out of order")));
+                    }
+                }
+                if curr.is_tail() {
+                    break;
+                }
+                prev = Arc::clone(&curr);
+                curr = curr.tower[level]
+                    .succ
+                    .read(tx)?
+                    .expect("levels are always terminated by the tail sentinel");
+            }
+        }
+
+        // Each node reachable at level l is reachable at level 0.
+        let mut level0 = Vec::new();
+        let mut node = self.head.succ0(tx)?;
+        while !node.is_tail() {
+            level0.push(Arc::clone(&node));
+            node = node.succ0(tx)?;
+        }
+        for level in 1..self.max_level {
+            let mut node = self.head.tower[level]
+                .succ
+                .read(tx)?
+                .expect("levels are always terminated by the tail sentinel");
+            while !node.is_tail() {
+                if !level0.iter().any(|n| Arc::ptr_eq(n, &node)) {
+                    return Ok(Err(format!(
+                        "level {level}: node missing from level 0"
+                    )));
+                }
+                node = node.tower[level]
+                    .succ
+                    .read(tx)?
+                    .expect("levels are always terminated by the tail sentinel");
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    /// Sever every link in the list (teardown helper used by
+    /// [`crate::SkipHash`]'s `Drop` to break reference cycles).
+    pub fn sever_all(&self) {
+        let mut current = Arc::clone(&self.head);
+        loop {
+            let next = current.tower[0].succ.load_atomic();
+            current.sever_links();
+            match next {
+                Some(n) => current = n,
+                None => break,
+            }
+        }
+        self.tail.sever_links();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skiphash_stm::Stm;
+
+    fn list_with(stm: &Stm, keys: &[u64]) -> SkipList<u64, u64> {
+        let list = SkipList::new(8);
+        let mut rng = rand::thread_rng();
+        for &k in keys {
+            let h = list.random_height(&mut rng);
+            stm.run(|tx| {
+                list.insert_after_logical_deletes(tx, k, k * 10, h, 0)
+                    .map(|_| ())
+            });
+        }
+        list
+    }
+
+    #[test]
+    fn empty_list_has_stitched_sentinels() {
+        let stm = Stm::new();
+        let list: SkipList<u64, u64> = SkipList::new(4);
+        let ok = stm.run(|tx| list.check_invariants(tx));
+        assert_eq!(ok, Ok(()));
+        let count = stm.run(|tx| list.count_present(tx));
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn inserted_keys_come_back_in_order() {
+        let stm = Stm::new();
+        let list = list_with(&stm, &[5, 1, 9, 3, 7]);
+        let pairs = stm.run(|tx| list.collect_present(tx));
+        assert_eq!(
+            pairs,
+            vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+        );
+        assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
+    }
+
+    #[test]
+    fn ceil_and_succ_skip_correctly() {
+        let stm = Stm::new();
+        let list = list_with(&stm, &[10, 20, 30]);
+        let ceil20 = stm.run(|tx| {
+            let n = list.ceil_present(tx, &20)?;
+            Ok(*n.key())
+        });
+        assert_eq!(ceil20, 20);
+        let succ20 = stm.run(|tx| {
+            let n = list.succ_present(tx, &20)?;
+            Ok(*n.key())
+        });
+        assert_eq!(succ20, 30);
+        let ceil15 = stm.run(|tx| {
+            let n = list.ceil_present(tx, &15)?;
+            Ok(*n.key())
+        });
+        assert_eq!(ceil15, 20);
+        let past_end = stm.run(|tx| Ok(list.ceil_present(tx, &31)?.is_tail()));
+        assert!(past_end);
+    }
+
+    #[test]
+    fn floor_and_pred_walk_backwards() {
+        let stm = Stm::new();
+        let list = list_with(&stm, &[10, 20, 30]);
+        let floor25 = stm.run(|tx| {
+            let n = list.floor_present(tx, &25)?;
+            Ok(*n.key())
+        });
+        assert_eq!(floor25, 20);
+        let floor20 = stm.run(|tx| {
+            let n = list.floor_present(tx, &20)?;
+            Ok(*n.key())
+        });
+        assert_eq!(floor20, 20);
+        let pred20 = stm.run(|tx| {
+            let n = list.pred_present(tx, &20)?;
+            Ok(*n.key())
+        });
+        assert_eq!(pred20, 10);
+        let before_all = stm.run(|tx| Ok(list.pred_present(tx, &10)?.is_head()));
+        assert!(before_all);
+    }
+
+    #[test]
+    fn unstitch_removes_from_every_level() {
+        let stm = Stm::new();
+        let list: SkipList<u64, u64> = SkipList::new(8);
+        let node = stm.run(|tx| list.insert_after_logical_deletes(tx, 42, 420, 8, 0));
+        assert_eq!(stm.run(|tx| list.count_present(tx)), 1);
+        stm.run(|tx| list.unstitch(tx, &node));
+        assert_eq!(stm.run(|tx| list.count_present(tx)), 0);
+        assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
+        list.sever_all();
+    }
+
+    #[test]
+    fn logically_deleted_nodes_are_skipped_by_present_queries() {
+        let stm = Stm::new();
+        let list = list_with(&stm, &[10, 20, 30]);
+        // Logically delete 20 without unstitching it.
+        stm.run(|tx| {
+            let n = list.ceil_raw(tx, &20)?;
+            n.r_time.write(tx, Some(1))
+        });
+        let ceil20 = stm.run(|tx| {
+            let n = list.ceil_present(tx, &20)?;
+            Ok(*n.key())
+        });
+        assert_eq!(ceil20, 30, "deleted node must be skipped");
+        assert_eq!(stm.run(|tx| list.count_present(tx)), 2);
+        let pairs = stm.run(|tx| list.collect_present(tx));
+        assert_eq!(pairs, vec![(10, 100), (30, 300)]);
+    }
+
+    #[test]
+    fn insert_after_logical_deletes_lands_after_duplicates() {
+        let stm = Stm::new();
+        let list: SkipList<u64, u64> = SkipList::new(8);
+        let old = stm.run(|tx| list.insert_after_logical_deletes(tx, 5, 50, 3, 0));
+        // Logically delete the old node, then insert a fresh node for key 5.
+        stm.run(|tx| old.r_time.write(tx, Some(1)));
+        let fresh = stm.run(|tx| list.insert_after_logical_deletes(tx, 5, 55, 2, 1));
+        // Level-0 order: old (deleted) comes before fresh.
+        let order = stm.run(|tx| {
+            let first = list.head().succ0(tx)?;
+            let second = first.succ0(tx)?;
+            Ok((Arc::ptr_eq(&first, &old), Arc::ptr_eq(&second, &fresh)))
+        });
+        assert_eq!(order, (true, true));
+        // Present view only sees the fresh value.
+        let pairs = stm.run(|tx| list.collect_present(tx));
+        assert_eq!(pairs, vec![(5, 55)]);
+        assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
+    }
+
+    #[test]
+    fn random_height_is_within_bounds() {
+        let list: SkipList<u64, u64> = SkipList::new(6);
+        let mut rng = rand::thread_rng();
+        for _ in 0..1000 {
+            let h = list.random_height(&mut rng);
+            assert!((1..=6).contains(&h));
+        }
+    }
+
+    #[test]
+    fn sever_all_breaks_cycles() {
+        let stm = Stm::new();
+        let list = list_with(&stm, &[1, 2, 3, 4, 5]);
+        list.sever_all();
+        assert!(list.head().tower[0].succ.load_atomic().is_none());
+    }
+}

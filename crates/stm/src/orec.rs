@@ -1,0 +1,173 @@
+//! Ownership records.
+//!
+//! An orec is a single 64-bit word co-located with the data it protects (the
+//! paper's design principle: "orecs should be co-located with the objects
+//! they protect, not kept in a separate table").  The word encodes either
+//!
+//! * an **unlocked** state holding the version (commit timestamp) of the last
+//!   transaction that wrote the location, or
+//! * a **locked** state holding the id of the transaction attempt that
+//!   currently owns the location.
+//!
+//! The low bit is the lock flag; the remaining 63 bits hold the version or
+//! the owner id.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decoded view of an orec word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrecState {
+    /// Unlocked; the payload is the version of the last committed write.
+    Unlocked {
+        /// Commit timestamp of the last writer.
+        version: u64,
+    },
+    /// Locked; the payload is the owning transaction attempt's id.
+    Locked {
+        /// Owner transaction attempt id.
+        owner: u64,
+    },
+}
+
+/// Raw orec word plus encode/decode helpers.
+pub struct Orec {
+    word: AtomicU64,
+}
+
+impl fmt::Debug for Orec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Orec").field("state", &self.state()).finish()
+    }
+}
+
+const LOCK_BIT: u64 = 1;
+
+#[inline]
+fn encode_version(version: u64) -> u64 {
+    debug_assert!(version < (1 << 63), "version overflow");
+    version << 1
+}
+
+#[inline]
+fn encode_owner(owner: u64) -> u64 {
+    debug_assert!(owner < (1 << 63), "owner id overflow");
+    (owner << 1) | LOCK_BIT
+}
+
+#[inline]
+fn decode(word: u64) -> OrecState {
+    if word & LOCK_BIT == LOCK_BIT {
+        OrecState::Locked { owner: word >> 1 }
+    } else {
+        OrecState::Unlocked { version: word >> 1 }
+    }
+}
+
+impl Orec {
+    /// Create an orec recording an initial version.
+    pub fn new(version: u64) -> Self {
+        Self {
+            word: AtomicU64::new(encode_version(version)),
+        }
+    }
+
+    /// Load and decode the orec.
+    #[inline]
+    pub fn state(&self) -> OrecState {
+        decode(self.word.load(Ordering::Acquire))
+    }
+
+    /// Load the raw word (used by read-set validation, which only needs to
+    /// compare for equality).
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Decode a previously sampled raw word.
+    #[inline]
+    pub fn decode_raw(word: u64) -> OrecState {
+        decode(word)
+    }
+
+    /// Returns true if the raw word encodes a lock held by `owner`.
+    #[inline]
+    pub fn raw_is_owned_by(word: u64, owner: u64) -> bool {
+        word == encode_owner(owner)
+    }
+
+    /// Attempt to acquire the orec for `owner`, expecting it to currently be
+    /// unlocked at exactly `expected_version`.
+    ///
+    /// Returns `true` on success.  On failure the orec was either locked by
+    /// another transaction or its version changed, both of which the caller
+    /// must treat as a write conflict.
+    #[inline]
+    pub fn try_acquire(&self, expected_version: u64, owner: u64) -> bool {
+        self.word
+            .compare_exchange(
+                encode_version(expected_version),
+                encode_owner(owner),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Release the orec, installing `version` as the new committed version.
+    ///
+    /// Only the owner may call this (enforced by the transaction machinery).
+    #[inline]
+    pub fn release(&self, version: u64) {
+        self.word.store(encode_version(version), Ordering::Release);
+    }
+
+    /// True if the orec is currently locked by `owner`.
+    #[inline]
+    pub fn is_owned_by(&self, owner: u64) -> bool {
+        self.word.load(Ordering::Acquire) == encode_owner(owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orec_is_unlocked_at_version() {
+        let o = Orec::new(7);
+        assert_eq!(o.state(), OrecState::Unlocked { version: 7 });
+    }
+
+    #[test]
+    fn acquire_succeeds_only_at_expected_version() {
+        let o = Orec::new(3);
+        assert!(!o.try_acquire(2, 99), "wrong version must fail");
+        assert!(o.try_acquire(3, 99));
+        assert_eq!(o.state(), OrecState::Locked { owner: 99 });
+        assert!(o.is_owned_by(99));
+        assert!(!o.is_owned_by(98));
+        // A second acquire while locked must fail.
+        assert!(!o.try_acquire(3, 100));
+    }
+
+    #[test]
+    fn release_installs_new_version() {
+        let o = Orec::new(0);
+        assert!(o.try_acquire(0, 5));
+        o.release(42);
+        assert_eq!(o.state(), OrecState::Unlocked { version: 42 });
+        assert!(!o.is_owned_by(5));
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let o = Orec::new(10);
+        let raw = o.raw();
+        assert_eq!(Orec::decode_raw(raw), OrecState::Unlocked { version: 10 });
+        assert!(o.try_acquire(10, 77));
+        assert!(Orec::raw_is_owned_by(o.raw(), 77));
+        assert!(!Orec::raw_is_owned_by(o.raw(), 78));
+    }
+}

@@ -1,0 +1,188 @@
+//! Transaction statistics.
+//!
+//! The paper's Table 1 reports aborts per successful range query, and §5.2
+//! attributes slow-path overheads to specific conflict sources.  To regenerate
+//! those numbers the STM keeps cheap, always-on counters of commits and
+//! aborts, broken down by abort cause.  Counters are updated with relaxed
+//! atomics; they are for reporting only and never synchronize anything.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::TxAbort;
+
+/// Shared, concurrently updated statistics for one [`crate::Stm`] instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    read_only_commits: AtomicU64,
+    aborts_read_conflict: AtomicU64,
+    aborts_write_conflict: AtomicU64,
+    aborts_validation: AtomicU64,
+    aborts_explicit: AtomicU64,
+}
+
+impl StmStats {
+    /// Create zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_commit(&self, read_only: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_abort(&self, cause: TxAbort) {
+        let counter = match cause {
+            TxAbort::ReadConflict => &self.aborts_read_conflict,
+            TxAbort::WriteConflict => &self.aborts_write_conflict,
+            TxAbort::ValidationFailed => &self.aborts_validation,
+            TxAbort::Explicit => &self.aborts_explicit,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            aborts_read_conflict: self.aborts_read_conflict.load(Ordering::Relaxed),
+            aborts_write_conflict: self.aborts_write_conflict.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (used between benchmark trials).
+    pub fn reset(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        self.read_only_commits.store(0, Ordering::Relaxed);
+        self.aborts_read_conflict.store(0, Ordering::Relaxed);
+        self.aborts_write_conflict.store(0, Ordering::Relaxed);
+        self.aborts_validation.store(0, Ordering::Relaxed);
+        self.aborts_explicit.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`StmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of committed transactions.
+    pub commits: u64,
+    /// Number of committed transactions that performed no writes.
+    pub read_only_commits: u64,
+    /// Aborts caused by reading a locked or too-new location.
+    pub aborts_read_conflict: u64,
+    /// Aborts caused by failing to acquire an orec for writing.
+    pub aborts_write_conflict: u64,
+    /// Aborts caused by commit-time read-set validation.
+    pub aborts_validation: u64,
+    /// Aborts requested explicitly by the transaction body.
+    pub aborts_explicit: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_read_conflict
+            + self.aborts_write_conflict
+            + self.aborts_validation
+            + self.aborts_explicit
+    }
+
+    /// Aborts per commit; `0.0` when no transaction has committed.
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.commits as f64
+        }
+    }
+
+    /// Pointwise difference `self - earlier`, for per-trial deltas.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            read_only_commits: self.read_only_commits - earlier.read_only_commits,
+            aborts_read_conflict: self.aborts_read_conflict - earlier.aborts_read_conflict,
+            aborts_write_conflict: self.aborts_write_conflict - earlier.aborts_write_conflict,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} (ro={}) aborts={} [read={} write={} validation={} explicit={}]",
+            self.commits,
+            self.read_only_commits,
+            self.total_aborts(),
+            self.aborts_read_conflict,
+            self.aborts_write_conflict,
+            self.aborts_validation,
+            self.aborts_explicit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_abort_counters() {
+        let stats = StmStats::new();
+        stats.record_commit(true);
+        stats.record_commit(false);
+        stats.record_abort(TxAbort::ReadConflict);
+        stats.record_abort(TxAbort::WriteConflict);
+        stats.record_abort(TxAbort::WriteConflict);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.read_only_commits, 1);
+        assert_eq!(snap.aborts_read_conflict, 1);
+        assert_eq!(snap.aborts_write_conflict, 2);
+        assert_eq!(snap.total_aborts(), 3);
+        assert!((snap.abort_rate() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = StmStats::new();
+        stats.record_commit(false);
+        stats.record_abort(TxAbort::Explicit);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let stats = StmStats::new();
+        stats.record_commit(false);
+        let first = stats.snapshot();
+        stats.record_commit(false);
+        stats.record_abort(TxAbort::ValidationFailed);
+        let second = stats.snapshot();
+        let delta = second.since(&first);
+        assert_eq!(delta.commits, 1);
+        assert_eq!(delta.aborts_validation, 1);
+    }
+
+    #[test]
+    fn abort_rate_of_empty_stats_is_zero() {
+        assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = StmStats::new().snapshot().to_string();
+        assert!(s.contains("commits=0"));
+    }
+}

@@ -1,0 +1,527 @@
+//! Transactions and the STM runtime.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::{self as epoch, Guard, Owned};
+use crossbeam_utils::Backoff;
+
+use crate::clock::{ClockKind, ClockSource};
+use crate::error::{SingleAttemptFailed, TxAbort, TxResult};
+use crate::orec::{Orec, OrecState};
+use crate::stats::{StatsSnapshot, StmStats};
+use crate::tcell::{CellWrite, TCell, WriteBack};
+
+/// Builder for [`Stm`] instances.
+///
+/// ```
+/// use skiphash_stm::{ClockKind, StmBuilder};
+///
+/// let stm = StmBuilder::new().clock(ClockKind::Counter).build();
+/// assert_eq!(stm.clock_name(), "gv1-counter");
+/// ```
+#[derive(Debug)]
+pub struct StmBuilder {
+    clock: ClockKind,
+}
+
+impl Default for StmBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StmBuilder {
+    /// Start building with the default (hardware) clock.
+    pub fn new() -> Self {
+        Self {
+            clock: ClockKind::Hardware,
+        }
+    }
+
+    /// Select the global version clock implementation.
+    pub fn clock(mut self, kind: ClockKind) -> Self {
+        self.clock = kind;
+        self
+    }
+
+    /// Construct the [`Stm`].
+    pub fn build(self) -> Stm {
+        Stm {
+            clock: self.clock.build(),
+            clock_kind: self.clock,
+            stats: StmStats::new(),
+            attempt_ids: AtomicU64::new(1),
+        }
+    }
+}
+
+/// A software transactional memory runtime.
+///
+/// All [`TCell`]s accessed by transactions of one logical data structure
+/// should be managed by the same `Stm` instance (they share its clock and
+/// statistics).  The runtime itself is stateless apart from the clock, so it
+/// is cheap and `Sync`; a data structure typically embeds one.
+pub struct Stm {
+    clock: Box<dyn ClockSource>,
+    clock_kind: ClockKind,
+    stats: StmStats,
+    attempt_ids: AtomicU64,
+}
+
+impl fmt::Debug for Stm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("clock", &self.clock.name())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stm {
+    /// Create an STM runtime with the default hardware clock.
+    pub fn new() -> Self {
+        StmBuilder::new().build()
+    }
+
+    /// Create an STM runtime with the given clock.
+    pub fn with_clock(kind: ClockKind) -> Self {
+        StmBuilder::new().clock(kind).build()
+    }
+
+    /// Name of the configured clock source.
+    pub fn clock_name(&self) -> &'static str {
+        self.clock.name()
+    }
+
+    /// The configured clock kind.
+    pub fn clock_kind(&self) -> ClockKind {
+        self.clock_kind
+    }
+
+    /// Statistics accumulated by this runtime.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset the statistics counters (e.g. between benchmark trials).
+    pub fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    fn begin(&self) -> Txn<'_> {
+        let id = self.attempt_ids.fetch_add(1, Ordering::Relaxed);
+        Txn {
+            stm: self,
+            id,
+            rv: self.clock.now(),
+            guard: epoch::pin(),
+            read_set: Vec::new(),
+            writes: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Run `body` as a transaction, retrying until it commits, and return its
+    /// result.
+    ///
+    /// The body is re-executed from the top after every abort; because it is
+    /// an ordinary Rust closure, any `&mut` locals it captures keep their
+    /// values across retries.  This is exactly the paper's
+    /// `atomic(no_local_undo)` execution mode and is what the slow-path range
+    /// query uses to turn aborts into "early commits".
+    ///
+    /// Contention is managed with bounded exponential backoff between
+    /// attempts.
+    pub fn run<T, F>(&self, mut body: F) -> T
+    where
+        F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+    {
+        let backoff = Backoff::new();
+        loop {
+            let mut tx = self.begin();
+            let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
+            match outcome {
+                Ok(value) => return value,
+                Err(cause) => {
+                    tx.rollback();
+                    self.stats.record_abort(cause);
+                    drop(tx);
+                    if backoff.is_completed() {
+                        std::thread::yield_now();
+                    } else {
+                        backoff.snooze();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempt `body` as a transaction exactly once, without retrying.
+    ///
+    /// This is the paper's `atomic(try_once)` mode, used by the fast-path
+    /// range query: if the single attempt aborts, the caller decides whether
+    /// to try again or fall back to the slow path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause if the attempt could not commit.
+    pub fn try_once<T, F>(&self, body: F) -> Result<T, SingleAttemptFailed>
+    where
+        F: FnOnce(&mut Txn<'_>) -> TxResult<T>,
+    {
+        let mut tx = self.begin();
+        let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
+        match outcome {
+            Ok(value) => Ok(value),
+            Err(cause) => {
+                tx.rollback();
+                self.stats.record_abort(cause);
+                Err(SingleAttemptFailed { cause })
+            }
+        }
+    }
+
+    /// Read a single cell outside of any transaction.
+    ///
+    /// Equivalent to [`TCell::load_atomic`]; provided on the runtime for
+    /// symmetry with `run`/`try_once`.
+    pub fn read_atomic<T: Clone + Send + Sync + 'static>(&self, cell: &TCell<T>) -> T {
+        cell.load_atomic()
+    }
+}
+
+/// An in-flight transaction attempt.
+///
+/// Handed to transaction bodies by [`Stm::run`] and [`Stm::try_once`]; use it
+/// with [`TCell::read`] and [`TCell::write`].
+pub struct Txn<'stm> {
+    stm: &'stm Stm,
+    id: u64,
+    rv: u64,
+    guard: Guard,
+    read_set: Vec<ReadEntry>,
+    writes: Vec<Box<dyn WriteBack>>,
+    finished: bool,
+}
+
+struct ReadEntry {
+    orec: *const Orec,
+    observed: u64,
+}
+
+impl fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("rv", &self.rv)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+impl<'stm> Txn<'stm> {
+    /// The read version (clock sample) this attempt started with.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// True if this attempt has performed at least one write.
+    pub fn is_writer(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    /// Explicitly abort this attempt; the enclosing [`Stm::run`] will retry.
+    pub fn abort<T>(&self) -> TxResult<T> {
+        Err(TxAbort::Explicit)
+    }
+
+    #[inline]
+    pub(crate) fn read_cell<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        cell: &TCell<T>,
+    ) -> TxResult<T> {
+        let o1 = cell.orec.raw();
+        if Orec::raw_is_owned_by(o1, self.id) {
+            // Read-after-write: we own the location, so the current value is
+            // our own uncommitted write.
+            let shared = cell.data.load(Ordering::Acquire, &self.guard);
+            // SAFETY: the pointer is protected by our pinned guard.
+            return Ok(unsafe { shared.deref() }.clone());
+        }
+        match Orec::decode_raw(o1) {
+            OrecState::Locked { .. } => return Err(TxAbort::ReadConflict),
+            OrecState::Unlocked { version } => {
+                if version > self.rv {
+                    return Err(TxAbort::ReadConflict);
+                }
+            }
+        }
+        let shared = cell.data.load(Ordering::Acquire, &self.guard);
+        // SAFETY: the pointer is protected by our pinned guard; even if a
+        // concurrent writer replaces it, reclamation is deferred past our
+        // guard, and the post-read orec check below rejects the value.
+        let value = unsafe { shared.deref() }.clone();
+        if cell.orec.raw() != o1 {
+            return Err(TxAbort::ReadConflict);
+        }
+        self.read_set.push(ReadEntry {
+            orec: &cell.orec as *const Orec,
+            observed: o1,
+        });
+        Ok(value)
+    }
+
+    #[inline]
+    pub(crate) fn write_cell<T: Send + Sync + 'static>(
+        &mut self,
+        cell: &TCell<T>,
+        value: T,
+    ) -> TxResult<()> {
+        let o1 = cell.orec.raw();
+        if Orec::raw_is_owned_by(o1, self.id) {
+            // Already acquired earlier in this transaction: replace the value
+            // we previously installed.  The intermediate value may have been
+            // glimpsed by concurrent (doomed) readers, so retire it through
+            // the epoch rather than dropping in place.
+            let old = cell
+                .data
+                .swap(Owned::new(value), Ordering::AcqRel, &self.guard);
+            // SAFETY: `old` is no longer reachable once swapped out.
+            unsafe { self.guard.defer_destroy(old) };
+            return Ok(());
+        }
+        let old_version = match Orec::decode_raw(o1) {
+            OrecState::Locked { .. } => return Err(TxAbort::WriteConflict),
+            OrecState::Unlocked { version } => version,
+        };
+        if !cell.orec.try_acquire(old_version, self.id) {
+            return Err(TxAbort::WriteConflict);
+        }
+        let old = cell
+            .data
+            .swap(Owned::new(value), Ordering::AcqRel, &self.guard);
+        self.writes.push(Box::new(CellWrite::<T> {
+            cell: cell as *const TCell<T>,
+            old_version,
+            old_data: old.as_raw(),
+        }));
+        Ok(())
+    }
+
+    fn commit(&mut self) -> TxResult<()> {
+        if self.writes.is_empty() {
+            // Read-only transactions: every read was validated against the
+            // read version at the time it executed, so the read set already
+            // forms a consistent snapshot and no further work is required.
+            self.stm.stats.record_commit(true);
+            self.finished = true;
+            return Ok(());
+        }
+        let wv = self.stm.clock.tick();
+        if wv != self.rv + 1 {
+            for entry in &self.read_set {
+                // SAFETY: read-set orecs belong to cells kept alive by the
+                // data structure for at least the duration of the enclosing
+                // transaction closure.
+                let orec = unsafe { &*entry.orec };
+                let current = orec.raw();
+                if current != entry.observed && !Orec::raw_is_owned_by(current, self.id) {
+                    return Err(TxAbort::ValidationFailed);
+                }
+            }
+        }
+        for write in self.writes.drain(..) {
+            // SAFETY: we are the owning transaction and call commit exactly
+            // once per entry, with our guard pinned.
+            unsafe { write.commit(&self.guard, wv) };
+        }
+        self.read_set.clear();
+        self.stm.stats.record_commit(false);
+        self.finished = true;
+        Ok(())
+    }
+
+    fn rollback(&mut self) {
+        for write in self.writes.drain(..).rev() {
+            // SAFETY: we are the owning transaction and call abort exactly
+            // once per entry, with our guard pinned.
+            unsafe { write.abort(&self.guard) };
+        }
+        self.read_set.clear();
+        self.finished = true;
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        // Defensive: if the transaction body panicked (or was otherwise
+        // abandoned) while holding orecs, release them so other threads are
+        // not blocked forever.
+        if !self.finished && !self.writes.is_empty() {
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn builder_default_uses_hardware_clock() {
+        let stm = Stm::new();
+        assert_eq!(stm.clock_name(), "hardware-tsc");
+        assert_eq!(stm.clock_kind(), ClockKind::Hardware);
+    }
+
+    #[test]
+    fn read_only_transactions_do_not_tick_the_clock() {
+        let stm = Stm::with_clock(ClockKind::Counter);
+        let cell = TCell::new(5u64);
+        for _ in 0..10 {
+            let v = stm.run(|tx| cell.read(tx));
+            assert_eq!(v, 5);
+        }
+        let snap = stm.stats();
+        assert_eq!(snap.commits, 10);
+        assert_eq!(snap.read_only_commits, 10);
+    }
+
+    #[test]
+    fn aborted_writes_are_rolled_back() {
+        let stm = Stm::new();
+        let cell = TCell::new(1u64);
+        let result = stm.try_once(|tx| -> TxResult<()> {
+            cell.write(tx, 99)?;
+            // Force an abort after the write took effect inside the txn.
+            Err(TxAbort::Explicit)
+        });
+        assert!(result.is_err());
+        assert_eq!(cell.load_atomic(), 1, "undo must restore the old value");
+        assert_eq!(stm.stats().aborts_explicit, 1);
+    }
+
+    #[test]
+    fn try_once_success_commits() {
+        let stm = Stm::new();
+        let cell = TCell::new(1u64);
+        let out = stm.try_once(|tx| {
+            cell.write(tx, 2)?;
+            Ok(77)
+        });
+        assert_eq!(out.unwrap(), 77);
+        assert_eq!(cell.load_atomic(), 2);
+    }
+
+    #[test]
+    fn explicit_abort_in_run_retries_until_ok() {
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let mut attempts = 0;
+        stm.run(|tx| {
+            attempts += 1;
+            if attempts < 3 {
+                return tx.abort();
+            }
+            cell.write(tx, attempts)
+        });
+        assert_eq!(attempts, 3);
+        assert_eq!(cell.load_atomic(), 3);
+    }
+
+    #[test]
+    fn locals_survive_aborts_no_local_undo() {
+        // Models the slow-path range query: progress recorded in a captured
+        // local must not be lost when an attempt aborts.
+        let stm = Stm::new();
+        let cell = TCell::new(10u64);
+        let mut progress: Vec<u64> = Vec::new();
+        let mut first = true;
+        stm.run(|tx| {
+            let v = cell.read(tx)?;
+            if first {
+                first = false;
+                progress.push(v);
+                return Err(TxAbort::Explicit);
+            }
+            Ok(())
+        });
+        assert_eq!(progress, vec![10], "local progress survived the abort");
+    }
+
+    #[test]
+    fn conflicting_writers_serialize() {
+        let stm = Arc::new(Stm::new());
+        let a = Arc::new(TCell::new(0u64));
+        let b = Arc::new(TCell::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let stm = Arc::clone(&stm);
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            handles.push(thread::spawn(move || {
+                for _ in 0..250 {
+                    stm.run(|tx| {
+                        let av = a.read(tx)?;
+                        b.write(tx, av + 1)?;
+                        a.write(tx, av + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load_atomic(), 1000);
+        assert_eq!(b.load_atomic(), 1000);
+    }
+
+    #[test]
+    fn writer_stats_count_commits() {
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        stm.run(|tx| cell.write(tx, 1));
+        let snap = stm.stats();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.read_only_commits, 0);
+        stm.reset_stats();
+        assert_eq!(stm.stats().commits, 0);
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let stm = Stm::new();
+        assert!(format!("{stm:?}").contains("Stm"));
+        let cell = TCell::new(0u64);
+        stm.run(|tx| {
+            let _ = cell.read(tx)?;
+            assert!(format!("{tx:?}").contains("Txn"));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn read_version_is_monotonic_across_transactions() {
+        let stm = Stm::with_clock(ClockKind::Counter);
+        let cell = TCell::new(0u64);
+        let mut last = 0;
+        for i in 0..5u64 {
+            let rv = stm.run(|tx| {
+                cell.write(tx, i)?;
+                Ok(tx.read_version())
+            });
+            assert!(rv >= last);
+            last = rv;
+        }
+    }
+}

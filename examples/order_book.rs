@@ -1,0 +1,103 @@
+//! Limit order book: price levels as ordered-map keys, with point queries
+//! (`floor`/`ceil`) matching incoming orders against the best opposing level.
+//!
+//! The skip hash's `O(1)` behaviour on present keys and its `pred`/`succ`
+//! point queries (enabled by the doubly linked skip list) are exactly what a
+//! matching engine needs.  Run with `cargo run --example order_book`.
+
+use std::sync::Arc;
+use std::thread;
+
+use skiphash_repro::SkipHash;
+
+/// Resting quantity at one price level (price is the map key, in ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Level {
+    quantity: u64,
+}
+
+fn main() {
+    // Two books: bids (buy orders) and asks (sell orders).
+    let bids: Arc<SkipHash<u64, Level>> = Arc::new(SkipHash::new());
+    let asks: Arc<SkipHash<u64, Level>> = Arc::new(SkipHash::new());
+
+    // Seed resting liquidity: bids below 10_000, asks above.
+    for i in 0..500u64 {
+        bids.insert(9_999 - i * 2, Level { quantity: 10 + i % 7 });
+        asks.insert(10_001 + i * 2, Level { quantity: 10 + i % 5 });
+    }
+
+    // The spread: best bid is the largest bid key, best ask the smallest ask
+    // key.
+    let best_bid = bids.floor(&u64::MAX).expect("bids seeded");
+    let best_ask = asks.ceil(&0).expect("asks seeded");
+    println!("initial best bid {best_bid}, best ask {best_ask}");
+    assert!(best_bid < best_ask);
+
+    // Concurrent traders: each thread alternates between posting new levels
+    // and cancelling ones it posted, on its own price band so the example can
+    // assert exact outcomes.
+    let mut handles = Vec::new();
+    for trader in 0..4u64 {
+        let bids = Arc::clone(&bids);
+        let asks = Arc::clone(&asks);
+        handles.push(thread::spawn(move || {
+            let base_bid = 5_000 + trader * 500;
+            let base_ask = 15_000 + trader * 500;
+            let mut posted = 0u64;
+            for i in 0..400u64 {
+                let bid_price = base_bid + (i % 250);
+                let ask_price = base_ask + (i % 250);
+                if bids.insert(bid_price, Level { quantity: 1 + i % 9 }) {
+                    posted += 1;
+                }
+                if asks.insert(ask_price, Level { quantity: 1 + i % 9 }) {
+                    posted += 1;
+                }
+                if i % 3 == 0 {
+                    bids.remove(&bid_price);
+                    asks.remove(&ask_price);
+                    posted = posted.saturating_sub(2);
+                }
+            }
+            posted
+        }));
+    }
+    let posted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("net levels posted by traders: {posted}");
+
+    // Matching sweep: market buy walks the ask book upward from the best ask
+    // using `succ`, consuming levels until it has filled its size.
+    let mut remaining = 200u64;
+    let mut cursor = asks.ceil(&0);
+    let mut filled_levels = 0;
+    while remaining > 0 {
+        let price = match cursor {
+            Some(p) => p,
+            None => break,
+        };
+        if let Some(level) = asks.get(&price) {
+            let take = remaining.min(level.quantity);
+            remaining -= take;
+            if take == level.quantity {
+                asks.remove(&price);
+                filled_levels += 1;
+            } else {
+                asks.upsert(price, Level { quantity: level.quantity - take });
+            }
+        }
+        cursor = asks.succ(&price);
+    }
+    println!("market buy consumed {filled_levels} ask levels");
+    assert_eq!(remaining, 0, "book had enough liquidity");
+
+    // A consistent ladder snapshot around the spread via one range query.
+    let bid_top = bids.floor(&u64::MAX).unwrap();
+    let ladder = bids.range(&bid_top.saturating_sub(20), &bid_top);
+    println!("top-of-book bid ladder ({} levels):", ladder.len());
+    for (price, level) in ladder.iter().rev().take(5) {
+        println!("  {price} x {}", level.quantity);
+    }
+    assert!(!ladder.is_empty());
+    println!("order_book example finished OK");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the skip hash as a drop-in concurrent ordered map.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+use std::thread;
+
+use skiphash_repro::SkipHash;
+
+fn main() {
+    // A skip hash maps ordered keys to values and is shared across threads
+    // with an Arc; every method takes &self.
+    let map: Arc<SkipHash<u64, String>> = Arc::new(SkipHash::new());
+
+    // Elemental operations: insert / get / remove.
+    assert!(map.insert(10, "ten".to_string()));
+    assert!(map.insert(20, "twenty".to_string()));
+    assert!(!map.insert(10, "duplicate".to_string()), "inserts never overwrite");
+    assert_eq!(map.get(&10).as_deref(), Some("ten"));
+    assert!(map.remove(&20));
+
+    // Point queries: the closest key at or around a probe.
+    map.insert(15, "fifteen".to_string());
+    map.insert(30, "thirty".to_string());
+    assert_eq!(map.ceil(&16), Some(30));
+    assert_eq!(map.floor(&16), Some(15));
+    assert_eq!(map.succ(&15), Some(30));
+    assert_eq!(map.pred(&15), Some(10));
+
+    // Concurrent writers + a linearizable range query.
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let map = Arc::clone(&map);
+        handles.push(thread::spawn(move || {
+            for i in 0..250u64 {
+                map.insert(1_000 + t * 1_000 + i, format!("worker-{t}-{i}"));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+
+    let in_window = map.range(&1_000, &1_999);
+    println!("keys in [1000, 1999]: {}", in_window.len());
+    assert_eq!(in_window.len(), 250);
+    assert!(in_window.windows(2).all(|w| w[0].0 < w[1].0), "sorted output");
+
+    println!("total population: {}", map.len());
+    println!("quickstart finished OK");
+}

@@ -1,0 +1,109 @@
+//! Time-series index: sensor readings keyed by timestamp, with concurrent
+//! ingestion, retention-based deletion, and windowed range scans.
+//!
+//! This is the kind of workload the paper's introduction motivates: many
+//! threads insert and expire entries while analytical queries need a
+//! consistent view of a contiguous key window.  Run with
+//! `cargo run --example time_series`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use skiphash_repro::skiphash::SkipHashBuilder;
+use skiphash_repro::RangePolicy;
+
+/// One sensor sample; the value type just needs to be `Clone + Send + Sync`.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    sensor: u32,
+    reading: f64,
+}
+
+fn main() {
+    let index = Arc::new(
+        SkipHashBuilder::new()
+            .buckets(16_384)
+            .range_policy(RangePolicy::TwoPath { tries: 3 })
+            .build::<u64, Sample>(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Ingestion: four sensors appending samples at increasing timestamps.
+    let mut writers = Vec::new();
+    for sensor in 0..4u32 {
+        let index = Arc::clone(&index);
+        let stop = Arc::clone(&stop);
+        writers.push(thread::spawn(move || {
+            let mut timestamp = sensor as u64;
+            let mut written = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let sample = Sample {
+                    sensor,
+                    reading: (timestamp as f64).sin(),
+                };
+                if index.insert(timestamp, sample) {
+                    written += 1;
+                }
+                timestamp += 4; // interleave the four sensors' timestamps
+            }
+            written
+        }));
+    }
+
+    // Retention: expire everything older than a sliding horizon.
+    let retention = {
+        let index = Arc::clone(&index);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut expired = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(newest) = index.floor(&u64::MAX) {
+                    let horizon = newest.saturating_sub(5_000);
+                    // Expire a small batch of the oldest entries.
+                    for (timestamp, _) in index.range(&0, &horizon).into_iter().take(256) {
+                        if index.remove(&timestamp) {
+                            expired += 1;
+                        }
+                    }
+                }
+                thread::yield_now();
+            }
+            expired
+        })
+    };
+
+    // Analytics: windowed scans over the most recent 1,000 timestamps.  Every
+    // window is a linearizable snapshot: timestamps are strictly increasing
+    // and each belongs to the sensor that owns that residue class.
+    let mut windows_scanned = 0u64;
+    for _ in 0..200 {
+        if let Some(newest) = index.floor(&u64::MAX) {
+            let low = newest.saturating_sub(1_000);
+            let window = index.range(&low, &newest);
+            for pair in window.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "range output must be sorted");
+            }
+            for (timestamp, sample) in &window {
+                assert_eq!(
+                    (*timestamp % 4) as u32,
+                    sample.sensor,
+                    "sample stored under the wrong sensor's timestamp"
+                );
+            }
+            windows_scanned += 1;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let written: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let expired = retention.join().unwrap();
+
+    println!("ingested samples : {written}");
+    println!("expired samples  : {expired}");
+    println!("windows scanned  : {windows_scanned}");
+    println!("live population  : {}", index.len());
+    println!("time_series example finished OK");
+}

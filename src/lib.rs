@@ -1,0 +1,32 @@
+//! Umbrella crate for the Skip Hash reproduction workspace.
+//!
+//! This crate re-exports the main entry points of the workspace so that
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`skiphash`] — the skip hash ordered map (the paper's contribution).
+//! * [`skiphash_stm`] — the software transactional memory substrate.
+//! * [`skiphash_baselines`] — the vCAS / bundled / STM baselines used in the
+//!   paper's evaluation.
+//! * [`skiphash_harness`] — the microbenchmark harness that regenerates the
+//!   paper's figures and tables.
+//!
+//! # Quick start
+//!
+//! ```
+//! use skiphash_repro::SkipHash;
+//!
+//! let map: SkipHash<u64, u64> = SkipHash::new();
+//! map.insert(1, 10);
+//! map.insert(5, 50);
+//! map.insert(3, 30);
+//! assert_eq!(map.get(&3), Some(30));
+//! let pairs = map.range(&1, &4);
+//! assert_eq!(pairs, vec![(1, 10), (3, 30)]);
+//! ```
+
+pub use skiphash;
+pub use skiphash_baselines as baselines;
+pub use skiphash_harness as harness;
+pub use skiphash_stm as stm;
+
+pub use skiphash::{RangePolicy, SkipHash, SkipHashBuilder};

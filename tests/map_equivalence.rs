@@ -1,0 +1,254 @@
+//! Property-based equivalence tests: every evaluated map must behave exactly
+//! like `std::collections::BTreeMap` under arbitrary operation sequences
+//! (sequential, so the reference semantics are unambiguous).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use skiphash_repro::baselines::skiplist::{BundledSkipList, VcasSkipList};
+use skiphash_repro::baselines::stm_maps::{StmHashMap, StmSkipListMap};
+use skiphash_repro::baselines::timestamp::TimestampMode;
+use skiphash_repro::baselines::VcasBst;
+use skiphash_repro::skiphash::SkipHashBuilder;
+use skiphash_repro::{RangePolicy, SkipHash};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+    Ceil(u16),
+    Floor(u16),
+    Succ(u16),
+    Pred(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 64)),
+        any::<u16>().prop_map(|k| Op::Ceil(k % 512)),
+        any::<u16>().prop_map(|k| Op::Floor(k % 512)),
+        any::<u16>().prop_map(|k| Op::Succ(k % 512)),
+        any::<u16>().prop_map(|k| Op::Pred(k % 512)),
+    ]
+}
+
+fn skiphash_with(policy: RangePolicy) -> SkipHash<u64, u64> {
+    SkipHashBuilder::new()
+        .buckets(257)
+        .max_level(10)
+        .range_policy(policy)
+        .build()
+}
+
+fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
+    let map = skiphash_with(policy);
+    let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let k = k as u64;
+                let v = v as u64;
+                let expected = !reference.contains_key(&k);
+                if expected {
+                    reference.insert(k, v);
+                }
+                assert_eq!(map.insert(k, v), expected, "insert({k})");
+            }
+            Op::Remove(k) => {
+                let k = k as u64;
+                let expected = reference.remove(&k).is_some();
+                assert_eq!(map.remove(&k), expected, "remove({k})");
+            }
+            Op::Get(k) => {
+                let k = k as u64;
+                assert_eq!(map.get(&k), reference.get(&k).copied(), "get({k})");
+            }
+            Op::Range(low, len) => {
+                let low = low as u64;
+                let high = low + len as u64;
+                let expected: Vec<(u64, u64)> = reference
+                    .range(low..=high)
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(map.range(&low, &high), expected, "range({low},{high})");
+            }
+            Op::Ceil(k) => {
+                let k = k as u64;
+                let expected = reference.range(k..).next().map(|(k, _)| *k);
+                assert_eq!(map.ceil(&k), expected, "ceil({k})");
+            }
+            Op::Floor(k) => {
+                let k = k as u64;
+                let expected = reference.range(..=k).next_back().map(|(k, _)| *k);
+                assert_eq!(map.floor(&k), expected, "floor({k})");
+            }
+            Op::Succ(k) => {
+                let k = k as u64;
+                let expected = reference.range(k + 1..).next().map(|(k, _)| *k);
+                assert_eq!(map.succ(&k), expected, "succ({k})");
+            }
+            Op::Pred(k) => {
+                let k = k as u64;
+                let expected = reference.range(..k).next_back().map(|(k, _)| *k);
+                assert_eq!(map.pred(&k), expected, "pred({k})");
+            }
+        }
+    }
+    assert_eq!(map.len(), reference.len());
+    let all: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(map.to_vec(), all);
+    map.check_invariants().expect("internal invariants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn skiphash_two_path_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_skiphash_against_btreemap(RangePolicy::TwoPath { tries: 3 }, &ops);
+    }
+
+    #[test]
+    fn skiphash_fast_only_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_skiphash_against_btreemap(RangePolicy::FastOnly, &ops);
+    }
+
+    #[test]
+    fn skiphash_slow_only_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        check_skiphash_against_btreemap(RangePolicy::SlowOnly, &ops);
+    }
+
+    #[test]
+    fn vcas_skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let map: VcasSkipList<u64, u64> = VcasSkipList::new(10, TimestampMode::Rdtscp);
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    let expected = !reference.contains_key(&k);
+                    if expected { reference.insert(k, v); }
+                    prop_assert_eq!(map.insert(k, v), expected);
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
+                }
+                Op::Range(low, len) => {
+                    let (low, high) = (low as u64, low as u64 + len as u64);
+                    let expected: Vec<(u64, u64)> =
+                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(map.range(&low, &high), expected);
+                }
+                // Point queries are not part of the baseline interface.
+                _ => {}
+            }
+        }
+        prop_assert_eq!(map.len(), reference.len());
+    }
+
+    #[test]
+    fn bundled_skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let map: BundledSkipList<u64, u64> = BundledSkipList::new(10, TimestampMode::Rdtscp);
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    let expected = !reference.contains_key(&k);
+                    if expected { reference.insert(k, v); }
+                    prop_assert_eq!(map.insert(k, v), expected);
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
+                }
+                Op::Range(low, len) => {
+                    let (low, high) = (low as u64, low as u64 + len as u64);
+                    let expected: Vec<(u64, u64)> =
+                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(map.range(&low, &high), expected);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(map.len(), reference.len());
+    }
+
+    #[test]
+    fn vcas_bst_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let map: VcasBst<u64, u64> = VcasBst::new(TimestampMode::Rdtscp);
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    let expected = !reference.contains_key(&k);
+                    if expected { reference.insert(k, v); }
+                    prop_assert_eq!(map.insert(k, v), expected);
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
+                }
+                Op::Range(low, len) => {
+                    let (low, high) = (low as u64, low as u64 + len as u64);
+                    let expected: Vec<(u64, u64)> =
+                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(map.range(&low, &high), expected);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(map.len(), reference.len());
+    }
+
+    #[test]
+    fn stm_only_maps_match_hashmap_semantics(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let hash: StmHashMap<u64, u64> = StmHashMap::new(64);
+        let list: StmSkipListMap<u64, u64> = StmSkipListMap::new(10);
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    let expected = !reference.contains_key(&k);
+                    if expected { reference.insert(k, v); }
+                    prop_assert_eq!(hash.insert(k, v), expected);
+                    prop_assert_eq!(list.insert(k, v), expected);
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    let expected = reference.remove(&k).is_some();
+                    prop_assert_eq!(hash.remove(&k), expected);
+                    prop_assert_eq!(list.remove(&k), expected);
+                }
+                Op::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(hash.get(&k), reference.get(&k).copied());
+                    prop_assert_eq!(list.get(&k), reference.get(&k).copied());
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(hash.len(), reference.len());
+        prop_assert_eq!(list.len(), reference.len());
+    }
+}
