@@ -285,8 +285,7 @@ where
                     return true;
                 }
                 Some(parent_node) => {
-                    let parent_internal =
-                        parent_node.as_internal().expect("parents are routers");
+                    let parent_internal = parent_node.as_internal().expect("parents are routers");
                     let grandparent_internal = match &grandparent {
                         Some(node) => node.as_internal().expect("grandparents are routers"),
                         None => &self.root,

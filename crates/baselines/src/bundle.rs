@@ -40,7 +40,9 @@ impl<T> fmt::Debug for BundleLink<T> {
             let next = Arc::clone(older);
             cursor = next;
         }
-        f.debug_struct("BundleLink").field("entries", &entries).finish()
+        f.debug_struct("BundleLink")
+            .field("entries", &entries)
+            .finish()
     }
 }
 

@@ -1,9 +1,9 @@
 //! A concurrent skip list with snapshot range queries, generic over the
 //! versioned-link mechanism.
 //!
-//! Instantiated with [`VcasLink`](crate::VcasLink) it models the paper's
+//! Instantiated with [`VcasLink`] it models the paper's
 //! "Skip list (vCAS, RDTSCP)" baseline; instantiated with
-//! [`BundleLink`](crate::BundleLink) it models "Skip list (Bundled, RDTSCP)".
+//! [`BundleLink`] it models "Skip list (Bundled, RDTSCP)".
 //!
 //! Elemental operations follow the classic optimistic ("lazy") lock-based
 //! skip list: traversals are lock-free reads of the newest links; insertions
@@ -97,13 +97,7 @@ where
         }
     }
 
-    fn set_next(
-        &self,
-        level: usize,
-        target: Link<K, V, L>,
-        ts: u64,
-        registry: &SnapshotRegistry,
-    ) {
+    fn set_next(&self, level: usize, target: Link<K, V, L>, ts: u64, registry: &SnapshotRegistry) {
         if level == 0 {
             self.next0.store(target, ts, registry);
         } else {

@@ -41,15 +41,12 @@ fn bench_ranges(c: &mut Criterion) {
             let map = prefilled(kind);
             let mut rng = SmallRng::seed_from_u64(4);
             let mut buffer = Vec::with_capacity(range_len as usize);
-            group.bench_function(
-                BenchmarkId::new(kind.label(), range_len),
-                |b| {
-                    b.iter(|| {
-                        let low = rng.gen_range(0..UNIVERSE);
-                        map.range(low, low + range_len, &mut buffer)
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(kind.label(), range_len), |b| {
+                b.iter(|| {
+                    let low = rng.gen_range(0..UNIVERSE);
+                    map.range(low, low + range_len, &mut buffer)
+                })
+            });
         }
     }
     group.finish();

@@ -59,8 +59,13 @@ fn main() {
     let workloads: Vec<Workload> = if which == "all" {
         Workload::fig5_all(universe)
     } else {
-        vec![Workload::fig5_by_name(which, universe)
-            .unwrap_or_else(|| panic!("unknown workload {which:?}; expected a..f or all"))]
+        match Workload::fig5_by_name(which, universe) {
+            Some(workload) => vec![workload],
+            None => {
+                eprintln!("error: unknown workload {which:?}; expected a..f or all");
+                std::process::exit(2);
+            }
+        }
     };
 
     println!(
@@ -86,7 +91,10 @@ fn main() {
             for &t in &threads {
                 let mops = measure(kind, workload, t as usize, duration, trials);
                 series.push(t as f64, mops);
-                eprintln!("fig5{} {} threads={t}: {mops:.3} Mops/s", workload.name, kind);
+                eprintln!(
+                    "fig5{} {} threads={t}: {mops:.3} Mops/s",
+                    workload.name, kind
+                );
             }
             figure.add_series(series);
         }

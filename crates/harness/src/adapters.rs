@@ -105,15 +105,21 @@ impl MapKind {
         let buckets = bucket_count_for(key_universe);
         let levels = level_count_for(key_universe);
         match self {
-            MapKind::SkipHashFastOnly => Arc::new(SkipHashAdapter::new(
-                skiphash_with(buckets, levels, RangePolicy::FastOnly),
-            )),
-            MapKind::SkipHashSlowOnly => Arc::new(SkipHashAdapter::new(
-                skiphash_with(buckets, levels, RangePolicy::SlowOnly),
-            )),
-            MapKind::SkipHashTwoPath => Arc::new(SkipHashAdapter::new(
-                skiphash_with(buckets, levels, RangePolicy::TwoPath { tries: 3 }),
-            )),
+            MapKind::SkipHashFastOnly => Arc::new(SkipHashAdapter::new(skiphash_with(
+                buckets,
+                levels,
+                RangePolicy::FastOnly,
+            ))),
+            MapKind::SkipHashSlowOnly => Arc::new(SkipHashAdapter::new(skiphash_with(
+                buckets,
+                levels,
+                RangePolicy::SlowOnly,
+            ))),
+            MapKind::SkipHashTwoPath => Arc::new(SkipHashAdapter::new(skiphash_with(
+                buckets,
+                levels,
+                RangePolicy::TwoPath { tries: 3 },
+            ))),
             MapKind::VcasBst => Arc::new(VcasBstAdapter(VcasBst::new(TimestampMode::Rdtscp))),
             MapKind::VcasSkipList => Arc::new(VcasSkipListAdapter(VcasSkipList::new(
                 levels,

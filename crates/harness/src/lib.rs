@@ -6,7 +6,7 @@
 //! universe, the map is pre-filled to half the universe, and throughput is
 //! reported in operations per second.  This crate provides:
 //!
-//! * [`adapters`] — a common [`BenchMap`](adapters::BenchMap) trait and
+//! * [`adapters`] — a common [`BenchMap`] trait and
 //!   adapters for the skip hash (fast-only / slow-only / two-path) and every
 //!   baseline;
 //! * [`workload`] — the operation mixes of Figures 5a–5f and the

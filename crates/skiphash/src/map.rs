@@ -154,7 +154,9 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         self.stm.reset_stats();
         self.range_counters.fast_success.store(0, Ordering::Relaxed);
         self.range_counters.fast_abort.store(0, Ordering::Relaxed);
-        self.range_counters.slow_complete.store(0, Ordering::Relaxed);
+        self.range_counters
+            .slow_complete
+            .store(0, Ordering::Relaxed);
     }
 
     /// Range query execution statistics.
@@ -414,11 +416,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                 .into_iter()
                 .map(|(k, _)| k)
                 .collect();
-            let mut from_map: Vec<K> = self
-                .index
-                .keys(tx)?
-                .into_iter()
-                .collect();
+            let mut from_map: Vec<K> = self.index.keys(tx)?.into_iter().collect();
             from_list.sort();
             from_map.sort();
             if from_list != from_map {

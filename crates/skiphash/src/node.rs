@@ -183,8 +183,7 @@ impl<K: MapKey, V: MapValue> Node<K, V> {
     /// Transactionally read the level-0 successor, which must exist (only the
     /// tail sentinel has none, and callers never walk past the tail).
     pub fn succ0(&self, tx: &mut Txn<'_>) -> TxResult<Arc<Node<K, V>>> {
-        Ok(self
-            .tower[0]
+        Ok(self.tower[0]
             .succ
             .read(tx)?
             .expect("interior nodes always have a level-0 successor"))

@@ -228,10 +228,7 @@ mod tests {
         let map = map_with_policy(RangePolicy::SlowOnly);
         fill(&map, [1, 2, 3, 4, 5]);
         assert!(map.remove(&3));
-        assert_eq!(
-            map.range(&1, &5),
-            vec![(1, 10), (2, 20), (4, 40), (5, 50)]
-        );
+        assert_eq!(map.range(&1, &5), vec![(1, 10), (2, 20), (4, 40), (5, 50)]);
         assert!(map.check_invariants().is_ok());
     }
 

@@ -214,6 +214,9 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         }
 
         let node = Node::new(key, value, height, i_time);
+        // The node's own cells are written below while nothing else references
+        // it; the transaction must hold it alive through a potential rollback.
+        tx.keep_alive(Arc::clone(&node));
         for level in 0..height {
             node.tower[level]
                 .pred
@@ -338,9 +341,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                 .expect("levels are always terminated by the tail sentinel");
             while !node.is_tail() {
                 if !level0.iter().any(|n| Arc::ptr_eq(n, &node)) {
-                    return Ok(Err(format!(
-                        "level {level}: node missing from level 0"
-                    )));
+                    return Ok(Err(format!("level {level}: node missing from level 0")));
                 }
                 node = node.tower[level]
                     .succ
@@ -400,10 +401,7 @@ mod tests {
         let stm = Stm::new();
         let list = list_with(&stm, &[5, 1, 9, 3, 7]);
         let pairs = stm.run(|tx| list.collect_present(tx));
-        assert_eq!(
-            pairs,
-            vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
-        );
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
         assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
     }
 

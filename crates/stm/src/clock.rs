@@ -127,12 +127,10 @@ impl ClockSource for SampledClock {
         // "recently".  A failed CAS means another writer advanced it for us
         // and we can reuse the new value, emulating gv5's shared increments.
         let cur = self.counter.load(Ordering::SeqCst);
-        match self.counter.compare_exchange(
-            cur,
-            cur + 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
+        match self
+            .counter
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
             Ok(_) => cur + 1,
             Err(newer) => newer,
         }

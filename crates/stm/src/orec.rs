@@ -37,7 +37,9 @@ pub struct Orec {
 
 impl fmt::Debug for Orec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Orec").field("state", &self.state()).finish()
+        f.debug_struct("Orec")
+            .field("state", &self.state())
+            .finish()
     }
 }
 

@@ -124,6 +124,7 @@ impl Stm {
             guard: epoch::pin(),
             read_set: Vec::new(),
             writes: Vec::new(),
+            keepalive: Vec::new(),
             finished: false,
         }
     }
@@ -208,6 +209,7 @@ pub struct Txn<'stm> {
     guard: Guard,
     read_set: Vec<ReadEntry>,
     writes: Vec<Box<dyn WriteBack>>,
+    keepalive: Vec<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
     finished: bool,
 }
 
@@ -241,6 +243,19 @@ impl<'stm> Txn<'stm> {
     /// Explicitly abort this attempt; the enclosing [`Stm::run`] will retry.
     pub fn abort<T>(&self) -> TxResult<T> {
         Err(TxAbort::Explicit)
+    }
+
+    /// Pin `value` so it outlives this transaction attempt, including the
+    /// rollback that follows an abort.
+    ///
+    /// Any heap object allocated *inside* a transaction body whose [`TCell`]s
+    /// are written in that same transaction MUST be registered here.  The undo
+    /// log refers to written cells by raw pointer, and the body's own
+    /// reference to a freshly allocated object is dropped when the closure
+    /// returns — *before* the rollback runs.  Without a keep-alive
+    /// registration, an aborted attempt would roll back through freed memory.
+    pub fn keep_alive<T: Send + Sync + 'static>(&mut self, value: std::sync::Arc<T>) {
+        self.keepalive.push(value);
     }
 
     #[inline]
@@ -302,6 +317,12 @@ impl<'stm> Txn<'stm> {
             OrecState::Locked { .. } => return Err(TxAbort::WriteConflict),
             OrecState::Unlocked { version } => version,
         };
+        // TL2 acquire rule: a location written since this attempt's read
+        // version cannot be acquired — commit-time validation skips orecs we
+        // own, so admitting it here would let a concurrent update be lost.
+        if old_version > self.rv {
+            return Err(TxAbort::WriteConflict);
+        }
         if !cell.orec.try_acquire(old_version, self.id) {
             return Err(TxAbort::WriteConflict);
         }

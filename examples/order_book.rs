@@ -23,8 +23,18 @@ fn main() {
 
     // Seed resting liquidity: bids below 10_000, asks above.
     for i in 0..500u64 {
-        bids.insert(9_999 - i * 2, Level { quantity: 10 + i % 7 });
-        asks.insert(10_001 + i * 2, Level { quantity: 10 + i % 5 });
+        bids.insert(
+            9_999 - i * 2,
+            Level {
+                quantity: 10 + i % 7,
+            },
+        );
+        asks.insert(
+            10_001 + i * 2,
+            Level {
+                quantity: 10 + i % 5,
+            },
+        );
     }
 
     // The spread: best bid is the largest bid key, best ask the smallest ask
@@ -48,10 +58,20 @@ fn main() {
             for i in 0..400u64 {
                 let bid_price = base_bid + (i % 250);
                 let ask_price = base_ask + (i % 250);
-                if bids.insert(bid_price, Level { quantity: 1 + i % 9 }) {
+                if bids.insert(
+                    bid_price,
+                    Level {
+                        quantity: 1 + i % 9,
+                    },
+                ) {
                     posted += 1;
                 }
-                if asks.insert(ask_price, Level { quantity: 1 + i % 9 }) {
+                if asks.insert(
+                    ask_price,
+                    Level {
+                        quantity: 1 + i % 9,
+                    },
+                ) {
                     posted += 1;
                 }
                 if i % 3 == 0 {
@@ -83,7 +103,12 @@ fn main() {
                 asks.remove(&price);
                 filled_levels += 1;
             } else {
-                asks.upsert(price, Level { quantity: level.quantity - take });
+                asks.upsert(
+                    price,
+                    Level {
+                        quantity: level.quantity - take,
+                    },
+                );
             }
         }
         cursor = asks.succ(&price);

@@ -15,7 +15,10 @@ fn main() {
     // Elemental operations: insert / get / remove.
     assert!(map.insert(10, "ten".to_string()));
     assert!(map.insert(20, "twenty".to_string()));
-    assert!(!map.insert(10, "duplicate".to_string()), "inserts never overwrite");
+    assert!(
+        !map.insert(10, "duplicate".to_string()),
+        "inserts never overwrite"
+    );
     assert_eq!(map.get(&10).as_deref(), Some("ten"));
     assert!(map.remove(&20));
 
@@ -44,7 +47,10 @@ fn main() {
     let in_window = map.range(&1_000, &1_999);
     println!("keys in [1000, 1999]: {}", in_window.len());
     assert_eq!(in_window.len(), 250);
-    assert!(in_window.windows(2).all(|w| w[0].0 < w[1].0), "sorted output");
+    assert!(
+        in_window.windows(2).all(|w| w[0].0 < w[1].0),
+        "sorted output"
+    );
 
     println!("total population: {}", map.len());
     println!("quickstart finished OK");

@@ -91,7 +91,10 @@ fn range_results_agree_between_skiphash_policies_and_baselines() {
             match &expected {
                 None => expected = Some(buffer),
                 Some(reference) => {
-                    assert_eq!(&buffer, reference, "range [{low},{high}] differs for {kind}")
+                    assert_eq!(
+                        &buffer, reference,
+                        "range [{low},{high}] differs for {kind}"
+                    )
                 }
             }
         }

@@ -97,7 +97,10 @@ fn slow_only_with_buffered_removals_is_linearizable() {
 /// A value moved between two keys must never be observed in both or neither.
 #[test]
 fn atomic_key_migration_is_never_partially_visible() {
-    let map = build(RangePolicy::TwoPath { tries: 3 }, RemovalPolicy::Buffered(32));
+    let map = build(
+        RangePolicy::TwoPath { tries: 3 },
+        RemovalPolicy::Buffered(32),
+    );
     const TOKEN: u64 = 4242;
     assert!(map.insert(0, TOKEN));
     let stop = Arc::new(AtomicBool::new(false));
@@ -162,7 +165,10 @@ fn disjoint_concurrent_inserts_land_exactly_once() {
 /// hash-map invariant).
 #[test]
 fn lookups_never_resurrect_removed_keys() {
-    let map = build(RangePolicy::TwoPath { tries: 3 }, RemovalPolicy::Buffered(4));
+    let map = build(
+        RangePolicy::TwoPath { tries: 3 },
+        RemovalPolicy::Buffered(4),
+    );
     for key in 0..1_000u64 {
         map.insert(key, key);
     }

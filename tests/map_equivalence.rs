@@ -1,16 +1,24 @@
-//! Property-based equivalence tests: every evaluated map must behave exactly
+//! Randomized equivalence tests: every evaluated map must behave exactly
 //! like `std::collections::BTreeMap` under arbitrary operation sequences
 //! (sequential, so the reference semantics are unambiguous).
+//!
+//! Operation sequences are generated from a seeded [`SmallRng`], so every
+//! case is deterministic and a failure reports the seed that produced it
+//! (originally written against `proptest`, which is not available in this
+//! offline build environment).
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use skiphash_repro::baselines::skiplist::{BundledSkipList, VcasSkipList};
 use skiphash_repro::baselines::stm_maps::{StmHashMap, StmSkipListMap};
 use skiphash_repro::baselines::timestamp::TimestampMode;
 use skiphash_repro::baselines::VcasBst;
 use skiphash_repro::skiphash::SkipHashBuilder;
 use skiphash_repro::{RangePolicy, SkipHash};
+
+const CASES: u64 = 24;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -24,17 +32,33 @@ enum Op {
     Pred(u16),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
-        any::<u16>().prop_map(|k| Op::Get(k % 512)),
-        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 64)),
-        any::<u16>().prop_map(|k| Op::Ceil(k % 512)),
-        any::<u16>().prop_map(|k| Op::Floor(k % 512)),
-        any::<u16>().prop_map(|k| Op::Succ(k % 512)),
-        any::<u16>().prop_map(|k| Op::Pred(k % 512)),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..8u32) {
+        0 => Op::Insert(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>()),
+        1 => Op::Remove(rng.gen::<u32>() as u16 % 512),
+        2 => Op::Get(rng.gen::<u32>() as u16 % 512),
+        3 => Op::Range(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
+        4 => Op::Ceil(rng.gen::<u32>() as u16 % 512),
+        5 => Op::Floor(rng.gen::<u32>() as u16 % 512),
+        6 => Op::Succ(rng.gen::<u32>() as u16 % 512),
+        _ => Op::Pred(rng.gen::<u32>() as u16 % 512),
+    }
+}
+
+/// Run `check` on `CASES` random operation sequences of length `1..max_len`,
+/// reporting the failing seed on panic.
+fn for_each_case(max_len: usize, check: impl Fn(&[Op])) {
+    for case in 0..CASES {
+        let seed = 0xE9_0000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(1..max_len);
+        let ops: Vec<Op> = (0..len).map(|_| random_op(&mut rng)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&ops)));
+        if let Err(payload) = result {
+            eprintln!("equivalence case failed for seed {seed} ({len} ops)");
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 fn skiphash_with(policy: RangePolicy) -> SkipHash<u64, u64> {
@@ -71,10 +95,8 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
             Op::Range(low, len) => {
                 let low = low as u64;
                 let high = low + len as u64;
-                let expected: Vec<(u64, u64)> = reference
-                    .range(low..=high)
-                    .map(|(k, v)| (*k, *v))
-                    .collect();
+                let expected: Vec<(u64, u64)> =
+                    reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
                 assert_eq!(map.range(&low, &high), expected, "range({low},{high})");
             }
             Op::Ceil(k) => {
@@ -105,150 +127,146 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
     map.check_invariants().expect("internal invariants");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn skiphash_two_path_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_skiphash_against_btreemap(RangePolicy::TwoPath { tries: 3 }, &ops);
+/// Replay `ops` against a baseline map exposing get/insert/remove/range and
+/// compare with `BTreeMap` (point queries are not part of the baseline
+/// interface and are skipped).
+fn check_baseline_against_btreemap(
+    ops: &[Op],
+    insert: impl Fn(u64, u64) -> bool,
+    remove: impl Fn(u64) -> bool,
+    get: impl Fn(u64) -> Option<u64>,
+    range: impl Fn(u64, u64) -> Vec<(u64, u64)>,
+    len: impl Fn() -> usize,
+) {
+    let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let (k, v) = (k as u64, v as u64);
+                let expected = !reference.contains_key(&k);
+                if expected {
+                    reference.insert(k, v);
+                }
+                assert_eq!(insert(k, v), expected, "insert({k})");
+            }
+            Op::Remove(k) => {
+                let k = k as u64;
+                assert_eq!(remove(k), reference.remove(&k).is_some(), "remove({k})");
+            }
+            Op::Get(k) => {
+                let k = k as u64;
+                assert_eq!(get(k), reference.get(&k).copied(), "get({k})");
+            }
+            Op::Range(low, rlen) => {
+                let (low, high) = (low as u64, low as u64 + rlen as u64);
+                let expected: Vec<(u64, u64)> =
+                    reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(range(low, high), expected, "range({low},{high})");
+            }
+            _ => {}
+        }
     }
+    assert_eq!(len(), reference.len());
+}
 
-    #[test]
-    fn skiphash_fast_only_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        check_skiphash_against_btreemap(RangePolicy::FastOnly, &ops);
-    }
+#[test]
+fn skiphash_two_path_matches_btreemap() {
+    for_each_case(120, |ops| {
+        check_skiphash_against_btreemap(RangePolicy::TwoPath { tries: 3 }, ops);
+    });
+}
 
-    #[test]
-    fn skiphash_slow_only_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        check_skiphash_against_btreemap(RangePolicy::SlowOnly, &ops);
-    }
+#[test]
+fn skiphash_fast_only_matches_btreemap() {
+    for_each_case(120, |ops| {
+        check_skiphash_against_btreemap(RangePolicy::FastOnly, ops);
+    });
+}
 
-    #[test]
-    fn vcas_skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn skiphash_slow_only_matches_btreemap() {
+    for_each_case(80, |ops| {
+        check_skiphash_against_btreemap(RangePolicy::SlowOnly, ops);
+    });
+}
+
+#[test]
+fn vcas_skiplist_matches_btreemap() {
+    for_each_case(100, |ops| {
         let map: VcasSkipList<u64, u64> = VcasSkipList::new(10, TimestampMode::Rdtscp);
-        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match *op {
-                Op::Insert(k, v) => {
-                    let (k, v) = (k as u64, v as u64);
-                    let expected = !reference.contains_key(&k);
-                    if expected { reference.insert(k, v); }
-                    prop_assert_eq!(map.insert(k, v), expected);
-                }
-                Op::Remove(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
-                }
-                Op::Get(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
-                }
-                Op::Range(low, len) => {
-                    let (low, high) = (low as u64, low as u64 + len as u64);
-                    let expected: Vec<(u64, u64)> =
-                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
-                    prop_assert_eq!(map.range(&low, &high), expected);
-                }
-                // Point queries are not part of the baseline interface.
-                _ => {}
-            }
-        }
-        prop_assert_eq!(map.len(), reference.len());
-    }
+        check_baseline_against_btreemap(
+            ops,
+            |k, v| map.insert(k, v),
+            |k| map.remove(&k),
+            |k| map.get(&k),
+            |low, high| map.range(&low, &high),
+            || map.len(),
+        );
+    });
+}
 
-    #[test]
-    fn bundled_skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn bundled_skiplist_matches_btreemap() {
+    for_each_case(100, |ops| {
         let map: BundledSkipList<u64, u64> = BundledSkipList::new(10, TimestampMode::Rdtscp);
-        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match *op {
-                Op::Insert(k, v) => {
-                    let (k, v) = (k as u64, v as u64);
-                    let expected = !reference.contains_key(&k);
-                    if expected { reference.insert(k, v); }
-                    prop_assert_eq!(map.insert(k, v), expected);
-                }
-                Op::Remove(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
-                }
-                Op::Get(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
-                }
-                Op::Range(low, len) => {
-                    let (low, high) = (low as u64, low as u64 + len as u64);
-                    let expected: Vec<(u64, u64)> =
-                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
-                    prop_assert_eq!(map.range(&low, &high), expected);
-                }
-                _ => {}
-            }
-        }
-        prop_assert_eq!(map.len(), reference.len());
-    }
+        check_baseline_against_btreemap(
+            ops,
+            |k, v| map.insert(k, v),
+            |k| map.remove(&k),
+            |k| map.get(&k),
+            |low, high| map.range(&low, &high),
+            || map.len(),
+        );
+    });
+}
 
-    #[test]
-    fn vcas_bst_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn vcas_bst_matches_btreemap() {
+    for_each_case(100, |ops| {
         let map: VcasBst<u64, u64> = VcasBst::new(TimestampMode::Rdtscp);
-        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match *op {
-                Op::Insert(k, v) => {
-                    let (k, v) = (k as u64, v as u64);
-                    let expected = !reference.contains_key(&k);
-                    if expected { reference.insert(k, v); }
-                    prop_assert_eq!(map.insert(k, v), expected);
-                }
-                Op::Remove(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.remove(&k), reference.remove(&k).is_some());
-                }
-                Op::Get(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(map.get(&k), reference.get(&k).copied());
-                }
-                Op::Range(low, len) => {
-                    let (low, high) = (low as u64, low as u64 + len as u64);
-                    let expected: Vec<(u64, u64)> =
-                        reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
-                    prop_assert_eq!(map.range(&low, &high), expected);
-                }
-                _ => {}
-            }
-        }
-        prop_assert_eq!(map.len(), reference.len());
-    }
+        check_baseline_against_btreemap(
+            ops,
+            |k, v| map.insert(k, v),
+            |k| map.remove(&k),
+            |k| map.get(&k),
+            |low, high| map.range(&low, &high),
+            || map.len(),
+        );
+    });
+}
 
-    #[test]
-    fn stm_only_maps_match_hashmap_semantics(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn stm_only_maps_match_hashmap_semantics() {
+    for_each_case(100, |ops| {
         let hash: StmHashMap<u64, u64> = StmHashMap::new(64);
         let list: StmSkipListMap<u64, u64> = StmSkipListMap::new(10);
         let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Insert(k, v) => {
                     let (k, v) = (k as u64, v as u64);
                     let expected = !reference.contains_key(&k);
-                    if expected { reference.insert(k, v); }
-                    prop_assert_eq!(hash.insert(k, v), expected);
-                    prop_assert_eq!(list.insert(k, v), expected);
+                    if expected {
+                        reference.insert(k, v);
+                    }
+                    assert_eq!(hash.insert(k, v), expected);
+                    assert_eq!(list.insert(k, v), expected);
                 }
                 Op::Remove(k) => {
                     let k = k as u64;
                     let expected = reference.remove(&k).is_some();
-                    prop_assert_eq!(hash.remove(&k), expected);
-                    prop_assert_eq!(list.remove(&k), expected);
+                    assert_eq!(hash.remove(&k), expected);
+                    assert_eq!(list.remove(&k), expected);
                 }
                 Op::Get(k) => {
                     let k = k as u64;
-                    prop_assert_eq!(hash.get(&k), reference.get(&k).copied());
-                    prop_assert_eq!(list.get(&k), reference.get(&k).copied());
+                    assert_eq!(hash.get(&k), reference.get(&k).copied());
+                    assert_eq!(list.get(&k), reference.get(&k).copied());
                 }
                 _ => {}
             }
         }
-        prop_assert_eq!(hash.len(), reference.len());
-        prop_assert_eq!(list.len(), reference.len());
-    }
+        assert_eq!(hash.len(), reference.len());
+        assert_eq!(list.len(), reference.len());
+    });
 }

@@ -1,0 +1,264 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` used by
+//! this workspace, vendored because the build environment has no access to
+//! crates.io.
+//!
+//! Benchmarks written against the real crate compile and run unchanged: each
+//! [`Bencher::iter`] call warms up for the configured warm-up time, measures
+//! for the configured measurement time, and prints mean ns/iter with a
+//! min..max spread over the sample batches.  There is no statistical
+//! outlier analysis, HTML report, or baseline comparison — swap the real
+//! crate back in (one manifest line) for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { id: name }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, for compatibility with
+    /// `criterion_main!`-generated entry points.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples to take.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// How long to run the benchmark before measuring.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// How long to measure for (split across the samples).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+
+        // Warm-up: run (and calibrate a per-sample iteration count).
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_second = if bencher.elapsed.as_nanos() == 0 {
+            1_000_000
+        } else {
+            (bencher.iters_done as u128 * 1_000_000_000 / bencher.elapsed.as_nanos()).max(1)
+        };
+        let per_sample = (per_second * self.measurement_time.as_nanos()
+            / 1_000_000_000
+            / self.sample_size as u128)
+            .clamp(1, u64::MAX as u128) as u64;
+
+        // Measurement samples.
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: Mode::Fixed { iters: per_sample },
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters_done.max(1) as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!("{label:<55} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]");
+        self
+    }
+
+    /// Finish the group (prints nothing; reports are per-benchmark).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Run until the deadline, counting iterations (warm-up / calibration).
+    Calibrate { deadline: Instant },
+    /// Run exactly `iters` iterations (one measurement sample).
+    Fixed { iters: u64 },
+}
+
+/// Hands the benchmark body to the measurement loop.
+pub struct Bencher {
+    mode: Mode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `body` repeatedly; its return value is passed through
+    /// [`black_box`] so the optimizer cannot elide the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            Mode::Calibrate { deadline } => {
+                let start = Instant::now();
+                loop {
+                    black_box(body());
+                    self.iters_done += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                self.elapsed += start.elapsed();
+            }
+            Mode::Fixed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                self.elapsed += start.elapsed();
+                self.iters_done += iters;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("a", 7).id, "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,463 @@
+//! Minimal, API-compatible stand-in for the subset of `crossbeam-epoch` used
+//! by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors this shim instead of the real crate.  It implements a genuine (if
+//! simple) epoch-based reclamation scheme:
+//!
+//! * every thread registers a *slot* holding its currently pinned epoch (or
+//!   "inactive");
+//! * [`Guard::defer_destroy`] parks garbage in a thread-local bag tagged with
+//!   the global epoch at retirement;
+//! * the global epoch only advances when every active thread has observed the
+//!   current epoch, and garbage retired in epoch `e` is freed once the global
+//!   epoch reaches `e + 2` — at which point no pinned thread can still hold a
+//!   reference to it.
+//!
+//! Compared to the real crate this shim trades throughput for simplicity: the
+//! participant registry is a mutex-protected vector (scanned only during
+//! occasional collection cycles), and all atomics use `SeqCst`.  The public
+//! surface (`Atomic`, `Owned`, `Shared`, `Guard`, [`pin`], [`unprotected`])
+//! matches `crossbeam-epoch` 0.9 closely enough that swapping the real crate
+//! back in is a one-line manifest change.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const ACTIVE: usize = 1;
+
+/// Number of pins between collection attempts on a thread.
+const PINS_BETWEEN_COLLECT: usize = 64;
+
+/// One registered thread: `(epoch << 1) | active` when pinned, `0` otherwise.
+struct Slot {
+    state: AtomicUsize,
+}
+
+struct Registry {
+    slots: Mutex<Vec<Arc<Slot>>>,
+    /// Garbage abandoned by exited threads, freed by whoever collects next.
+    orphans: Mutex<Vec<(usize, Deferred)>>,
+    epoch: AtomicUsize,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        slots: Mutex::new(Vec::new()),
+        orphans: Mutex::new(Vec::new()),
+        epoch: AtomicUsize::new(0),
+    })
+}
+
+/// A deferred destructor: a raw pointer plus the monomorphized drop glue.
+#[derive(Clone, Copy)]
+struct Deferred {
+    ptr: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+}
+
+// Garbage may be freed by a different thread than the one that retired it
+// (via the orphan list).  The `defer_destroy` contract makes the caller
+// responsible for this being sound, exactly as in the real crate.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    fn new<T>(ptr: *const T) -> Self {
+        unsafe fn drop_box<T>(ptr: *mut ()) {
+            drop(unsafe { Box::from_raw(ptr as *mut T) });
+        }
+        Self {
+            ptr: ptr as *mut (),
+            drop_fn: drop_box::<T>,
+        }
+    }
+
+    fn call(self) {
+        // SAFETY: constructed from a uniquely owned `Box`-allocated pointer,
+        // and `call` runs at most once per retirement.
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+/// Free every bag entry retired at least two epochs before `global_epoch`.
+fn free_expired(bag: &mut Vec<(usize, Deferred)>, global_epoch: usize) {
+    let mut i = 0;
+    while i < bag.len() {
+        if bag[i].0 + 2 <= global_epoch {
+            let (_, deferred) = bag.swap_remove(i);
+            deferred.call();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+struct Local {
+    slot: Arc<Slot>,
+    pin_depth: usize,
+    pins: usize,
+    bag: Vec<(usize, Deferred)>,
+}
+
+impl Local {
+    fn new() -> Self {
+        let slot = Arc::new(Slot {
+            state: AtomicUsize::new(0),
+        });
+        registry().slots.lock().unwrap().push(Arc::clone(&slot));
+        Self {
+            slot,
+            pin_depth: 0,
+            pins: 0,
+            bag: Vec::new(),
+        }
+    }
+
+    /// Try to advance the global epoch, then free sufficiently old garbage.
+    fn collect(&mut self) {
+        let reg = registry();
+        if let Ok(slots) = reg.slots.try_lock() {
+            let e = reg.epoch.load(Ordering::SeqCst);
+            let all_current = slots.iter().all(|s| {
+                let st = s.state.load(Ordering::SeqCst);
+                st & ACTIVE == 0 || st >> 1 == e
+            });
+            if all_current {
+                let _ = reg
+                    .epoch
+                    .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+        let ge = reg.epoch.load(Ordering::SeqCst);
+        free_expired(&mut self.bag, ge);
+        if let Ok(mut orphans) = reg.orphans.try_lock() {
+            free_expired(&mut orphans, ge);
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Hand remaining garbage to the global orphan list and go inactive.
+        let reg = registry();
+        self.slot.state.store(0, Ordering::SeqCst);
+        if !self.bag.is_empty() {
+            reg.orphans.lock().unwrap().append(&mut self.bag);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|l| {
+            let mut l = l.borrow_mut();
+            Some(f(l.get_or_insert_with(Local::new)))
+        })
+        .unwrap_or(None)
+}
+
+/// Pin the current thread, returning a guard that keeps any pointer loaded
+/// while it is live safe from reclamation.
+pub fn pin() -> Guard {
+    with_local(|local| {
+        local.pin_depth += 1;
+        if local.pin_depth == 1 {
+            let reg = registry();
+            loop {
+                let e = reg.epoch.load(Ordering::SeqCst);
+                local.slot.state.store((e << 1) | ACTIVE, Ordering::SeqCst);
+                if reg.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+            local.pins += 1;
+            if local.pins % PINS_BETWEEN_COLLECT == 0 {
+                local.collect();
+            }
+        }
+    });
+    Guard { active: true }
+}
+
+/// Return a guard that performs no pinning.
+///
+/// # Safety
+///
+/// The caller must guarantee exclusive access to the data structure (the same
+/// contract as in the real crate, where this is used in destructors).
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { active: false };
+    &UNPROTECTED
+}
+
+/// Witness that the current thread is pinned.
+pub struct Guard {
+    active: bool,
+}
+
+impl Guard {
+    /// Schedule `ptr`'s pointee for destruction once no pinned thread can
+    /// still reference it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been created by [`Owned::new`] (i.e. be a unique,
+    /// `Box`-allocated pointer) and be unreachable to any thread that is not
+    /// currently pinned.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        if ptr.is_null() {
+            return;
+        }
+        if !self.active {
+            // Unprotected guard: caller asserts exclusive access.
+            unsafe { drop(Box::from_raw(ptr.as_raw() as *mut T)) };
+            return;
+        }
+        let epoch = registry().epoch.load(Ordering::SeqCst);
+        let deferred = Deferred::new(ptr.as_raw());
+        // If thread-local storage is already torn down, leak rather than risk
+        // freeing under a still-pinned reader.
+        let _ = with_local(|local| local.bag.push((epoch, deferred)));
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.active {
+            with_local(|local| {
+                local.pin_depth -= 1;
+                if local.pin_depth == 0 {
+                    local.slot.state.store(0, Ordering::SeqCst);
+                }
+            });
+        }
+    }
+}
+
+/// An owned, heap-allocated value, convertible into a [`Shared`] pointer.
+pub struct Owned<T> {
+    inner: Box<T>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Box::new(value),
+        }
+    }
+
+    /// Consume the handle, returning the boxed value.
+    pub fn into_box(self) -> Box<T> {
+        self.inner
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A pointer to shared data, valid while the guard it was loaded under lives.
+pub struct Shared<'g, T> {
+    ptr: *const T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            ptr: std::ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// True if this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// The raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Dereference the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and protected by a pinned guard (or by
+    /// exclusive access).
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.ptr }
+    }
+
+    /// Reclaim ownership of the pointee.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee, which must have
+    /// been allocated by [`Owned::new`].
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned {
+            inner: unsafe { Box::from_raw(self.ptr as *mut T) },
+        }
+    }
+}
+
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(ptr: *const T) -> Self {
+        Self {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Types that carry a pointer which can be installed into an [`Atomic`].
+pub trait Pointer<T> {
+    /// Consume the handle, returning the raw pointer.
+    fn into_ptr(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        Box::into_raw(self.inner)
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr as *mut T
+    }
+}
+
+/// An atomic pointer to epoch-managed data.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocate `value` and point at it.
+    pub fn new(value: T) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Load the current pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Atomically replace the pointer, returning the previous one.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.swap(new.into_ptr(), ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Unconditionally store a new pointer.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_ptr(), ord);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Counted;
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn swap_and_defer_eventually_frees() {
+        let a = Atomic::new(Counted);
+        for _ in 0..1_000 {
+            let g = pin();
+            let old = a.swap(Owned::new(Counted), Ordering::SeqCst, &g);
+            unsafe { g.defer_destroy(old) };
+        }
+        // Drive enough collection cycles that early garbage must be freed.
+        for _ in 0..10 * PINS_BETWEEN_COLLECT {
+            drop(pin());
+        }
+        assert!(DROPS.load(Ordering::SeqCst) > 0, "garbage was never freed");
+        // Clean up the final value.
+        unsafe {
+            let g = unprotected();
+            let last = a.load(Ordering::SeqCst, g);
+            drop(last.into_owned());
+        }
+    }
+
+    #[test]
+    fn unprotected_defer_drops_immediately() {
+        let a = Atomic::new(7u64);
+        unsafe {
+            let g = unprotected();
+            let old = a.swap(Owned::new(8u64), Ordering::SeqCst, g);
+            g.defer_destroy(old);
+            let last = a.load(Ordering::SeqCst, g);
+            assert_eq!(*last.deref(), 8);
+            drop(last.into_owned());
+        }
+    }
+
+    #[test]
+    fn nested_pins_are_allowed() {
+        let g1 = pin();
+        let g2 = pin();
+        drop(g1);
+        drop(g2);
+    }
+}

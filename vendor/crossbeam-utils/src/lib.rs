@@ -1,0 +1,114 @@
+//! Minimal, API-compatible stand-in for the subset of `crossbeam-utils` used
+//! by this workspace ([`Backoff`] and [`CachePadded`]), vendored because the
+//! build environment has no access to crates.io.
+
+use std::ops::{Deref, DerefMut};
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, mirroring `crossbeam_utils::Backoff`.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// A fresh backoff starting at the shortest spin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset to the shortest spin.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spin for a short, exponentially growing number of iterations.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin while the wait is expected to be short, then yield the thread.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once backing off further would not help (callers should park or
+    /// yield instead).
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+/// Pads and aligns a value to 128 bytes to avoid false sharing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let padded = CachePadded::new(1u8);
+        assert_eq!(std::mem::align_of_val(&padded), 128);
+        assert_eq!(*padded, 1);
+        assert_eq!(padded.into_inner(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal, API-compatible stand-in for the subset of `rand` 0.8 used by this
+//! workspace, vendored because the build environment has no access to
+//! crates.io.
+//!
+//! Provides [`SmallRng`](rngs::SmallRng) (xorshift64* — fast, decent quality,
+//! deterministic from a seed), [`thread_rng`], the [`Rng`]/[`SeedableRng`]
+//! traits, and [`distributions::Uniform`].  Statistical quality is adequate
+//! for benchmark key sampling and randomized tests; do **not** use for
+//! anything security-sensitive.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// A low-level source of 64-bit random words.
+pub trait RngCore {
+    /// Next pseudo-random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next pseudo-random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the full value space by
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types that [`Rng::gen_range`] and [`distributions::Uniform`] can
+/// sample from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Width of `low..high` as a `u64` (caller guarantees `low < high`).
+    fn range_width(low: Self, high: Self) -> u64;
+    /// `low + offset`, where `offset < range_width(low, high)`.
+    fn add_offset(low: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn range_width(low: Self, high: Self) -> u64 {
+                (high as i128 - low as i128) as u64
+            }
+            fn add_offset(low: Self, offset: u64) -> Self {
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Map a random word to `[0, width)` without modulo bias worth caring about
+/// at benchmark scales (Lemire's multiply-shift reduction).
+fn reduce(word: u64, width: u64) -> u64 {
+    ((word as u128 * width as u128) >> 64) as u64
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from its full value space (for `bool`, a fair
+    /// coin flip).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from the half-open range `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let width = T::range_width(range.start, range.end);
+        T::add_offset(range.start, reduce(self.next_u64(), width))
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: used to expand seeds and to seed [`thread_rng`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::*;
+
+    /// A small, fast, deterministic RNG (xorshift64*), mirroring
+    /// `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand through SplitMix64 so nearby seeds diverge, and keep the
+            // xorshift state nonzero.
+            let mut s = state;
+            let expanded = splitmix64(&mut s);
+            Self {
+                state: if expanded == 0 { 0x9E37_79B9 } else { expanded },
+            }
+        }
+    }
+
+    /// Handle to a per-thread RNG; see [`super::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) ());
+
+    thread_local! {
+        pub(crate) static THREAD_RNG_STATE: Cell<u64> = Cell::new(seed_for_thread());
+    }
+
+    fn seed_for_thread() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0xC0FF_EE00);
+        let mut s = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let expanded = splitmix64(&mut s);
+        if expanded == 0 {
+            0x9E37_79B9
+        } else {
+            expanded
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            THREAD_RNG_STATE.with(|state| {
+                let mut x = state.get();
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                state.set(x);
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+        }
+    }
+}
+
+/// A per-thread RNG, seeded once per thread.  Unlike the real crate the seed
+/// is deterministic per process (derived from a thread-registration counter),
+/// which is a feature for reproducible benchmarks.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng(())
+}
+
+/// Uniform distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::*;
+
+    /// Types that produce values of `T` when sampled.
+    pub trait Distribution<T> {
+        /// Draw one value from `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open integer range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        width: u64,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Distribution over `low..high`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "cannot sample empty range");
+            Self {
+                low,
+                width: T::range_width(low, high),
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::add_offset(self.low, reduce(rng.next_u64(), self.width))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u64..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_matches_gen_range_bounds() {
+        let dist = Uniform::new(100u64, 200);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = dist.sample(&mut rng);
+            assert!((100..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_flips_both_ways() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let heads = (0..1_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((300..700).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn thread_rng_works_and_differs_across_threads() {
+        let mut r = thread_rng();
+        let a = r.next_u64();
+        let b = std::thread::spawn(|| thread_rng().next_u64())
+            .join()
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
