@@ -1,13 +1,22 @@
 //! Criterion micro-benchmarks for the STM substrate itself: read-only
-//! transactions, small writer transactions, and clock sources.
+//! transactions, small writer transactions, clock sources, and the
+//! epoch-reclamation primitives underneath every transactional write.
 //!
 //! These support the paper's premise (§2.2) that a well-engineered STM makes
 //! multi-word atomic operations cheap enough to build data structures on, and
-//! the ablation between logical and hardware clocks discussed in §5.1.
+//! the ablation between logical and hardware clocks discussed in §5.1.  The
+//! `epoch` group exists because `pin()`/`defer_destroy` sit on the hottest
+//! path in the system: the multi-threaded churn case demonstrates that the
+//! epoch shim no longer serializes threads on a global lock — per-batch time
+//! should stay roughly flat as the thread count grows (up to the core
+//! count), where the seed's mutex-backed shim degraded linearly.
 
+use std::sync::atomic::Ordering;
+use std::thread;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
 use skiphash_stm::{ClockKind, Stm, TCell};
 
 fn bench_transactions(c: &mut Criterion) {
@@ -48,6 +57,81 @@ fn bench_transactions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Epoch primitives: single-thread latency plus a multi-thread scalability
+/// smoke.  One "iteration" of a churn case is a whole batch: every thread
+/// performs [`CHURN_OPS_PER_THREAD`] pin + swap + `defer_destroy` cycles on
+/// its own `Atomic`, so the only shared state touched is the reclamation
+/// machinery itself — exactly what must not serialize.
+fn bench_epoch(c: &mut Criterion) {
+    const CHURN_OPS_PER_THREAD: usize = 10_000;
+
+    let mut group = c.benchmark_group("epoch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+
+    group.bench_function("pin_unpin", |b| b.iter(epoch::pin));
+
+    group.bench_function("swap_defer_destroy", |b| {
+        let cell = Atomic::new(0u64);
+        b.iter(|| {
+            let guard = epoch::pin();
+            let old = cell.swap(Owned::new(1u64), Ordering::AcqRel, &guard);
+            // SAFETY: `old` became unreachable at the swap.
+            unsafe { guard.defer_destroy(old) };
+        });
+        // SAFETY: the bencher is done; nothing else references the cell.
+        unsafe {
+            let guard = epoch::unprotected();
+            drop(cell.load(Ordering::Relaxed, guard).into_owned());
+        }
+    });
+
+    let max_threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > 1 && threads > 2 * max_threads {
+            // Far beyond the core count the numbers measure the scheduler,
+            // not the reclamation machinery.
+            continue;
+        }
+        group.bench_function(
+            BenchmarkId::new(
+                format!("churn_{CHURN_OPS_PER_THREAD}ops_per_thread"),
+                threads,
+            ),
+            |b| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            thread::spawn(move || {
+                                let cell = Atomic::new(0u64);
+                                for i in 0..CHURN_OPS_PER_THREAD as u64 {
+                                    let guard = epoch::pin();
+                                    let old = cell.swap(Owned::new(i), Ordering::AcqRel, &guard);
+                                    // SAFETY: unreachable once swapped out.
+                                    unsafe { guard.defer_destroy(old) };
+                                }
+                                // SAFETY: the worker is done with the cell.
+                                unsafe {
+                                    let guard = epoch::unprotected();
+                                    drop(cell.load(Ordering::Relaxed, guard).into_owned());
+                                }
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        handle.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_uninstrumented_baseline(c: &mut Criterion) {
     // A plain (non-transactional) loop over the same data, to quantify STM
     // instrumentation overhead.
@@ -67,5 +151,10 @@ fn bench_uninstrumented_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transactions, bench_uninstrumented_baseline);
+criterion_group!(
+    benches,
+    bench_transactions,
+    bench_epoch,
+    bench_uninstrumented_baseline
+);
 criterion_main!(benches);

@@ -52,6 +52,7 @@ pub mod node;
 pub mod range;
 pub mod rqc;
 pub mod skiplist;
+pub mod thread_slots;
 
 pub use config::{Config, RangePolicy, RemovalPolicy, SkipHashBuilder};
 pub use hashmap::TxHashMap;

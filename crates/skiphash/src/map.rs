@@ -1,9 +1,10 @@
 //! The skip hash ordered map.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crossbeam_utils::CachePadded;
 use skiphash_stm::{StatsSnapshot, Stm};
 
 use crate::config::{Config, RemovalPolicy, SkipHashBuilder};
@@ -11,6 +12,7 @@ use crate::hashmap::TxHashMap;
 use crate::node::Node;
 use crate::rqc::{DeferralBuffer, Rqc};
 use crate::skiplist::SkipList;
+use crate::thread_slots;
 use crate::{MapKey, MapValue};
 
 /// Counters describing how range queries executed (fast path vs slow path).
@@ -59,6 +61,47 @@ impl RangeCounters {
     }
 }
 
+/// A sharded population counter: one cache-line-padded signed counter per
+/// thread slot, bumped *after* an insert or removal commits.
+///
+/// Sharding keeps the counter off the transactional hot path entirely — no
+/// shared cache line is written by two threads, and no transaction carries
+/// the counter in its read or write set (a single shared `TCell` counter
+/// would conflict every pair of updates).  Individual shards may go negative
+/// (a thread can decrement a different shard than the one incremented), so
+/// shards are signed and only the sum is meaningful.
+pub(crate) struct PopulationCounter {
+    shards: Box<[CachePadded<AtomicI64>]>,
+}
+
+impl PopulationCounter {
+    fn new() -> Self {
+        Self {
+            shards: (0..thread_slots::slot_table_size())
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self) -> &AtomicI64 {
+        &self.shards[thread_slots::current_slot() & (self.shards.len() - 1)]
+    }
+
+    fn record_insert(&self) {
+        self.shard().fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_remove(&self) {
+        self.shard().fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> usize {
+        let sum: i64 = self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        debug_assert!(sum >= 0, "population counter went negative: {sum}");
+        sum.max(0) as usize
+    }
+}
+
 /// A concurrent, linearizable ordered map composing a hash map and a doubly
 /// linked skip list behind software transactional memory.
 ///
@@ -95,6 +138,7 @@ pub struct SkipHash<K: MapKey, V: MapValue> {
     pub(crate) buffer: DeferralBuffer<K, V>,
     pub(crate) config: Config,
     pub(crate) range_counters: RangeCounters,
+    pub(crate) population: PopulationCounter,
 }
 
 impl<K: MapKey, V: MapValue> fmt::Debug for SkipHash<K, V> {
@@ -136,6 +180,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             buffer: DeferralBuffer::new(buffer_capacity),
             config,
             range_counters: RangeCounters::new(),
+            population: PopulationCounter::new(),
         }
     }
 
@@ -191,7 +236,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             let mut rng = rand::thread_rng();
             self.skiplist.random_height(&mut rng)
         };
-        self.stm.run(|tx| {
+        let inserted = self.stm.run(|tx| {
             if self.index.contains(tx, &key)? {
                 return Ok(false);
             }
@@ -205,7 +250,11 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             )?;
             self.index.insert(tx, key.clone(), node)?;
             Ok(true)
-        })
+        });
+        if inserted {
+            self.population.record_insert();
+        }
+        inserted
     }
 
     /// Insert or overwrite, returning the previous value when the key was
@@ -216,7 +265,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             let mut rng = rand::thread_rng();
             self.skiplist.random_height(&mut rng)
         };
-        self.stm.run(|tx| {
+        let previous = self.stm.run(|tx| {
             if let Some(node) = self.index.get(tx, &key)? {
                 let previous = node.read_value(tx)?;
                 node.value.write(tx, Some(value.clone()))?;
@@ -232,7 +281,11 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             )?;
             self.index.insert(tx, key.clone(), node)?;
             Ok(None)
-        })
+        });
+        if previous.is_none() {
+            self.population.record_insert();
+        }
+        previous
     }
 
     /// Remove `key`.  Returns `true` if the key was present.
@@ -254,6 +307,9 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             let deferred = self.after_remove(tx, node)?;
             Ok((Some(value), deferred))
         });
+        if value.is_some() {
+            self.population.record_remove();
+        }
         if let Some(node) = deferred {
             self.buffer_deferred_node(node);
         }
@@ -362,10 +418,39 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
 
     /// Number of keys currently present.
     ///
-    /// This walks the skip list (`O(n)`); the skip hash deliberately keeps no
-    /// shared size counter, which would serialize every update.
+    /// `O(shards)`: sums the sharded population counter, which is bumped
+    /// outside the transactional hot path after each committed insert or
+    /// removal (a single shared counter cell would serialize every update;
+    /// the seed walked level 0 of the skip list instead, paying `O(n)` on
+    /// every benchmark pre-fill verification).  Under concurrent updates the
+    /// value is a linearizable-ish snapshot like any concurrent size; in
+    /// debug builds a quiescent caller also pays the `O(n)` walk, which must
+    /// agree with the counter.
     pub fn len(&self) -> usize {
-        self.stm.run(|tx| self.skiplist.count_present(tx))
+        let total = self.population.total();
+        #[cfg(debug_assertions)]
+        {
+            // A caller racing updaters can observe the walk and the counter
+            // mid-divergence (the counter is bumped just after the
+            // transaction commits), so only a *persistent* mismatch is a
+            // bug.  Re-sample a few times before declaring one.
+            let mut walked = self.stm.run(|tx| self.skiplist.count_present(tx));
+            let mut counted = self.population.total();
+            for _ in 0..3 {
+                if walked == counted {
+                    break;
+                }
+                std::thread::yield_now();
+                walked = self.stm.run(|tx| self.skiplist.count_present(tx));
+                counted = self.population.total();
+            }
+            debug_assert_eq!(
+                walked, counted,
+                "sharded population counter persistently diverged from the \
+                 level-0 walk"
+            );
+        }
+        total
     }
 
     /// True when the map holds no keys.
@@ -402,10 +487,11 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     }
 
     /// Validate internal invariants (test/debug helper): the hash map and the
-    /// skip list agree on the set of present keys, and the skip list's
-    /// structure is well formed.
+    /// skip list agree on the set of present keys, the skip list's structure
+    /// is well formed, and the sharded population counter matches the number
+    /// of present keys.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.stm.run(|tx| {
+        let present = self.stm.run(|tx| {
             let structural = self.skiplist.check_invariants(tx)?;
             if let Err(e) = structural {
                 return Ok(Err(e));
@@ -426,8 +512,27 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                     from_list.len()
                 )));
             }
-            Ok(Ok(()))
-        })
+            Ok(Ok(from_list.len()))
+        })?;
+        // The counter is bumped just *after* an update's transaction commits,
+        // so a caller racing updaters can catch it mid-divergence; re-sample
+        // and only report a mismatch that persists.
+        let mut walked = present;
+        let mut counted = self.population.total();
+        for _ in 0..3 {
+            if walked == counted {
+                return Ok(());
+            }
+            std::thread::yield_now();
+            walked = self.stm.run(|tx| self.skiplist.count_present(tx));
+            counted = self.population.total();
+        }
+        if walked != counted {
+            return Err(format!(
+                "population counter persistently reports {counted} keys but {walked} are present"
+            ));
+        }
+        Ok(())
     }
 }
 

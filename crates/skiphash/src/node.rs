@@ -107,15 +107,26 @@ impl<K: MapKey, V: MapValue> Node<K, V> {
     /// Create a regular node carrying `key`/`value` with the given tower
     /// height and insertion time.
     pub fn new(key: K, value: V, height: usize, i_time: u64) -> Arc<Self> {
+        Arc::new(Self::fresh(key, value, height, i_time))
+    }
+
+    /// Build a regular node by value, without wrapping it in an [`Arc`].
+    ///
+    /// This exists so transactional insert paths can allocate through
+    /// [`skiphash_stm::Txn::alloc`], which registers the allocation with the
+    /// transaction in the same step (the structural fix for the
+    /// rollback-through-freed-cells hazard of hand-rolled `keep_alive`
+    /// calls).
+    pub fn fresh(key: K, value: V, height: usize, i_time: u64) -> Self {
         assert!(height >= 1, "node height must be at least 1");
-        Arc::new(Self {
+        Self {
             bound: Bound::Key(key),
             height,
             value: TCell::new(Some(value)),
             i_time: TCell::new(i_time),
             r_time: TCell::new(None),
             tower: (0..height).map(|_| Level::empty()).collect(),
-        })
+        }
     }
 
     /// Create one of the two sentinel nodes with a full-height tower.

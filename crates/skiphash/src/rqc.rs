@@ -17,13 +17,13 @@
 //! [`DeferralBuffer`].
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use skiphash_stm::{TCell, TxResult, Txn};
 
 use crate::node::Node;
+use crate::thread_slots;
 use crate::{MapKey, MapValue};
 
 /// Metadata for one in-flight slow-path range query.
@@ -187,6 +187,13 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
 /// directly when no slow-path range query is in flight).  This turns the
 /// per-removal write to the RQC's shared `deferred` list into one write per
 /// `capacity` removals.
+///
+/// The slot table is sized from [`thread_slots::slot_table_size`] (a power of
+/// two derived from `available_parallelism`), and threads are assigned slot
+/// indices from the collision-free lease registry in [`thread_slots`], so
+/// distinct live threads never contend on the same slot — the seed's fixed
+/// 128-slot table hashed an ever-growing thread counter modulo the table and
+/// silently serialized unrelated threads once enough had come and gone.
 pub struct DeferralBuffer<K, V> {
     slots: Vec<Mutex<Vec<Arc<Node<K, V>>>>>,
     capacity: usize,
@@ -201,31 +208,14 @@ impl<K, V> fmt::Debug for DeferralBuffer<K, V> {
     }
 }
 
-const BUFFER_SLOTS: usize = 128;
-
-static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    static THREAD_SLOT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
-}
-
-fn thread_slot_index() -> usize {
-    THREAD_SLOT.with(|slot| match slot.get() {
-        Some(index) => index,
-        None => {
-            let index = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
-            slot.set(Some(index));
-            index
-        }
-    })
-}
-
 impl<K: MapKey, V: MapValue> DeferralBuffer<K, V> {
     /// Create a buffer whose per-thread slots flush at `capacity` nodes.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
-            slots: (0..BUFFER_SLOTS).map(|_| Mutex::new(Vec::new())).collect(),
+            slots: (0..thread_slots::slot_table_size())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             capacity,
         }
     }
@@ -235,10 +225,17 @@ impl<K: MapKey, V: MapValue> DeferralBuffer<K, V> {
         self.capacity
     }
 
+    /// Number of per-thread slots (a power of two).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Add `node` to the calling thread's slot.  Returns the full batch when
     /// the slot reached capacity and must now be handed to the RQC.
     pub fn push(&self, node: Arc<Node<K, V>>) -> Option<Vec<Arc<Node<K, V>>>> {
-        let slot = &self.slots[thread_slot_index() % self.slots.len()];
+        // Leased indices are dense over live threads, so the mask only folds
+        // indices when more threads are alive than the table has slots.
+        let slot = &self.slots[thread_slots::current_slot() & (self.slots.len() - 1)];
         let mut pending = slot.lock();
         pending.push(node);
         if pending.len() >= self.capacity {
@@ -366,6 +363,51 @@ mod tests {
         assert!(buffer.is_empty());
         assert!(buffer.push(node(4, 0)).is_none());
         assert_eq!(buffer.drain_all().len(), 1);
+    }
+
+    #[test]
+    fn live_threads_never_share_a_buffer_slot() {
+        use std::sync::Barrier;
+        // Capacity 2 turns any slot collision into an observable flush: if
+        // two live threads mapped to the same slot, the second push would
+        // return a full batch.  All pushes returning `None` proves the slot
+        // assignment is collision-free.
+        let threads = 16;
+        let buffer: Arc<DeferralBuffer<u64, u64>> = Arc::new(DeferralBuffer::new(2));
+        assert!(threads <= buffer.slot_count());
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let buffer = Arc::clone(&buffer);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let lease = crate::thread_slots::current_slot();
+                    let flushed = buffer.push(node(t as u64, 0));
+                    // Keep the thread (and its slot lease) alive until every
+                    // thread has pushed.
+                    barrier.wait();
+                    (lease, flushed.is_none())
+                })
+            })
+            .collect();
+        let results: Vec<(usize, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The no-collision guarantee holds while live leases fit the table;
+        // other tests in this process hold leases too, so skip the assertion
+        // in the (pathological) case where the process is so oversubscribed
+        // that this test's workers were handed indices beyond the table and
+        // the mask legitimately folds them.
+        if results
+            .iter()
+            .all(|(lease, _)| *lease < buffer.slot_count())
+        {
+            for (lease, no_flush) in &results {
+                assert!(
+                    no_flush,
+                    "two live threads were assigned the same deferral slot (lease {lease})"
+                );
+            }
+        }
+        assert_eq!(buffer.drain_all().len(), threads);
     }
 
     #[test]

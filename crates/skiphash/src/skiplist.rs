@@ -213,10 +213,10 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
             }
         }
 
-        let node = Node::new(key, value, height, i_time);
         // The node's own cells are written below while nothing else references
-        // it; the transaction must hold it alive through a potential rollback.
-        tx.keep_alive(Arc::clone(&node));
+        // it; allocating through the transaction keeps it alive through a
+        // potential rollback (and cannot be forgotten, unlike `keep_alive`).
+        let node = tx.alloc(Node::fresh(key, value, height, i_time));
         for level in 0..height {
             node.tower[level]
                 .pred

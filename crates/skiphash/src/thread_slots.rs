@@ -1,0 +1,149 @@
+//! Collision-free per-thread slot indices.
+//!
+//! Several structures in this crate shard state by thread — the
+//! [`crate::rqc::DeferralBuffer`] keeps one removal buffer per thread, and
+//! [`crate::SkipHash`] shards its population counter — and all of them need a
+//! cheap way to map "the current thread" to a small dense index.
+//!
+//! A naive scheme (a global counter hashed modulo a fixed table, as the seed
+//! used) breaks down in two ways: indices grow without bound as threads come
+//! and go, so long-running processes alias unrelated threads onto the same
+//! slot; and a fixed table size picked at compile time has no relation to the
+//! machine.  This module fixes both:
+//!
+//! * indices are leased from a **free list**: a thread claims the smallest
+//!   recycled index (or mints the next fresh one) the first time it asks, and
+//!   returns it when the thread exits, so the set of indices in use is always
+//!   exactly as dense as the set of *live* threads;
+//! * [`slot_table_size`] reports a power-of-two table size derived from
+//!   [`std::thread::available_parallelism`], with headroom for oversubscribed
+//!   workloads (tests routinely run more threads than cores).
+//!
+//! Together these guarantee that two distinct live threads never share a slot
+//! as long as no more than [`slot_table_size`] threads are alive at once —
+//! and that bound is `max(64, 4 × cores)`, far above anything the harness or
+//! tests spawn.  The free-list mutex is touched once per thread lifetime
+//! (claim + return), never on per-operation paths.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Next never-used index, minted when the free list is empty.
+static NEXT_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+/// Indices returned by exited threads, reused before minting new ones.
+static FREE_INDICES: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+/// A thread's lease on its slot index; returns the index on thread exit.
+struct Lease {
+    index: usize,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        FREE_INDICES.lock().push(self.index);
+    }
+}
+
+thread_local! {
+    static LEASE: RefCell<Option<Lease>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's slot index, claimed on first use and held until the
+/// thread exits.
+///
+/// Indices are dense over live threads: an exited thread's index is recycled
+/// by the next thread that claims one.  During thread-local teardown (when
+/// the lease is already gone) this falls back to index 0; that path can only
+/// be hit by destructors, never by per-operation code.
+pub fn current_slot() -> usize {
+    LEASE
+        .try_with(|lease| {
+            lease
+                .borrow_mut()
+                .get_or_insert_with(|| Lease {
+                    index: FREE_INDICES
+                        .lock()
+                        .pop()
+                        .unwrap_or_else(|| NEXT_INDEX.fetch_add(1, Ordering::Relaxed)),
+                })
+                .index
+        })
+        .unwrap_or(0)
+}
+
+/// Power-of-two slot-table size for thread-sharded structures: at least 64
+/// and at least four times [`std::thread::available_parallelism`], so that
+/// moderately oversubscribed workloads still map live threads to distinct
+/// slots.
+pub fn slot_table_size() -> usize {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(16);
+    (4 * parallelism).next_power_of_two().max(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::{Arc, Barrier};
+    use std::thread;
+
+    #[test]
+    fn table_size_is_power_of_two_with_floor() {
+        let size = slot_table_size();
+        assert!(size.is_power_of_two());
+        assert!(size >= 64);
+    }
+
+    #[test]
+    fn slot_is_stable_within_a_thread() {
+        assert_eq!(current_slot(), current_slot());
+    }
+
+    #[test]
+    fn concurrent_threads_get_distinct_slots() {
+        let threads = 16;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    let slot = current_slot();
+                    // Hold the lease until every thread has sampled its slot,
+                    // so no index is recycled mid-test.
+                    barrier.wait();
+                    slot
+                })
+            })
+            .collect();
+        let slots: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let distinct: HashSet<usize> = slots.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            threads,
+            "live threads must never share a slot: {slots:?}"
+        );
+    }
+
+    #[test]
+    fn exited_threads_donate_their_slots() {
+        // Sequential threads: each exits before the next starts, so the free
+        // list always has a recycled index available.  Other tests in this
+        // process may mint a handful of indices concurrently, so allow slack;
+        // the point is that 100 sequential threads must come nowhere near
+        // minting 100 fresh indices.
+        let before = NEXT_INDEX.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            thread::spawn(current_slot).join().unwrap();
+        }
+        let after = NEXT_INDEX.load(Ordering::Relaxed);
+        assert!(
+            after <= before + 50,
+            "sequential threads must reuse recycled indices ({before} -> {after})"
+        );
+    }
+}

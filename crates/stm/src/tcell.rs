@@ -179,41 +179,48 @@ pub(crate) struct CellWrite<T> {
 }
 
 /// Type-erased handle to a pending transactional write, used by the undo log.
+///
+/// Displaced values are not retired through the epoch one at a time; they are
+/// collected into the transaction's [`epoch::Bag`] and flushed in a single
+/// thread-local access when the transaction finishes, so a commit with `k`
+/// writes pins once and flushes once.
 pub(crate) trait WriteBack {
-    /// Restore the pre-transaction value and release the orec at its old
-    /// version.  Called on abort.
+    /// Restore the pre-transaction value, release the orec at its old
+    /// version, and park the displaced value in `retired`.  Called on abort.
     ///
     /// # Safety
     ///
     /// Must only be called by the owning transaction, exactly once, with the
-    /// transaction's epoch guard still pinned.
-    unsafe fn abort(&self, guard: &epoch::Guard);
+    /// transaction's epoch guard still pinned; `retired` must be flushed
+    /// through that guard before it is unpinned.
+    unsafe fn abort(&self, guard: &epoch::Guard, retired: &mut epoch::Bag);
 
-    /// Retire the pre-transaction value and release the orec at `version`.
-    /// Called on commit.
+    /// Park the pre-transaction value in `retired` and release the orec at
+    /// `version`.  Called on commit.
     ///
     /// # Safety
     ///
     /// Must only be called by the owning transaction, exactly once, with the
-    /// transaction's epoch guard still pinned.
-    unsafe fn commit(&self, guard: &epoch::Guard, version: u64);
+    /// transaction's epoch guard still pinned; `retired` must be flushed
+    /// through that guard before it is unpinned.
+    unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64);
 }
 
 impl<T: Send + Sync + 'static> WriteBack for CellWrite<T> {
-    unsafe fn abort(&self, guard: &epoch::Guard) {
+    unsafe fn abort(&self, guard: &epoch::Guard, retired: &mut epoch::Bag) {
         let cell = &*self.cell;
         let old = epoch::Shared::from(self.old_data);
         let current = cell.data.swap(old, Ordering::AcqRel, guard);
         if !current.is_null() {
-            guard.defer_destroy(current);
+            retired.defer_destroy(current);
         }
         cell.orec.release(self.old_version);
     }
 
-    unsafe fn commit(&self, guard: &epoch::Guard, version: u64) {
+    unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64) {
         let old = epoch::Shared::from(self.old_data);
         if !old.is_null() {
-            guard.defer_destroy(old);
+            retired.defer_destroy(old);
         }
         let cell = &*self.cell;
         cell.orec.release(version);

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam_epoch::{self as epoch, Guard, Owned};
+use crossbeam_epoch::{self as epoch, Bag, Guard, Owned};
 use crossbeam_utils::Backoff;
 
 use crate::clock::{ClockKind, ClockSource};
@@ -124,6 +124,7 @@ impl Stm {
             guard: epoch::pin(),
             read_set: Vec::new(),
             writes: Vec::new(),
+            retired: Bag::new(),
             keepalive: Vec::new(),
             finished: false,
         }
@@ -209,6 +210,10 @@ pub struct Txn<'stm> {
     guard: Guard,
     read_set: Vec<ReadEntry>,
     writes: Vec<Box<dyn WriteBack>>,
+    /// Values displaced by this attempt's writes, retired through the epoch
+    /// in one batch when the attempt finishes (commit, rollback, or drop) —
+    /// a commit with `k` writes pins once and flushes once.
+    retired: Bag,
     keepalive: Vec<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
     finished: bool,
 }
@@ -254,8 +259,27 @@ impl<'stm> Txn<'stm> {
     /// reference to a freshly allocated object is dropped when the closure
     /// returns — *before* the rollback runs.  Without a keep-alive
     /// registration, an aborted attempt would roll back through freed memory.
+    ///
+    /// Prefer [`Txn::alloc`], which performs the allocation and the
+    /// registration in one step and cannot be forgotten.
     pub fn keep_alive<T: Send + Sync + 'static>(&mut self, value: std::sync::Arc<T>) {
         self.keepalive.push(value);
+    }
+
+    /// Allocate `value` on the heap and register the allocation with this
+    /// transaction attempt in one step, returning the shared handle.
+    ///
+    /// This is the structural replacement for the [`Txn::keep_alive`]
+    /// convention: an object whose [`TCell`]s will be written inside the
+    /// transaction body *must* outlive a potential rollback, and `alloc`
+    /// makes forgetting the registration impossible — the only handle the
+    /// caller ever sees is already registered.  Prefer this over
+    /// `Arc::new` + `keep_alive` for any object allocated inside a
+    /// transaction body.
+    pub fn alloc<T: Send + Sync + 'static>(&mut self, value: T) -> std::sync::Arc<T> {
+        let arc = std::sync::Arc::new(value);
+        self.keepalive.push(std::sync::Arc::clone(&arc) as _);
+        arc
     }
 
     #[inline]
@@ -309,8 +333,9 @@ impl<'stm> Txn<'stm> {
             let old = cell
                 .data
                 .swap(Owned::new(value), Ordering::AcqRel, &self.guard);
-            // SAFETY: `old` is no longer reachable once swapped out.
-            unsafe { self.guard.defer_destroy(old) };
+            // SAFETY: `old` is no longer reachable once swapped out; the bag
+            // is flushed before our guard unpins.
+            unsafe { self.retired.defer_destroy(old) };
             return Ok(());
         }
         let old_version = match Orec::decode_raw(o1) {
@@ -362,8 +387,10 @@ impl<'stm> Txn<'stm> {
         for write in self.writes.drain(..) {
             // SAFETY: we are the owning transaction and call commit exactly
             // once per entry, with our guard pinned.
-            unsafe { write.commit(&self.guard, wv) };
+            unsafe { write.commit(&mut self.retired, wv) };
         }
+        // One batched hand-off to the epoch for the whole commit.
+        self.guard.flush_batch(&mut self.retired);
         self.read_set.clear();
         self.stm.stats.record_commit(false);
         self.finished = true;
@@ -374,8 +401,9 @@ impl<'stm> Txn<'stm> {
         for write in self.writes.drain(..).rev() {
             // SAFETY: we are the owning transaction and call abort exactly
             // once per entry, with our guard pinned.
-            unsafe { write.abort(&self.guard) };
+            unsafe { write.abort(&self.guard, &mut self.retired) };
         }
+        self.guard.flush_batch(&mut self.retired);
         self.read_set.clear();
         self.finished = true;
     }
@@ -389,6 +417,9 @@ impl Drop for Txn<'_> {
         if !self.finished && !self.writes.is_empty() {
             self.rollback();
         }
+        // Normal paths flush in commit/rollback; this catches bodies that
+        // errored after a same-cell overwrite without triggering either.
+        self.guard.flush_batch(&mut self.retired);
     }
 }
 
@@ -529,6 +560,34 @@ mod tests {
             assert!(format!("{tx:?}").contains("Txn"));
             Ok(())
         });
+    }
+
+    #[test]
+    fn alloc_registers_objects_across_abort() {
+        struct Pair {
+            a: TCell<u64>,
+            b: TCell<u64>,
+        }
+        let stm = Stm::new();
+        let mut first = true;
+        let survivor = stm.run(|tx| {
+            // The Arc returned by `alloc` is dropped at the end of the body
+            // on the aborting attempt; the registration must keep the cells
+            // alive through the rollback that follows.
+            let pair = tx.alloc(Pair {
+                a: TCell::new(0),
+                b: TCell::new(0),
+            });
+            pair.a.write(tx, 1)?;
+            pair.b.write(tx, 2)?;
+            if first {
+                first = false;
+                return Err(TxAbort::Explicit);
+            }
+            Ok(pair)
+        });
+        assert_eq!(survivor.a.load_atomic(), 1);
+        assert_eq!(survivor.b.load_atomic(), 2);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Stress tests for epoch-based reclamation under contention.
+//!
+//! The epoch shim's hot path is lock-free (per-thread pinned slots,
+//! per-thread garbage bags sealed into a global stack on flush), which means
+//! its failure modes are silent: a leak shows up as memory growth, a
+//! double-free or premature free as corruption.  These tests make both loud
+//! with drop-counting payloads — every allocation carries a counter bumped
+//! exactly once on drop plus a flag that panics on a second drop — and are
+//! the designated targets for the AddressSanitizer CI job.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use skiphash::{RangePolicy, RemovalPolicy, SkipHash};
+use skiphash_stm::{Stm, TCell, TxAbort, TxResult};
+
+/// A payload whose drop is observable and must happen exactly once.
+struct Tracked {
+    drops: Arc<AtomicUsize>,
+    dropped: AtomicBool,
+}
+
+impl Tracked {
+    fn new(drops: &Arc<AtomicUsize>) -> Self {
+        Self {
+            drops: Arc::clone(drops),
+            dropped: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        assert!(
+            !self.dropped.swap(true, Ordering::SeqCst),
+            "double free: payload dropped twice"
+        );
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Drive pins (and therefore collection cycles) until `drops` reaches
+/// `expected` or the deadline passes.  Other tests in this process may hold
+/// pins transiently, so collection timing is not deterministic.
+fn drive_reclamation(drops: &AtomicUsize, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while drops.load(Ordering::SeqCst) < expected && Instant::now() < deadline {
+        drop(epoch::pin());
+    }
+}
+
+/// Many threads churning `defer_destroy` on shared atomics under contention:
+/// every retired payload must be freed exactly once, and the live payloads
+/// must survive until teardown.
+#[test]
+fn concurrent_defer_destroy_frees_everything_exactly_once() {
+    const THREADS: usize = 8;
+    const OPS_PER_THREAD: usize = 2_000;
+    const CELLS: usize = 16;
+
+    let drops = Arc::new(AtomicUsize::new(0));
+    let cells: Arc<Vec<Atomic<Tracked>>> = Arc::new(
+        (0..CELLS)
+            .map(|_| Atomic::new(Tracked::new(&drops)))
+            .collect(),
+    );
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cells = Arc::clone(&cells);
+            let drops = Arc::clone(&drops);
+            thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let guard = epoch::pin();
+                    let cell = &cells[(t + i) % CELLS];
+                    let old = cell.swap(Owned::new(Tracked::new(&drops)), Ordering::AcqRel, &guard);
+                    // SAFETY: `old` became unreachable at the swap; any
+                    // thread that loaded it is still pinned.
+                    unsafe { guard.defer_destroy(old) };
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Every swap retired one payload; the CELLS current payloads are live.
+    let retired = THREADS * OPS_PER_THREAD;
+    drive_reclamation(&drops, retired);
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        retired,
+        "leak: not every retired payload was freed"
+    );
+
+    // Tear down the survivors with exclusive access.
+    unsafe {
+        let guard = epoch::unprotected();
+        for cell in cells.iter() {
+            drop(cell.load(Ordering::Relaxed, guard).into_owned());
+        }
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), retired + CELLS);
+}
+
+/// A value whose clones and drops are tallied, so any imbalance (leak or
+/// double free) at the STM layer is observable as a nonzero live count.
+#[derive(Debug)]
+struct Balanced {
+    live: Arc<AtomicIsize>,
+    value: u64,
+}
+
+impl Balanced {
+    fn new(live: &Arc<AtomicIsize>, value: u64) -> Self {
+        live.fetch_add(1, Ordering::SeqCst);
+        Self {
+            live: Arc::clone(live),
+            value,
+        }
+    }
+}
+
+impl Clone for Balanced {
+    fn clone(&self) -> Self {
+        self.live.fetch_add(1, Ordering::SeqCst);
+        Self {
+            live: Arc::clone(&self.live),
+            value: self.value,
+        }
+    }
+}
+
+impl Drop for Balanced {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Writer transactions batching several retirements per commit (the `Txn`
+/// bag) race readers; once everything quiesces and the cells are dropped,
+/// every clone ever made must have been dropped exactly once.
+#[test]
+fn stm_commit_batches_balance_allocations_and_drops() {
+    const THREADS: usize = 6;
+    const TXNS_PER_THREAD: usize = 400;
+    const CELLS: usize = 8;
+
+    let live = Arc::new(AtomicIsize::new(0));
+    let stm = Arc::new(Stm::new());
+    let cells: Arc<Vec<TCell<Balanced>>> = Arc::new(
+        (0..CELLS as u64)
+            .map(|i| TCell::new(Balanced::new(&live, i)))
+            .collect(),
+    );
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let cells = Arc::clone(&cells);
+            let live = Arc::clone(&live);
+            thread::spawn(move || {
+                for i in 0..TXNS_PER_THREAD {
+                    if (t + i) % 3 == 0 {
+                        // Reader: clone a couple of values.
+                        stm.run(|tx| {
+                            let a = cells[i % CELLS].read(tx)?;
+                            let b = cells[(i + 1) % CELLS].read(tx)?;
+                            Ok(a.value + b.value)
+                        });
+                    } else {
+                        // Writer: retire two old values per commit, one of
+                        // them twice (exercising the same-cell overwrite
+                        // branch of the transaction's retirement bag).
+                        stm.run(|tx| {
+                            let target = &cells[i % CELLS];
+                            target.write(tx, Balanced::new(&live, i as u64))?;
+                            target.write(tx, Balanced::new(&live, i as u64 + 1))?;
+                            cells[(i + 2) % CELLS].write(tx, Balanced::new(&live, i as u64))?;
+                            Ok(())
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Drop the cells (freeing the current values), then drive the epoch
+    // until every retired clone has been reclaimed.
+    drop(
+        Arc::try_unwrap(cells)
+            .ok()
+            .expect("all worker handles joined"),
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+        drop(epoch::pin());
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "allocation/drop imbalance after quiescence (positive = leak, negative = double free)"
+    );
+}
+
+/// Regression for the PR-1 use-after-free: objects allocated through
+/// `Txn::alloc` must survive the rollback that follows an abort — the
+/// aborting attempt rolls back writes *through the object's cells* after the
+/// body's own `Arc` is gone — and must be released afterwards.
+#[test]
+fn txn_alloc_objects_survive_abort_and_rollback() {
+    struct Widget {
+        live: Arc<AtomicIsize>,
+        a: TCell<u64>,
+        b: TCell<u64>,
+    }
+    impl Drop for Widget {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    let stm = Stm::new();
+    let live = Arc::new(AtomicIsize::new(0));
+
+    for round in 0..50u64 {
+        let outcome: Result<_, _> = stm.try_once(|tx| -> TxResult<()> {
+            live.fetch_add(1, Ordering::SeqCst);
+            let widget = tx.alloc(Widget {
+                live: Arc::clone(&live),
+                a: TCell::new(0),
+                b: TCell::new(0),
+            });
+            widget.a.write(tx, round)?;
+            widget.b.write(tx, round + 1)?;
+            // Abort after writing the fresh object's cells: rollback must
+            // walk back through them, which is only safe because `alloc`
+            // registered the object with the transaction.
+            Err(TxAbort::Explicit)
+        });
+        assert!(outcome.is_err());
+    }
+
+    // Aborted attempts must not leak the registered objects.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+        drop(epoch::pin());
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "aborted Txn::alloc objects were never released"
+    );
+}
+
+/// End-to-end churn through the skip hash: inserts and removals retire nodes
+/// and hash-chain vectors through the batched transaction bags while range
+/// queries hold pins; the map must stay consistent throughout.  (Memory
+/// errors here are the ASan job's concern.)
+#[test]
+fn skiphash_churn_under_concurrent_range_queries() {
+    let map: Arc<SkipHash<u64, u64>> = Arc::new(
+        SkipHash::<u64, u64>::builder()
+            .range_policy(RangePolicy::TwoPath { tries: 3 })
+            .removal_policy(RemovalPolicy::Buffered(8))
+            .build(),
+    );
+    for key in 0..512u64 {
+        map.insert(key, key);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = (t * 997 + i * 13) % 1024;
+                if i % 2 == 0 {
+                    map.insert(key, i);
+                } else {
+                    map.remove(&key);
+                }
+                i += 1;
+            }
+        }));
+    }
+    for _ in 0..200 {
+        let snapshot = map.range(&0, &1023);
+        // Range results are sorted and duplicate-free.
+        assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    map.check_invariants().expect("invariants after churn");
+}

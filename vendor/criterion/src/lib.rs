@@ -5,9 +5,10 @@
 //! Benchmarks written against the real crate compile and run unchanged: each
 //! [`Bencher::iter`] call warms up for the configured warm-up time, measures
 //! for the configured measurement time, and prints mean ns/iter with a
-//! min..max spread over the sample batches.  There is no statistical
-//! outlier analysis, HTML report, or baseline comparison — swap the real
-//! crate back in (one manifest line) for those.
+//! min..max spread, the median, and the 95th percentile (nearest-rank) over
+//! the sample batches — enough for CI jobs to record a comparable baseline.
+//! There is no statistical outlier analysis, HTML report, or baseline
+//! comparison — swap the real crate back in (one manifest line) for those.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -160,12 +161,26 @@ impl BenchmarkGroup<'_> {
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
         let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
-        println!("{label:<55} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]");
+        let mut sorted = samples_ns;
+        sorted.sort_by(f64::total_cmp);
+        let median = percentile(&sorted, 50.0);
+        let p95 = percentile(&sorted, 95.0);
+        println!(
+            "{label:<55} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]  \
+             median {median:.1}  p95 {p95:.1}"
+        );
         self
     }
 
     /// Finish the group (prints nothing; reports are per-benchmark).
     pub fn finish(self) {}
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample set.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 enum Mode {
@@ -260,5 +275,16 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("a", 7).id, "a/7");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 50.0), 5.0);
+        assert_eq!(percentile(&sorted, 95.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[42.0], 95.0), 42.0);
     }
 }

@@ -2,55 +2,167 @@
 //! by this workspace.
 //!
 //! The build environment has no network access to crates.io, so the workspace
-//! vendors this shim instead of the real crate.  It implements a genuine (if
-//! simple) epoch-based reclamation scheme:
+//! vendors this shim instead of the real crate.  It implements a genuine
+//! epoch-based reclamation (EBR) scheme whose **hot path is lock-free**: no
+//! global mutex is ever acquired by [`pin`] or [`Guard::defer_destroy`].
 //!
-//! * every thread registers a *slot* holding its currently pinned epoch (or
-//!   "inactive");
-//! * [`Guard::defer_destroy`] parks garbage in a thread-local bag tagged with
-//!   the global epoch at retirement;
-//! * the global epoch only advances when every active thread has observed the
-//!   current epoch, and garbage retired in epoch `e` is freed once the global
-//!   epoch reaches `e + 2` — at which point no pinned thread can still hold a
-//!   reference to it.
+//! # Design
 //!
-//! Compared to the real crate this shim trades throughput for simplicity: the
-//! participant registry is a mutex-protected vector (scanned only during
-//! occasional collection cycles), and all atomics use `SeqCst`.  The public
-//! surface (`Atomic`, `Owned`, `Shared`, `Guard`, [`pin`], [`unprotected`])
-//! matches `crossbeam-epoch` 0.9 closely enough that swapping the real crate
-//! back in is a one-line manifest change.
+//! The shim is organised around three global structures and one thread-local:
+//!
+//! * **Global epoch** — a cache-line-padded `AtomicUsize`, advanced by at
+//!   most one step at a time during collection cycles.
+//! * **Participant registry** — a lock-free, *push-only* intrusive singly
+//!   linked list of per-thread `Slot`s.  Each slot is a cache-line-padded
+//!   word holding `(epoch << 1) | ACTIVE` while its thread is pinned and `0`
+//!   otherwise.  Slots are allocated once (`Box::leak`) and never freed;
+//!   when a thread exits, its slot is parked on a mutex-protected **free
+//!   list** and handed to the next thread that registers.  The mutex is only
+//!   touched at thread registration and teardown — never on the pin path —
+//!   and bounds the registry's size by the maximum number of concurrently
+//!   live threads rather than by the number of threads ever spawned.
+//! * **Sealed-bag stack** — a Treiber stack of epoch-tagged garbage bags.
+//!   [`Guard::defer_destroy`] pushes into the calling thread's *local* bag
+//!   (plain `Vec` push, no atomics); the bag is **sealed** — tagged with the
+//!   global epoch and pushed onto the stack with a CAS — only when it
+//!   reaches `BAG_SEAL_THRESHOLD` entries, when the thread runs a
+//!   collection cycle, or at thread exit.  Sealing after retirement is safe
+//!   because the seal-time epoch can only be *later* than each entry's
+//!   retirement epoch, which delays (never hastens) reclamation.
+//! * **Thread-local `Local`** — the thread's slot reference, its pin depth
+//!   (pins nest), its unsealed bag, and a pin counter that triggers a
+//!   collection cycle every `PINS_BETWEEN_COLLECT` top-level pins.
+//!
+//! A collection cycle seals the local bag, tries to advance the global epoch
+//! (a lock-free scan of the registry: advance from `e` to `e + 1` only if
+//! every *active* slot has observed `e`), then swaps the sealed-bag stack
+//! empty and frees every bag whose tag is at least two epochs old,
+//! re-pushing the rest.  Garbage sealed at epoch `e` is freed only once the
+//! global epoch reaches `e + 2`, by which point every thread that was pinned
+//! when the garbage was still reachable has unpinned.
+//!
+//! # Ordering rationale
+//!
+//! All atomics use `Relaxed`/`Acquire`/`Release` orderings except for the
+//! two `SeqCst` fences the EBR protocol actually requires:
+//!
+//! 1. **In [`pin`]**, between publishing the slot's active state and
+//!    (re-)reading the global epoch.  This is what guarantees that once a
+//!    collector's registry scan misses this thread, the thread's subsequent
+//!    pointer loads happen after the scan — so the collector cannot free
+//!    memory the thread is about to read.
+//! 2. **In `seal_and_push`**, between the retirement stores (the pointer
+//!    swaps that made the garbage unreachable) and the load of the global
+//!    epoch used as the bag's tag.  This is what guarantees the tag is not
+//!    older than the epoch during which the garbage was still reachable.
+//!
+//! The epoch-advance scan in `try_advance` also issues a `SeqCst` fence
+//! before reading slot states, pairing with fence (1).  Everything else —
+//! unpinning (`Release` store), list publication (`Release` CAS /
+//! `Acquire` loads), bag sealing (`Release` CAS) — needs no sequential
+//! consistency.
+//!
+//! The public surface (`Atomic`, `Owned`, `Shared`, `Guard`, [`pin`],
+//! [`unprotected`]) matches `crossbeam-epoch` 0.9 closely enough that
+//! swapping the real crate back in is a one-line manifest change.  The
+//! [`Bag`] type and [`Guard::flush_batch`] are shim extensions used by the
+//! STM layer to retire an entire transaction's garbage with a single
+//! thread-local access per commit.
 
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 const ACTIVE: usize = 1;
 
-/// Number of pins between collection attempts on a thread.
+/// Number of top-level pins between collection attempts on a thread.
 const PINS_BETWEEN_COLLECT: usize = 64;
 
-/// One registered thread: `(epoch << 1) | active` when pinned, `0` otherwise.
+/// Local-bag size at which the bag is sealed and published eagerly (without
+/// waiting for the next collection cycle).
+const BAG_SEAL_THRESHOLD: usize = 64;
+
+/// One registered thread: `(epoch << 1) | ACTIVE` when pinned, `0` otherwise.
+///
+/// Padded to its own cache line so one thread's pin/unpin stores never
+/// invalidate another thread's slot.
+#[repr(align(128))]
 struct Slot {
     state: AtomicUsize,
+    /// Intrusive registry link.  Written once (before the slot is published
+    /// via a `Release` CAS on the registry head) and never changed, so
+    /// lock-free traversal needs only `Acquire` loads.
+    next: AtomicPtr<Slot>,
 }
 
+/// A garbage bag sealed with the epoch at which it was published.
+struct SealedBag {
+    epoch: usize,
+    garbage: Vec<Deferred>,
+    /// Treiber-stack link.
+    next: AtomicPtr<SealedBag>,
+}
+
+#[repr(align(128))]
+struct PaddedEpoch(AtomicUsize);
+
+/// Pointer wrapper so the registration free list (a cold, mutex-protected
+/// path) can hold `*const Slot` values.
+struct FreeSlot(*const Slot);
+// SAFETY: `Slot` contains only atomics; the raw pointer is `'static` (the
+// slot is leaked) and only dereferenced to re-register a thread.
+unsafe impl Send for FreeSlot {}
+
 struct Registry {
-    slots: Mutex<Vec<Arc<Slot>>>,
-    /// Garbage abandoned by exited threads, freed by whoever collects next.
-    orphans: Mutex<Vec<(usize, Deferred)>>,
-    epoch: AtomicUsize,
+    epoch: PaddedEpoch,
+    /// Head of the lock-free intrusive participant list (push-only).
+    slots: AtomicPtr<Slot>,
+    /// Head of the Treiber stack of sealed garbage bags.
+    sealed: AtomicPtr<SealedBag>,
+    /// Slots of exited threads, reused by new registrations.  Locked only at
+    /// thread registration/teardown, never on the pin or defer paths.
+    free_slots: Mutex<Vec<FreeSlot>>,
 }
 
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
-        slots: Mutex::new(Vec::new()),
-        orphans: Mutex::new(Vec::new()),
-        epoch: AtomicUsize::new(0),
+        epoch: PaddedEpoch(AtomicUsize::new(0)),
+        slots: AtomicPtr::new(ptr::null_mut()),
+        sealed: AtomicPtr::new(ptr::null_mut()),
+        free_slots: Mutex::new(Vec::new()),
     })
+}
+
+/// Claim a slot for the current thread: reuse one from the free list when
+/// possible, otherwise allocate and publish a new one.
+fn acquire_slot() -> &'static Slot {
+    let reg = registry();
+    if let Some(FreeSlot(slot)) = reg.free_slots.lock().unwrap().pop() {
+        // SAFETY: free-listed slots are leaked allocations; they stay linked
+        // in the registry forever and are inactive (state == 0) while free.
+        return unsafe { &*slot };
+    }
+    let slot: &'static Slot = Box::leak(Box::new(Slot {
+        state: AtomicUsize::new(0),
+        next: AtomicPtr::new(ptr::null_mut()),
+    }));
+    let mut head = reg.slots.load(Ordering::Relaxed);
+    loop {
+        slot.next.store(head, Ordering::Relaxed);
+        match reg.slots.compare_exchange_weak(
+            head,
+            slot as *const Slot as *mut Slot,
+            Ordering::Release,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return slot,
+            Err(current) => head = current,
+        }
+    }
 }
 
 /// A deferred destructor: a raw pointer plus the monomorphized drop glue.
@@ -61,7 +173,7 @@ struct Deferred {
 }
 
 // Garbage may be freed by a different thread than the one that retired it
-// (via the orphan list).  The `defer_destroy` contract makes the caller
+// (via the sealed-bag stack).  The `defer_destroy` contract makes the caller
 // responsible for this being sound, exactly as in the real crate.
 unsafe impl Send for Deferred {}
 
@@ -83,71 +195,127 @@ impl Deferred {
     }
 }
 
-/// Free every bag entry retired at least two epochs before `global_epoch`.
-fn free_expired(bag: &mut Vec<(usize, Deferred)>, global_epoch: usize) {
-    let mut i = 0;
-    while i < bag.len() {
-        if bag[i].0 + 2 <= global_epoch {
-            let (_, deferred) = bag.swap_remove(i);
-            deferred.call();
-        } else {
-            i += 1;
+/// Tag `garbage` with the current global epoch and publish it on the
+/// sealed-bag stack (lock-free).
+fn seal_and_push(garbage: Vec<Deferred>) {
+    if garbage.is_empty() {
+        return;
+    }
+    let reg = registry();
+    // Fence (2): order the retirement stores before the tag read, so the tag
+    // cannot predate the epoch during which the garbage was last reachable.
+    fence(Ordering::SeqCst);
+    let epoch = reg.epoch.0.load(Ordering::Relaxed);
+    let bag = Box::into_raw(Box::new(SealedBag {
+        epoch,
+        garbage,
+        next: AtomicPtr::new(ptr::null_mut()),
+    }));
+    push_sealed(reg, bag);
+}
+
+fn push_sealed(reg: &Registry, bag: *mut SealedBag) {
+    let mut head = reg.sealed.load(Ordering::Relaxed);
+    loop {
+        // SAFETY: `bag` is exclusively owned until the CAS publishes it.
+        unsafe { (*bag).next.store(head, Ordering::Relaxed) };
+        match reg
+            .sealed
+            .compare_exchange_weak(head, bag, Ordering::Release, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(current) => head = current,
         }
     }
 }
 
+/// Try to advance the global epoch by one step; returns the epoch observed
+/// afterwards.  Advancing from `e` to `e + 1` is allowed only when every
+/// active participant has observed `e`.
+fn try_advance(reg: &Registry) -> usize {
+    let epoch = reg.epoch.0.load(Ordering::Relaxed);
+    // Pairs with fence (1) in `pin`: any thread that pins after this scan
+    // reads it as missing will load the *new* epoch (or be observed active).
+    fence(Ordering::SeqCst);
+    let mut cursor = reg.slots.load(Ordering::Acquire);
+    while !cursor.is_null() {
+        // SAFETY: registry nodes are leaked, so the pointer is always valid.
+        let slot = unsafe { &*cursor };
+        let state = slot.state.load(Ordering::Relaxed);
+        if state & ACTIVE == ACTIVE && state >> 1 != epoch {
+            // A pinned thread has not observed the current epoch yet.
+            return epoch;
+        }
+        cursor = slot.next.load(Ordering::Acquire);
+    }
+    match reg
+        .epoch
+        .0
+        .compare_exchange(epoch, epoch + 1, Ordering::Release, Ordering::Relaxed)
+    {
+        Ok(_) => epoch + 1,
+        Err(current) => current,
+    }
+}
+
+/// Detach the whole sealed-bag stack, free every bag at least two epochs
+/// old, and re-push the rest.
+fn collect_sealed(reg: &Registry, global_epoch: usize) {
+    let mut cursor = reg.sealed.swap(ptr::null_mut(), Ordering::Acquire);
+    while !cursor.is_null() {
+        // SAFETY: the swap gave us exclusive ownership of the detached list.
+        let next = unsafe { (*cursor).next.load(Ordering::Relaxed) };
+        let expired = unsafe { (*cursor).epoch + 2 <= global_epoch };
+        if expired {
+            let bag = unsafe { Box::from_raw(cursor) };
+            for deferred in bag.garbage {
+                deferred.call();
+            }
+        } else {
+            push_sealed(reg, cursor);
+        }
+        cursor = next;
+    }
+}
+
 struct Local {
-    slot: Arc<Slot>,
+    slot: &'static Slot,
     pin_depth: usize,
     pins: usize,
-    bag: Vec<(usize, Deferred)>,
+    bag: Vec<Deferred>,
 }
 
 impl Local {
     fn new() -> Self {
-        let slot = Arc::new(Slot {
-            state: AtomicUsize::new(0),
-        });
-        registry().slots.lock().unwrap().push(Arc::clone(&slot));
         Self {
-            slot,
+            slot: acquire_slot(),
             pin_depth: 0,
             pins: 0,
             bag: Vec::new(),
         }
     }
 
-    /// Try to advance the global epoch, then free sufficiently old garbage.
+    /// One collection cycle: seal the local bag, try to advance the epoch,
+    /// free sufficiently old sealed bags.
     fn collect(&mut self) {
         let reg = registry();
-        if let Ok(slots) = reg.slots.try_lock() {
-            let e = reg.epoch.load(Ordering::SeqCst);
-            let all_current = slots.iter().all(|s| {
-                let st = s.state.load(Ordering::SeqCst);
-                st & ACTIVE == 0 || st >> 1 == e
-            });
-            if all_current {
-                let _ = reg
-                    .epoch
-                    .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
-            }
-        }
-        let ge = reg.epoch.load(Ordering::SeqCst);
-        free_expired(&mut self.bag, ge);
-        if let Ok(mut orphans) = reg.orphans.try_lock() {
-            free_expired(&mut orphans, ge);
-        }
+        seal_and_push(std::mem::take(&mut self.bag));
+        let global_epoch = try_advance(reg);
+        collect_sealed(reg, global_epoch);
     }
 }
 
 impl Drop for Local {
     fn drop(&mut self) {
-        // Hand remaining garbage to the global orphan list and go inactive.
-        let reg = registry();
-        self.slot.state.store(0, Ordering::SeqCst);
-        if !self.bag.is_empty() {
-            reg.orphans.lock().unwrap().append(&mut self.bag);
-        }
+        // Publish remaining garbage, go inactive, and donate the slot to the
+        // next thread that registers.
+        self.slot.state.store(0, Ordering::Release);
+        seal_and_push(std::mem::take(&mut self.bag));
+        registry()
+            .free_slots
+            .lock()
+            .unwrap()
+            .push(FreeSlot(self.slot as *const Slot));
     }
 }
 
@@ -166,17 +334,30 @@ fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
 
 /// Pin the current thread, returning a guard that keeps any pointer loaded
 /// while it is live safe from reclamation.
+///
+/// Lock-free: publishes the thread's slot state and issues one `SeqCst`
+/// fence; no global mutex is acquired (the registry mutex is touched only
+/// the first time a thread ever pins, to claim a slot).
 pub fn pin() -> Guard {
     with_local(|local| {
         local.pin_depth += 1;
         if local.pin_depth == 1 {
             let reg = registry();
+            let mut epoch = reg.epoch.0.load(Ordering::Relaxed);
             loop {
-                let e = reg.epoch.load(Ordering::SeqCst);
-                local.slot.state.store((e << 1) | ACTIVE, Ordering::SeqCst);
-                if reg.epoch.load(Ordering::SeqCst) == e {
+                local
+                    .slot
+                    .state
+                    .store((epoch << 1) | ACTIVE, Ordering::Relaxed);
+                // Fence (1): publish the pinned state before loading the
+                // epoch again (and before any protected pointer loads that
+                // follow the pin).
+                fence(Ordering::SeqCst);
+                let current = reg.epoch.0.load(Ordering::Relaxed);
+                if current == epoch {
                     break;
                 }
+                epoch = current;
             }
             local.pins += 1;
             if local.pins % PINS_BETWEEN_COLLECT == 0 {
@@ -198,6 +379,71 @@ pub unsafe fn unprotected() -> &'static Guard {
     &UNPROTECTED
 }
 
+/// A batch of retirements accumulated by one owner (e.g. one STM
+/// transaction) and handed to the collector in a single
+/// [`Guard::flush_batch`] call.
+///
+/// Shim extension: the real crate exposes per-call `defer_destroy` only;
+/// batching lets a transaction that retires `k` values pay one thread-local
+/// access per commit instead of `k`.
+#[derive(Default)]
+pub struct Bag {
+    entries: Vec<Deferred>,
+}
+
+impl std::fmt::Debug for Bag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bag")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Bag {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been deferred into the batch.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of pending retirements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Schedule `ptr`'s pointee for destruction once the batch is flushed
+    /// through a guard and no pinned thread can still reference it.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Guard::defer_destroy`]; additionally the batch
+    /// must be flushed via [`Guard::flush_batch`] while the thread that made
+    /// the pointee unreachable is still pinned (or through an
+    /// [`unprotected`] guard with exclusive access).
+    pub unsafe fn defer_destroy<T>(&mut self, ptr: Shared<'_, T>) {
+        if !ptr.is_null() {
+            self.entries.push(Deferred::new(ptr.as_raw()));
+        }
+    }
+}
+
+impl Drop for Bag {
+    fn drop(&mut self) {
+        // Entries that were never flushed are leaked deliberately: freeing
+        // here could race a still-pinned reader.  The STM layer flushes on
+        // every commit/rollback path, so this only triggers if a panic
+        // unwinds straight through a transaction.
+        debug_assert!(
+            self.entries.is_empty() || std::thread::panicking(),
+            "Bag dropped with unflushed retirements"
+        );
+    }
+}
+
 /// Witness that the current thread is pinned.
 pub struct Guard {
     active: bool,
@@ -206,6 +452,10 @@ pub struct Guard {
 impl Guard {
     /// Schedule `ptr`'s pointee for destruction once no pinned thread can
     /// still reference it.
+    ///
+    /// Lock-free: pushes into the thread-local bag; every
+    /// `BAG_SEAL_THRESHOLD`-th entry seals the bag onto the global stack
+    /// with a CAS.
     ///
     /// # Safety
     ///
@@ -221,11 +471,45 @@ impl Guard {
             unsafe { drop(Box::from_raw(ptr.as_raw() as *mut T)) };
             return;
         }
-        let epoch = registry().epoch.load(Ordering::SeqCst);
         let deferred = Deferred::new(ptr.as_raw());
         // If thread-local storage is already torn down, leak rather than risk
         // freeing under a still-pinned reader.
-        let _ = with_local(|local| local.bag.push((epoch, deferred)));
+        let _ = with_local(|local| {
+            local.bag.push(deferred);
+            if local.bag.len() >= BAG_SEAL_THRESHOLD {
+                seal_and_push(std::mem::take(&mut local.bag));
+            }
+        });
+    }
+
+    /// Move every retirement in `bag` into the thread-local bag in one
+    /// thread-local access (shim extension; see [`Bag`]).
+    ///
+    /// Through an [`unprotected`] guard the batch is freed immediately
+    /// (caller asserts exclusive access, as for `defer_destroy`).
+    pub fn flush_batch(&self, bag: &mut Bag) {
+        if bag.entries.is_empty() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut bag.entries);
+        if !self.active {
+            for deferred in entries {
+                deferred.call();
+            }
+            return;
+        }
+        // If thread-local storage is already torn down, leak (same policy as
+        // `defer_destroy`).
+        let _ = with_local(|local| {
+            if local.bag.is_empty() {
+                local.bag = entries;
+            } else {
+                local.bag.append(&mut entries);
+            }
+            if local.bag.len() >= BAG_SEAL_THRESHOLD {
+                seal_and_push(std::mem::take(&mut local.bag));
+            }
+        });
     }
 }
 
@@ -235,7 +519,7 @@ impl Drop for Guard {
             with_local(|local| {
                 local.pin_depth -= 1;
                 if local.pin_depth == 0 {
-                    local.slot.state.store(0, Ordering::SeqCst);
+                    local.slot.state.store(0, Ordering::Release);
                 }
             });
         }
@@ -409,6 +693,7 @@ impl<T> Atomic<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     static DROPS: AtomicUsize = AtomicUsize::new(0);
 
@@ -459,5 +744,106 @@ mod tests {
         let g2 = pin();
         drop(g1);
         drop(g2);
+    }
+
+    #[test]
+    fn flush_batch_retires_every_entry() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cells: Vec<Atomic<Tracked>> = (0..8)
+            .map(|_| Atomic::new(Tracked(Arc::clone(&drops))))
+            .collect();
+        let retired = 200 * cells.len();
+        for _ in 0..200 {
+            let g = pin();
+            let mut bag = Bag::new();
+            for cell in &cells {
+                let old = cell.swap(
+                    Owned::new(Tracked(Arc::clone(&drops))),
+                    Ordering::AcqRel,
+                    &g,
+                );
+                unsafe { bag.defer_destroy(old) };
+            }
+            assert_eq!(bag.len(), cells.len());
+            g.flush_batch(&mut bag);
+            assert!(bag.is_empty());
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while drops.load(Ordering::SeqCst) < retired && std::time::Instant::now() < deadline {
+            drop(pin());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), retired);
+        unsafe {
+            let g = unprotected();
+            for cell in &cells {
+                drop(cell.load(Ordering::Relaxed, g).into_owned());
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), retired + cells.len());
+    }
+
+    #[test]
+    fn flush_batch_through_unprotected_frees_immediately() {
+        let a = Atomic::new(1u64);
+        unsafe {
+            let g = unprotected();
+            let mut bag = Bag::new();
+            let old = a.swap(Owned::new(2u64), Ordering::AcqRel, g);
+            bag.defer_destroy(old);
+            g.flush_batch(&mut bag);
+            assert!(bag.is_empty());
+            drop(a.load(Ordering::Relaxed, g).into_owned());
+        }
+    }
+
+    #[test]
+    fn exited_threads_do_not_block_epoch_advance() {
+        // A thread that pins, defers garbage, and exits must not stop the
+        // remaining threads from reclaiming.
+        let drops = Arc::new(AtomicUsize::new(0));
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let retired_per_thread = 100;
+        let threads = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let drops = Arc::clone(&drops);
+                std::thread::spawn(move || {
+                    let a = Atomic::new(Tracked(Arc::clone(&drops)));
+                    for _ in 0..retired_per_thread {
+                        let g = pin();
+                        let old = a.swap(
+                            Owned::new(Tracked(Arc::clone(&drops))),
+                            Ordering::AcqRel,
+                            &g,
+                        );
+                        unsafe { g.defer_destroy(old) };
+                    }
+                    unsafe {
+                        let g = unprotected();
+                        drop(a.load(Ordering::Relaxed, g).into_owned());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = threads * (retired_per_thread + 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while drops.load(Ordering::SeqCst) < expected && std::time::Instant::now() < deadline {
+            drop(pin());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), expected);
     }
 }
