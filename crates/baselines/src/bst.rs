@@ -172,11 +172,7 @@ where
             Dir::Right
         };
         let mut current = self.child(&self.root, p_dir);
-        loop {
-            let internal = match current.as_internal() {
-                Some(i) => i,
-                None => break,
-            };
+        while let Some(internal) = current.as_internal() {
             let dir = if Self::go_left(&internal.key, key) {
                 Dir::Left
             } else {

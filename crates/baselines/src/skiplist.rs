@@ -76,7 +76,7 @@ pub struct Node<K, V, L> {
     /// Versioned level-0 successor (what snapshot range queries follow).
     next0: L,
     /// Plain successors for levels `1..height`.
-    upper: Vec<RwLock<Option<Arc<Node<K, V, L>>>>>,
+    upper: Vec<RwLock<Link<K, V, L>>>,
 }
 
 /// Shared handle to a node.
@@ -357,8 +357,8 @@ where
                     .map(|level| RwLock::new(Some(Arc::clone(&succs[level]))))
                     .collect(),
             });
-            for level in 0..height {
-                preds[level].set_next(level, Some(Arc::clone(&node)), ts, &self.registry);
+            for (level, pred) in preds.iter().enumerate().take(height) {
+                pred.set_next(level, Some(Arc::clone(&node)), ts, &self.registry);
             }
             node.fully_linked.store(true, Ordering::Release);
             return true;

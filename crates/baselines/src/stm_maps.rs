@@ -43,14 +43,11 @@ impl<K: MapKey, V: MapValue> StmHashMap<K, V> {
     }
 
     /// Insert `key -> value` if absent; returns `false` when already present.
+    /// (Set-style, matching [`TxHashMap::insert`]'s never-overwrites
+    /// contract.)
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.stm.run(|tx| {
-            if self.map.contains(tx, &key)? {
-                return Ok(false);
-            }
-            self.map.insert(tx, key.clone(), value.clone())?;
-            Ok(true)
-        })
+        self.stm
+            .run(|tx| self.map.insert(tx, key.clone(), value.clone()))
     }
 
     /// Remove `key`; returns `true` if it was present.

@@ -44,7 +44,11 @@ fn bench_ranges(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(kind.label(), range_len), |b| {
                 b.iter(|| {
                     let low = rng.gen_range(0..UNIVERSE);
-                    map.range(low, low + range_len, &mut buffer)
+                    let bounds = (
+                        std::ops::Bound::Included(low),
+                        std::ops::Bound::Included(low + range_len),
+                    );
+                    map.range(bounds, &mut buffer)
                 })
             });
         }

@@ -54,7 +54,7 @@ fn build_map(universe: u64) -> Arc<SkipHash<u64, u64>> {
             }
             let mut d = 2;
             while d * d <= n {
-                if n % d == 0 {
+                if n.is_multiple_of(d) {
                     return false;
                 }
                 d += 1;
@@ -134,7 +134,7 @@ fn measure(
                 let high = low + range_len;
                 let mut attempts = 0;
                 loop {
-                    if map.range_attempt_fast(&low, &high).is_some() {
+                    if map.range_attempt_fast(low..=high).is_some() {
                         successes.fetch_add(1, Ordering::Relaxed);
                         aborts.fetch_add(attempts, Ordering::Relaxed);
                         break;

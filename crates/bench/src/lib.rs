@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -26,6 +28,9 @@ impl BenchOptions {
     }
 
     /// Parse `--key value` pairs from an iterator (testable entry point).
+    // Deliberately NOT the std FromIterator trait: this is a constructor
+    // taking raw argv strings, and call sites read better as an inherent fn.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut raw = HashMap::new();
         let mut iter = args.into_iter().peekable();

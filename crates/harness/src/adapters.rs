@@ -1,6 +1,7 @@
 //! Adapters wiring every evaluated map behind one benchmark-facing trait.
 
 use std::fmt;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use skiphash::{RangePolicy, SkipHash, SkipHashBuilder};
@@ -8,6 +9,27 @@ use skiphash_baselines::skiplist::{BundledSkipList, VcasSkipList};
 use skiphash_baselines::stm_maps::{StmHashMap, StmSkipListMap};
 use skiphash_baselines::timestamp::TimestampMode;
 use skiphash_baselines::VcasBst;
+
+/// A pair of std-style range bounds over `u64` keys, the dyn-safe spelling of
+/// `impl RangeBounds<u64>` (a `(Bound, Bound)` tuple itself implements
+/// `RangeBounds`, so it forwards to [`SkipHash::range`] unchanged).
+pub type KeyBounds = (Bound<u64>, Bound<u64>);
+
+/// Convert std-style bounds to the inclusive `[low, high]` pair the baseline
+/// implementations take; `None` when no key can satisfy the bounds.
+pub fn bounds_to_inclusive(bounds: KeyBounds) -> Option<(u64, u64)> {
+    let low = match bounds.0 {
+        Bound::Unbounded => 0,
+        Bound::Included(low) => low,
+        Bound::Excluded(low) => low.checked_add(1)?,
+    };
+    let high = match bounds.1 {
+        Bound::Unbounded => u64::MAX,
+        Bound::Included(high) => high,
+        Bound::Excluded(high) => high.checked_sub(1)?,
+    };
+    (low <= high).then_some((low, high))
+}
 
 /// The interface the benchmark driver uses for every evaluated map.
 ///
@@ -19,10 +41,10 @@ pub trait BenchMap: Send + Sync {
     fn insert(&self, key: u64, value: u64) -> bool;
     /// Remove a key; `false` if it was absent.
     fn remove(&self, key: u64) -> bool;
-    /// Collect all pairs with keys in `[low, high]` into `buffer` (cleared
+    /// Collect all pairs whose keys satisfy `bounds` into `buffer` (cleared
     /// first) and return how many were found.  Maps that do not support range
     /// queries return `None`.
-    fn range(&self, low: u64, high: u64, buffer: &mut Vec<(u64, u64)>) -> Option<usize>;
+    fn range(&self, bounds: KeyBounds, buffer: &mut Vec<(u64, u64)>) -> Option<usize>;
     /// True if the map supports linearizable range queries.
     fn supports_range(&self) -> bool {
         true
@@ -156,14 +178,14 @@ fn level_count_for(key_universe: u64) -> usize {
     levels.max(4)
 }
 
-fn smallest_prime_at_least(mut n: usize) -> usize {
+pub(crate) fn smallest_prime_at_least(mut n: usize) -> usize {
     fn is_prime(n: usize) -> bool {
         if n < 2 {
             return false;
         }
         let mut d = 2;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;
@@ -204,9 +226,9 @@ impl BenchMap for SkipHashAdapter {
     fn remove(&self, key: u64) -> bool {
         self.map.remove(&key)
     }
-    fn range(&self, low: u64, high: u64, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, bounds: KeyBounds, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         buffer.clear();
-        buffer.extend(self.map.range(&low, &high));
+        buffer.extend(self.map.range(bounds));
         Some(buffer.len())
     }
     fn fast_path_aborts_per_success(&self) -> Option<f64> {
@@ -229,9 +251,11 @@ impl BenchMap for VcasBstAdapter {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(&key)
     }
-    fn range(&self, low: u64, high: u64, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, bounds: KeyBounds, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         buffer.clear();
-        buffer.extend(self.0.range(&low, &high));
+        if let Some((low, high)) = bounds_to_inclusive(bounds) {
+            buffer.extend(self.0.range(&low, &high));
+        }
         Some(buffer.len())
     }
     fn population(&self) -> usize {
@@ -251,9 +275,11 @@ impl BenchMap for VcasSkipListAdapter {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(&key)
     }
-    fn range(&self, low: u64, high: u64, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, bounds: KeyBounds, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         buffer.clear();
-        buffer.extend(self.0.range(&low, &high));
+        if let Some((low, high)) = bounds_to_inclusive(bounds) {
+            buffer.extend(self.0.range(&low, &high));
+        }
         Some(buffer.len())
     }
     fn population(&self) -> usize {
@@ -273,9 +299,11 @@ impl BenchMap for BundledSkipListAdapter {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(&key)
     }
-    fn range(&self, low: u64, high: u64, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, bounds: KeyBounds, buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         buffer.clear();
-        buffer.extend(self.0.range(&low, &high));
+        if let Some((low, high)) = bounds_to_inclusive(bounds) {
+            buffer.extend(self.0.range(&low, &high));
+        }
         Some(buffer.len())
     }
     fn population(&self) -> usize {
@@ -295,7 +323,7 @@ impl BenchMap for StmSkipListAdapter {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(&key)
     }
-    fn range(&self, _low: u64, _high: u64, _buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, _bounds: KeyBounds, _buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         None
     }
     fn supports_range(&self) -> bool {
@@ -318,7 +346,7 @@ impl BenchMap for StmHashMapAdapter {
     fn remove(&self, key: u64) -> bool {
         self.0.remove(&key)
     }
-    fn range(&self, _low: u64, _high: u64, _buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
+    fn range(&self, _bounds: KeyBounds, _buffer: &mut Vec<(u64, u64)>) -> Option<usize> {
         None
     }
     fn supports_range(&self) -> bool {
@@ -355,11 +383,28 @@ mod tests {
                 assert!(map.insert(k, k + 1));
             }
             let mut buffer = Vec::new();
-            let count = map.range(10, 19, &mut buffer).expect("supports ranges");
+            let count = map
+                .range((Bound::Included(10), Bound::Included(19)), &mut buffer)
+                .expect("supports ranges");
             assert_eq!(count, 10, "{kind}");
             assert_eq!(buffer[0], (10, 11), "{kind}");
             assert_eq!(buffer[9], (19, 20), "{kind}");
             assert!(map.supports_range());
+            // Exclusive and unbounded bounds must agree across adapters.
+            let count = map
+                .range((Bound::Excluded(10), Bound::Excluded(19)), &mut buffer)
+                .expect("supports ranges");
+            assert_eq!(count, 8, "{kind}");
+            assert_eq!(buffer[0], (11, 12), "{kind}");
+            let count = map
+                .range((Bound::Unbounded, Bound::Unbounded), &mut buffer)
+                .expect("supports ranges");
+            assert_eq!(count, 50, "{kind}");
+            // Unsatisfiable bounds are empty, not an error.
+            let count = map
+                .range((Bound::Excluded(5), Bound::Excluded(6)), &mut buffer)
+                .expect("supports ranges");
+            assert_eq!(count, 0, "{kind}");
         }
     }
 
@@ -368,7 +413,9 @@ mod tests {
         for kind in [MapKind::StmSkipList, MapKind::StmHashMap] {
             let map = kind.build(1024);
             let mut buffer = Vec::new();
-            assert!(map.range(0, 10, &mut buffer).is_none());
+            assert!(map
+                .range((Bound::Included(0), Bound::Included(10)), &mut buffer)
+                .is_none());
             assert!(!map.supports_range());
         }
     }

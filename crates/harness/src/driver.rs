@@ -9,7 +9,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adapters::BenchMap;
-use crate::workload::{Operation, OperationSampler, Workload};
+use crate::transfer::TransferPair;
+use crate::workload::{
+    Operation, OperationSampler, TransferOperation, TransferSampler, TransferWorkload, Workload,
+};
 
 /// Result of one mixed-workload trial (all threads run the same mix).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -115,7 +118,11 @@ fn run_worker(
                 result.updates += 1;
             }
             Operation::Range(low) => {
-                if let Some(found) = map.range(low, low + sampler.range_len(), &mut buffer) {
+                let bounds = (
+                    std::ops::Bound::Included(low),
+                    std::ops::Bound::Included(low + sampler.range_len()),
+                );
+                if let Some(found) = map.range(bounds, &mut buffer) {
                     result.range_pairs += found as u64;
                 }
                 result.ranges += 1;
@@ -142,7 +149,7 @@ pub fn run_mixed_trial(
             let map = Arc::clone(map);
             let workload = *workload;
             let stop = Arc::clone(&stop);
-            thread::spawn(move || run_worker(map, workload, stop, seed ^ (t as u64 + 1) * 0x9E37))
+            thread::spawn(move || run_worker(map, workload, stop, seed ^ ((t as u64 + 1) * 0x9E37)))
         })
         .collect();
     thread::sleep(duration);
@@ -191,7 +198,7 @@ pub fn run_split_trial(
         let map = Arc::clone(map);
         let stop = Arc::clone(&stop);
         update_handles.push(thread::spawn(move || {
-            run_worker(map, update_workload, stop, seed ^ (t as u64 + 1) * 0xA5A5)
+            run_worker(map, update_workload, stop, seed ^ ((t as u64 + 1) * 0xA5A5))
         }));
     }
     let mut range_handles = Vec::new();
@@ -199,7 +206,12 @@ pub fn run_split_trial(
         let map = Arc::clone(map);
         let stop = Arc::clone(&stop);
         range_handles.push(thread::spawn(move || {
-            run_worker(map, range_workload, stop, seed ^ (t as u64 + 101) * 0x5A5A)
+            run_worker(
+                map,
+                range_workload,
+                stop,
+                seed ^ ((t as u64 + 101) * 0x5A5A),
+            )
         }));
     }
     thread::sleep(duration);
@@ -216,6 +228,103 @@ pub fn run_split_trial(
     }
     result.elapsed_secs = started.elapsed().as_secs_f64();
     result
+}
+
+/// Result of one transfer-scenario trial (composed multi-map transactions).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferTrialResult {
+    /// Total operations completed by all threads.
+    pub total_ops: u64,
+    /// Atomic cross-map transfers completed (moves actually performed).
+    pub transfers: u64,
+    /// Transfer attempts that found the key in neither map (sampled keys
+    /// above the pre-filled population).
+    pub empty_transfers: u64,
+    /// Atomic both-map audits completed.
+    pub audits: u64,
+    /// Audits that observed the key in *both* maps — must stay zero; composed
+    /// transactions make intermediate states unobservable.
+    pub audit_violations: u64,
+    /// Sealed lookups completed.
+    pub lookups: u64,
+    /// Wall-clock duration of the measured phase, in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl TransferTrialResult {
+    /// Throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.elapsed_secs / 1e6
+        }
+    }
+}
+
+/// Run a timed transfer-scenario trial: every thread samples transfers,
+/// audits, and lookups from the workload's mix against one shared
+/// [`TransferPair`].  The pair must already be pre-filled.
+pub fn run_transfer_trial(
+    pair: &Arc<TransferPair>,
+    workload: &TransferWorkload,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> TransferTrialResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let pair = Arc::clone(pair);
+            let workload = *workload;
+            let stop = Arc::clone(&stop);
+            let seed = seed ^ ((t as u64 + 1) * 0x51_7C);
+            thread::spawn(move || {
+                let sampler = TransferSampler::new(&workload);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut result = TransferTrialResult::default();
+                while !stop.load(Ordering::Relaxed) {
+                    match sampler.next(&mut rng) {
+                        TransferOperation::Transfer(key) => {
+                            if pair.transfer(key) {
+                                result.transfers += 1;
+                            } else {
+                                result.empty_transfers += 1;
+                            }
+                        }
+                        TransferOperation::Audit(key) => {
+                            let (in_left, in_right) = pair.audit(key);
+                            if in_left && in_right {
+                                result.audit_violations += 1;
+                            }
+                            result.audits += 1;
+                        }
+                        TransferOperation::Lookup(key) => {
+                            let _ = pair.lookup(key);
+                            result.lookups += 1;
+                        }
+                    }
+                    result.total_ops += 1;
+                }
+                result
+            })
+        })
+        .collect();
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = TransferTrialResult::default();
+    for handle in handles {
+        let partial = handle.join().expect("transfer worker panicked");
+        total.total_ops += partial.total_ops;
+        total.transfers += partial.transfers;
+        total.empty_transfers += partial.empty_transfers;
+        total.audits += partial.audits;
+        total.audit_violations += partial.audit_violations;
+        total.lookups += partial.lookups;
+    }
+    total.elapsed_secs = started.elapsed().as_secs_f64();
+    total
 }
 
 #[cfg(test)]
@@ -244,6 +353,33 @@ mod tests {
         );
         assert!(result.mops() > 0.0);
         assert!(result.elapsed_secs >= 0.1);
+    }
+
+    #[test]
+    fn transfer_trial_conserves_keys_and_sees_no_violations() {
+        let workload = TransferWorkload::transfer_heavy(2_000);
+        let pair = Arc::new(TransferPair::new(workload.key_universe));
+        pair.prefill(workload.prefill_target());
+        let result = run_transfer_trial(&pair, &workload, 4, Duration::from_millis(150), 5);
+        assert!(result.total_ops > 0);
+        assert!(result.transfers > 0);
+        assert!(result.audits > 0);
+        assert_eq!(
+            result.total_ops,
+            result.transfers + result.empty_transfers + result.audits + result.lookups
+        );
+        assert_eq!(
+            result.audit_violations, 0,
+            "an audit observed a key in both maps"
+        );
+        assert!(result.mops() > 0.0);
+        // Conservation: transfers move keys, never duplicate or drop them.
+        assert_eq!(
+            pair.total_population(),
+            workload.prefill_target() as usize,
+            "transfer trial leaked or duplicated keys"
+        );
+        pair.check_invariants().expect("invariants after trial");
     }
 
     #[test]

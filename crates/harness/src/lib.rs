@@ -13,6 +13,9 @@
 //!   parameterized workloads of Figure 6 and Table 1;
 //! * [`driver`] — thread spawning, pre-fill, timed trials, and statistics
 //!   collection;
+//! * [`transfer`] — the multi-map composed-transaction scenario (atomic
+//!   cross-map transfers via `TxView`), which the single-map trait cannot
+//!   express;
 //! * [`report`] — plain-text and CSV emitters shaped like the paper's figures
 //!   and tables.
 
@@ -21,8 +24,13 @@
 pub mod adapters;
 pub mod driver;
 pub mod report;
+pub mod transfer;
 pub mod workload;
 
 pub use adapters::{BenchMap, MapKind};
-pub use driver::{run_mixed_trial, run_split_trial, MixedTrialResult, SplitTrialResult};
-pub use workload::{Workload, WorkloadMix};
+pub use driver::{
+    run_mixed_trial, run_split_trial, run_transfer_trial, MixedTrialResult, SplitTrialResult,
+    TransferTrialResult,
+};
+pub use transfer::TransferPair;
+pub use workload::{TransferMix, TransferWorkload, Workload, WorkloadMix};

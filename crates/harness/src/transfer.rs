@@ -1,0 +1,134 @@
+//! The multi-map *transfer* scenario: composed transactions as a workload.
+//!
+//! The single-map [`BenchMap`](crate::BenchMap) interface structurally cannot
+//! express what the paper's STM foundation is for — one transaction touching
+//! several structures.  This module benchmarks exactly that: a pair of skip
+//! hashes sharing one STM runtime, with three operations:
+//!
+//! * **transfer** — atomically move a key (and its value) from whichever map
+//!   holds it to the other, via two [`TxView`](skiphash::TxView)s in one
+//!   transaction;
+//! * **audit** — atomically read both maps and report which holds the key
+//!   (under correct transfers, never both);
+//! * **lookup** — a plain sealed `get` against one map, for mix dilution.
+//!
+//! None of the baseline structures offers an equivalent: without STM, the
+//! transfer would need external locking or exhibit intermediate states.
+
+use std::sync::Arc;
+
+use skiphash::{SkipHash, SkipHashBuilder};
+use skiphash_stm::Stm;
+
+/// A pair of skip hashes over one shared STM runtime, plus the composed
+/// operations the transfer workload drives.
+pub struct TransferPair {
+    stm: Arc<Stm>,
+    /// The "left" map (pre-filled by [`TransferPair::prefill`]).
+    pub left: SkipHash<u64, u64>,
+    /// The "right" map (initially empty).
+    pub right: SkipHash<u64, u64>,
+}
+
+impl std::fmt::Debug for TransferPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferPair").finish()
+    }
+}
+
+impl TransferPair {
+    /// Build a pair sized for `key_universe` keys (roughly half resident),
+    /// with the same prime bucket sizing the single-map adapters use.
+    pub fn new(key_universe: u64) -> Self {
+        let stm = Arc::new(Stm::new());
+        let buckets =
+            crate::adapters::smallest_prime_at_least(((key_universe / 2) as usize).max(64));
+        let map = |stm: &Arc<Stm>| {
+            SkipHashBuilder::new()
+                .buckets(buckets)
+                .stm(Arc::clone(stm))
+                .build()
+        };
+        Self {
+            left: map(&stm),
+            right: map(&stm),
+            stm,
+        }
+    }
+
+    /// The shared runtime (for callers composing their own transactions).
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Insert `0..count` into the left map (value = key), so every key in
+    /// the universe below `count` is held by exactly one map from the start.
+    pub fn prefill(&self, count: u64) {
+        for key in 0..count {
+            self.left.insert(key, key);
+        }
+    }
+
+    /// Atomically move `key` to the *other* map: take it from whichever map
+    /// holds it and insert it into the opposite one, as one transaction.
+    /// Returns `false` when neither map holds the key.
+    pub fn transfer(&self, key: u64) -> bool {
+        self.stm.run(|tx| {
+            if let Some(value) = self.left.view(tx).take(&key)? {
+                self.right.view(tx).insert(key, value)?;
+                return Ok(true);
+            }
+            if let Some(value) = self.right.view(tx).take(&key)? {
+                self.left.view(tx).insert(key, value)?;
+                return Ok(true);
+            }
+            Ok(false)
+        })
+    }
+
+    /// Atomically report `(in_left, in_right)` for `key`.
+    pub fn audit(&self, key: u64) -> (bool, bool) {
+        self.stm.run(|tx| {
+            Ok((
+                self.left.view(tx).contains_key(&key)?,
+                self.right.view(tx).contains_key(&key)?,
+            ))
+        })
+    }
+
+    /// Sealed lookup against the left map (mix dilution / read pressure).
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.left.get(&key)
+    }
+
+    /// Total population across both maps (conservation check: transfers must
+    /// keep this equal to the pre-filled count).
+    pub fn total_population(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Validate both maps' internal invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.left.check_invariants()?;
+        self.right.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_moves_keys_between_maps() {
+        let pair = TransferPair::new(128);
+        pair.prefill(64);
+        assert_eq!(pair.total_population(), 64);
+        assert!(pair.transfer(10));
+        assert_eq!(pair.audit(10), (false, true));
+        assert!(pair.transfer(10), "transfers back from the right map");
+        assert_eq!(pair.audit(10), (true, false));
+        assert!(!pair.transfer(1_000), "absent keys transfer nothing");
+        assert_eq!(pair.total_population(), 64);
+        pair.check_invariants().expect("invariants");
+    }
+}

@@ -163,6 +163,133 @@ impl Workload {
     }
 }
 
+/// Operation mix for the multi-map *transfer* scenario, in percent.
+///
+/// This workload class exists because the single-map mixes above cannot
+/// express composed transactions; see [`crate::transfer`] for the scenario's
+/// operations (atomic cross-map transfer, atomic both-map audit, sealed
+/// lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferMix {
+    /// Percentage of atomic cross-map transfers.
+    pub transfer_pct: u32,
+    /// Percentage of atomic both-map audits.
+    pub audit_pct: u32,
+    /// Percentage of sealed single-map lookups.
+    pub lookup_pct: u32,
+}
+
+impl TransferMix {
+    /// Create a mix; the three percentages must sum to 100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if they do not.
+    pub fn new(transfer_pct: u32, audit_pct: u32, lookup_pct: u32) -> Self {
+        assert_eq!(
+            transfer_pct + audit_pct + lookup_pct,
+            100,
+            "transfer mix must sum to 100%"
+        );
+        Self {
+            transfer_pct,
+            audit_pct,
+            lookup_pct,
+        }
+    }
+}
+
+impl fmt::Display for TransferMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}% transfer, {}% audit, {}% lookup",
+            self.transfer_pct, self.audit_pct, self.lookup_pct
+        )
+    }
+}
+
+/// The complete transfer workload: mix plus key universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferWorkload {
+    /// Short identifier.
+    pub name: &'static str,
+    /// The operation mix.
+    pub mix: TransferMix,
+    /// Keys are drawn uniformly from `0..universe`; the pair is pre-filled
+    /// with `universe / 2` keys, all initially in the left map.
+    pub key_universe: u64,
+}
+
+impl TransferWorkload {
+    /// Transfer-heavy default: 50% transfers, 25% audits, 25% lookups.
+    pub fn transfer_heavy(universe: u64) -> Self {
+        Self {
+            name: "transfer-heavy",
+            mix: TransferMix::new(50, 25, 25),
+            key_universe: universe,
+        }
+    }
+
+    /// Audit-heavy variant: 10% transfers, 60% audits, 30% lookups.
+    pub fn audit_heavy(universe: u64) -> Self {
+        Self {
+            name: "audit-heavy",
+            mix: TransferMix::new(10, 60, 30),
+            key_universe: universe,
+        }
+    }
+
+    /// Target pre-fill population (half the universe, as in the single-map
+    /// workloads).
+    pub fn prefill_target(&self) -> u64 {
+        self.key_universe / 2
+    }
+}
+
+/// One sampled transfer-scenario operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOperation {
+    /// Atomically move the key to the other map.
+    Transfer(u64),
+    /// Atomically read the key's membership in both maps.
+    Audit(u64),
+    /// Sealed lookup of the key in the left map.
+    Lookup(u64),
+}
+
+/// Per-thread sampler for the transfer scenario.
+#[derive(Debug)]
+pub struct TransferSampler {
+    mix: TransferMix,
+    key_dist: Uniform<u64>,
+    pct_dist: Uniform<u32>,
+}
+
+impl TransferSampler {
+    /// Create a sampler for `workload`.
+    pub fn new(workload: &TransferWorkload) -> Self {
+        Self {
+            mix: workload.mix,
+            key_dist: Uniform::new(0, workload.key_universe),
+            pct_dist: Uniform::new(0, 100),
+        }
+    }
+
+    /// Draw the next operation.
+    pub fn next(&self, rng: &mut SmallRng) -> TransferOperation {
+        let key = self.key_dist.sample(rng);
+        let roll = self.pct_dist.sample(rng);
+        if roll < self.mix.transfer_pct {
+            TransferOperation::Transfer(key)
+        } else if roll < self.mix.transfer_pct + self.mix.audit_pct {
+            TransferOperation::Audit(key)
+        } else {
+            TransferOperation::Lookup(key)
+        }
+    }
+}
+
 /// One sampled operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operation {
@@ -288,5 +415,35 @@ mod tests {
     fn prefill_is_half_the_universe() {
         assert_eq!(Workload::fig5a(1_000_000).prefill_target(), 500_000);
         assert_eq!(Workload::PAPER_RANGE_LEN, 100);
+    }
+
+    #[test]
+    fn transfer_sampler_respects_the_mix() {
+        let workload = TransferWorkload::transfer_heavy(10_000);
+        assert_eq!(workload.prefill_target(), 5_000);
+        let sampler = TransferSampler::new(&workload);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (mut transfers, mut audits, mut lookups) = (0u32, 0u32, 0u32);
+        let trials = 100_000;
+        for _ in 0..trials {
+            match sampler.next(&mut rng) {
+                TransferOperation::Transfer(k) => {
+                    assert!(k < 10_000);
+                    transfers += 1;
+                }
+                TransferOperation::Audit(_) => audits += 1,
+                TransferOperation::Lookup(_) => lookups += 1,
+            }
+        }
+        let frac = |n: u32| n as f64 / trials as f64;
+        assert!((frac(transfers) - 0.5).abs() < 0.02);
+        assert!((frac(audits) - 0.25).abs() < 0.02);
+        assert!((frac(lookups) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_transfer_mix_panics() {
+        let _ = TransferMix::new(50, 10, 10);
     }
 }

@@ -120,6 +120,7 @@ impl Config {
 #[derive(Debug, Clone, Default)]
 pub struct SkipHashBuilder {
     config: Config,
+    stm: Option<std::sync::Arc<skiphash_stm::Stm>>,
 }
 
 impl SkipHashBuilder {
@@ -132,6 +133,7 @@ impl SkipHashBuilder {
     pub fn paper() -> Self {
         Self {
             config: Config::paper(),
+            stm: None,
         }
     }
 
@@ -170,8 +172,44 @@ impl SkipHashBuilder {
     }
 
     /// Set the STM clock.
+    ///
+    /// Ignored when [`SkipHashBuilder::stm`] supplies a shared runtime — the
+    /// runtime's own clock wins (and is reflected in the built map's
+    /// [`Config`]).
     pub fn clock(mut self, clock: ClockKind) -> Self {
         self.config.clock = clock;
+        self
+    }
+
+    /// Build the map over an explicit, shared STM runtime instead of a
+    /// private one.
+    ///
+    /// Maps that share a runtime can be touched by a *single* transaction —
+    /// this is the prerequisite for composing them with
+    /// [`SkipHash::view`](crate::SkipHash::view) (e.g. an atomic transfer of
+    /// an entry from one map to another).  Version timestamps from different
+    /// runtimes' clocks are incomparable, so `view` rejects transactions
+    /// started by any other runtime.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use skiphash::SkipHashBuilder;
+    /// use skiphash_stm::Stm;
+    ///
+    /// let stm = Arc::new(Stm::new());
+    /// let a = SkipHashBuilder::new().stm(Arc::clone(&stm)).build::<u64, u64>();
+    /// let b = SkipHashBuilder::new().stm(Arc::clone(&stm)).build::<u64, u64>();
+    /// a.insert(1, 100);
+    /// stm.run(|tx| {
+    ///     if let Some(v) = a.view(tx).take(&1)? {
+    ///         b.view(tx).insert(1, v)?;
+    ///     }
+    ///     Ok(())
+    /// });
+    /// assert_eq!((a.get(&1), b.get(&1)), (None, Some(100)));
+    /// ```
+    pub fn stm(mut self, stm: std::sync::Arc<skiphash_stm::Stm>) -> Self {
+        self.stm = Some(stm);
         self
     }
 
@@ -182,7 +220,10 @@ impl SkipHashBuilder {
 
     /// Build a skip hash with this configuration.
     pub fn build<K: crate::MapKey, V: crate::MapValue>(self) -> crate::SkipHash<K, V> {
-        crate::SkipHash::with_config(self.config)
+        match self.stm {
+            None => crate::SkipHash::with_config(self.config),
+            Some(stm) => crate::SkipHash::with_config_and_stm(self.config, stm),
+        }
     }
 }
 

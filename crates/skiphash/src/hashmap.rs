@@ -63,6 +63,7 @@ where
     }
 
     /// Transactionally look up `key`.
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn get(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Option<T>> {
         let chain = self.bucket_for(key).read(tx)?;
         Ok(chain.into_iter().find(|(k, _)| k == key).map(|(_, v)| v))
@@ -70,14 +71,38 @@ where
 
     /// Transactionally check for `key` without cloning the mapped value's
     /// chain entry.
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn contains(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<bool> {
         let chain = self.bucket_for(key).read(tx)?;
         Ok(chain.iter().any(|(k, _)| k == key))
     }
 
-    /// Transactionally insert `key -> value`, returning the previous value if
-    /// the key was already present.
-    pub fn insert(&self, tx: &mut Txn<'_>, key: K, value: T) -> TxResult<Option<T>> {
+    /// Transactionally insert `key -> value` **only if `key` is absent**,
+    /// returning whether the insertion happened.
+    ///
+    /// # This never overwrites
+    ///
+    /// Consistent with [`crate::SkipHash::insert`]'s set-style contract: a
+    /// present key makes this return `false` and drop `value`, leaving the
+    /// stored value untouched.  Use [`TxHashMap::upsert`] for the
+    /// `std`-style overwrite-and-return-displaced behaviour.
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
+    pub fn insert(&self, tx: &mut Txn<'_>, key: K, value: T) -> TxResult<bool> {
+        let cell = self.bucket_for(&key);
+        let mut chain = cell.read(tx)?;
+        if chain.iter().any(|(k, _)| *k == key) {
+            return Ok(false);
+        }
+        chain.push((key, value));
+        cell.write(tx, chain)?;
+        Ok(true)
+    }
+
+    /// Transactionally insert or overwrite `key -> value`, returning the
+    /// displaced value if the key was already present (`std`-style
+    /// semantics; contrast with the set-style [`TxHashMap::insert`]).
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
+    pub fn upsert(&self, tx: &mut Txn<'_>, key: K, value: T) -> TxResult<Option<T>> {
         let cell = self.bucket_for(&key);
         let mut chain = cell.read(tx)?;
         let previous = if let Some(slot) = chain.iter_mut().find(|(k, _)| *k == key) {
@@ -91,6 +116,7 @@ where
     }
 
     /// Transactionally remove `key`, returning its value if it was present.
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn remove(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Option<T>> {
         let cell = self.bucket_for(key);
         let mut chain = cell.read(tx)?;
@@ -144,13 +170,18 @@ mod tests {
     fn insert_get_remove_round_trip() {
         let stm = Stm::new();
         let map: TxHashMap<u64, String> = TxHashMap::new(16);
-        let prev = stm.run(|tx| map.insert(tx, 1, "one".to_string()));
-        assert_eq!(prev, None);
+        assert!(stm.run(|tx| map.insert(tx, 1, "one".to_string())));
         assert_eq!(stm.run(|tx| map.get(tx, &1)), Some("one".to_string()));
         assert!(stm.run(|tx| map.contains(tx, &1)));
         assert!(!stm.run(|tx| map.contains(tx, &2)));
-        let prev = stm.run(|tx| map.insert(tx, 1, "uno".to_string()));
+        // Set-style: a second insert refuses to overwrite...
+        assert!(!stm.run(|tx| map.insert(tx, 1, "uno".to_string())));
+        assert_eq!(stm.run(|tx| map.get(tx, &1)), Some("one".to_string()));
+        // ...while upsert overwrites and reports what it displaced.
+        let prev = stm.run(|tx| map.upsert(tx, 1, "uno".to_string()));
         assert_eq!(prev, Some("one".to_string()));
+        let fresh = stm.run(|tx| map.upsert(tx, 2, "two".to_string()));
+        assert_eq!(fresh, None);
         assert_eq!(stm.run(|tx| map.remove(tx, &1)), Some("uno".to_string()));
         assert_eq!(stm.run(|tx| map.get(tx, &1)), None);
         assert_eq!(stm.run(|tx| map.remove(tx, &1)), None);

@@ -24,6 +24,21 @@
 //!   split across many small transactions while still linearizing at the
 //!   moment it acquired its version number.
 //!
+//! # Two API tiers
+//!
+//! * **Sealed operations** — every [`SkipHash`] method runs as its own
+//!   internal transaction: `insert`, `get`, `remove`, `range`, ….
+//! * **Composable transactions** — [`SkipHash::view`] opens a [`TxView`]
+//!   inside a *caller-owned* transaction, so several operations (possibly on
+//!   several maps sharing one [`skiphash_stm::Stm`], see
+//!   [`SkipHashBuilder::stm`]) commit or abort as a unit, and atomic
+//!   read-modify-write (`update` / `get_or_insert_with` / `compute`) needs no
+//!   caller-side retry loop.
+//!
+//! The sealed methods are thin wrappers over `TxView`, so the two tiers
+//! cannot drift apart.  See `docs/API.md` at the repository root for a guided
+//! tour and migration notes.
+//!
 //! # Example
 //!
 //! ```
@@ -37,7 +52,17 @@
 //!
 //! assert_eq!(map.get(&1), Some("one"));
 //! assert_eq!(map.ceil(&2), Some(3));
-//! assert_eq!(map.range(&1, &5), vec![(1, "one"), (3, "three")]);
+//! let pairs: Vec<_> = map.range(1..=5).collect();
+//! assert_eq!(pairs, vec![(1, "one"), (3, "three")]);
+//!
+//! // Composable tier: a read-modify-write and a dependent insert, atomically.
+//! map.stm().run(|tx| {
+//!     let mut v = map.view(tx);
+//!     let three = v.take(&3)?;
+//!     v.insert(4, three.unwrap_or("four"))?;
+//!     Ok(())
+//! });
+//! assert_eq!(map.get(&4), Some("three"));
 //!
 //! assert!(map.remove(&1));
 //! assert_eq!(map.get(&1), None);
@@ -53,10 +78,13 @@ pub mod range;
 pub mod rqc;
 pub mod skiplist;
 pub mod thread_slots;
+pub mod view;
 
 pub use config::{Config, RangePolicy, RemovalPolicy, SkipHashBuilder};
 pub use hashmap::TxHashMap;
 pub use map::{RangeStats, SkipHash};
+pub use range::Range;
+pub use view::{Compute, TxView};
 
 use std::hash::Hash;
 

@@ -1,11 +1,17 @@
-//! The skip hash ordered map.
+//! The skip hash ordered map: sealed single-operation API.
+//!
+//! Every method on [`SkipHash`] runs as its own internal transaction ("sealed"
+//! operations).  The operation bodies themselves live in [`crate::view`] on
+//! [`TxView`]: a sealed call is literally
+//! `stm.run(|tx| self.view(tx).op(..))`, so the sealed and composable tiers
+//! can never drift apart.
 
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use skiphash_stm::{StatsSnapshot, Stm};
+use skiphash_stm::{StatsSnapshot, Stm, Txn};
 
 use crate::config::{Config, RemovalPolicy, SkipHashBuilder};
 use crate::hashmap::TxHashMap;
@@ -13,6 +19,7 @@ use crate::node::Node;
 use crate::rqc::{DeferralBuffer, Rqc};
 use crate::skiplist::SkipList;
 use crate::thread_slots;
+use crate::view::{Compute, TxView};
 use crate::{MapKey, MapValue};
 
 /// Counters describing how range queries executed (fast path vs slow path).
@@ -87,11 +94,11 @@ impl PopulationCounter {
         &self.shards[thread_slots::current_slot() & (self.shards.len() - 1)]
     }
 
-    fn record_insert(&self) {
+    pub(crate) fn record_insert(&self) {
         self.shard().fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_remove(&self) {
+    pub(crate) fn record_remove(&self) {
         self.shard().fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -102,11 +109,92 @@ impl PopulationCounter {
     }
 }
 
+/// The skip hash's state, shared between the public handle, transactional
+/// views, and post-commit actions (which capture an `Arc` of it so deferred
+/// effects stay valid however long the caller's transaction lives).
+pub(crate) struct Inner<K: MapKey, V: MapValue> {
+    pub(crate) stm: Arc<Stm>,
+    pub(crate) skiplist: SkipList<K, V>,
+    pub(crate) index: TxHashMap<K, Arc<Node<K, V>>>,
+    pub(crate) rqc: Rqc<K, V>,
+    pub(crate) buffer: DeferralBuffer<K, V>,
+    pub(crate) config: Config,
+    pub(crate) range_counters: RangeCounters,
+    pub(crate) population: PopulationCounter,
+}
+
+impl<K: MapKey, V: MapValue> Inner<K, V> {
+    /// `after_remove` from Figure 4: either unstitch immediately (inside the
+    /// removing transaction) or arrange for deferral.  Under the buffered
+    /// policy the deferral itself happens after the transaction commits, via
+    /// the per-thread buffer, so this returns the node to be buffered.
+    pub(crate) fn after_remove(
+        &self,
+        tx: &mut Txn<'_>,
+        node: Arc<Node<K, V>>,
+    ) -> skiphash_stm::TxResult<Option<Arc<Node<K, V>>>> {
+        if self.rqc.can_unstitch_now(tx, &node)? {
+            self.skiplist.unstitch(tx, &node)?;
+            return Ok(None);
+        }
+        match self.config.removal_policy {
+            RemovalPolicy::Immediate => {
+                self.rqc.defer_to_latest(tx, node)?;
+                Ok(None)
+            }
+            RemovalPolicy::Buffered(_) => Ok(Some(node)),
+        }
+    }
+
+    /// Push a node whose unstitching must be deferred into the calling
+    /// thread's buffer, flushing the buffer to the RQC when it fills up.
+    /// Runs *outside* any transaction (from a post-commit action).
+    pub(crate) fn buffer_deferred_node(&self, node: Arc<Node<K, V>>) {
+        if let Some(batch) = self.buffer.push(node) {
+            self.flush_deferred_batch(batch);
+        }
+    }
+
+    pub(crate) fn flush_deferred_batch(&self, batch: Vec<Arc<Node<K, V>>>) {
+        if batch.is_empty() {
+            return;
+        }
+        let accepted = self
+            .stm
+            .run(|tx| self.rqc.defer_batch_to_latest(tx, &batch));
+        if !accepted {
+            // No slow-path range query is in flight: unstitch the whole batch
+            // ourselves, one small transaction per node.
+            for node in &batch {
+                self.stm.run(|tx| self.skiplist.unstitch(tx, node));
+            }
+        }
+    }
+}
+
+impl<K: MapKey, V: MapValue> Drop for Inner<K, V> {
+    fn drop(&mut self) {
+        // The doubly linked skip list is a large cycle of `Arc`s; sever every
+        // link so the nodes can actually be reclaimed.  `Drop` has exclusive
+        // access, so the non-transactional stores are safe.
+        self.skiplist.sever_all();
+    }
+}
+
 /// A concurrent, linearizable ordered map composing a hash map and a doubly
 /// linked skip list behind software transactional memory.
 ///
 /// All operations take `&self`; share the map across threads with
 /// [`std::sync::Arc`].
+///
+/// # Two API tiers
+///
+/// * **Sealed operations** (this page): every method runs as its own
+///   internal transaction.  `insert`, `get`, `remove`, `range`, …
+/// * **Composable transactions** ([`SkipHash::view`] /
+///   [`SkipHash::transact`]): the same operations inside a *caller-owned*
+///   transaction, so several of them — possibly on several maps sharing an
+///   [`Stm`] — commit or abort as one atomic unit.  See [`TxView`].
 ///
 /// # Complexity
 ///
@@ -128,23 +216,17 @@ impl PopulationCounter {
 ///     map.insert(k, k * 100);
 /// }
 /// assert_eq!(map.succ(&4), Some(7));
-/// assert_eq!(map.range(&2, &7), vec![(2, 200), (4, 400), (7, 700)]);
+/// let pairs: Vec<_> = map.range(2..=7).collect();
+/// assert_eq!(pairs, vec![(2, 200), (4, 400), (7, 700)]);
 /// ```
 pub struct SkipHash<K: MapKey, V: MapValue> {
-    pub(crate) stm: Stm,
-    pub(crate) skiplist: SkipList<K, V>,
-    pub(crate) index: TxHashMap<K, Arc<Node<K, V>>>,
-    pub(crate) rqc: Rqc<K, V>,
-    pub(crate) buffer: DeferralBuffer<K, V>,
-    pub(crate) config: Config,
-    pub(crate) range_counters: RangeCounters,
-    pub(crate) population: PopulationCounter,
+    pub(crate) inner: Arc<Inner<K, V>>,
 }
 
 impl<K: MapKey, V: MapValue> fmt::Debug for SkipHash<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SkipHash")
-            .field("config", &self.config)
+            .field("config", &self.inner.config)
             .finish()
     }
 }
@@ -166,40 +248,70 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         SkipHashBuilder::new()
     }
 
-    /// Create a skip hash with an explicit configuration.
+    /// Create a skip hash with an explicit configuration (and its own private
+    /// STM runtime derived from `config.clock`).
     pub fn with_config(config: Config) -> Self {
+        Self::with_config_and_stm(config, Arc::new(Stm::with_clock(config.clock)))
+    }
+
+    /// Create a skip hash over an explicit, possibly shared, STM runtime.
+    ///
+    /// Maps sharing one runtime can be touched by a single transaction (see
+    /// [`SkipHash::view`]); `config.clock` is overridden by the runtime's
+    /// actual clock so the recorded configuration never lies.
+    pub(crate) fn with_config_and_stm(mut config: Config, stm: Arc<Stm>) -> Self {
+        config.clock = stm.clock_kind();
         let buffer_capacity = match config.removal_policy {
             RemovalPolicy::Immediate => 1,
             RemovalPolicy::Buffered(n) => n.max(1),
         };
         Self {
-            stm: Stm::with_clock(config.clock),
-            skiplist: SkipList::new(config.max_level),
-            index: TxHashMap::new(config.bucket_count),
-            rqc: Rqc::new(),
-            buffer: DeferralBuffer::new(buffer_capacity),
-            config,
-            range_counters: RangeCounters::new(),
-            population: PopulationCounter::new(),
+            inner: Arc::new(Inner {
+                stm,
+                skiplist: SkipList::new(config.max_level),
+                index: TxHashMap::new(config.bucket_count),
+                rqc: Rqc::new(),
+                buffer: DeferralBuffer::new(buffer_capacity),
+                config,
+                range_counters: RangeCounters::new(),
+                population: PopulationCounter::new(),
+            }),
         }
     }
 
     /// The map's configuration.
     pub fn config(&self) -> Config {
-        self.config
+        self.inner.config
+    }
+
+    /// The STM runtime this map's transactions run on.
+    ///
+    /// Use it to start caller-owned transactions for [`SkipHash::view`]:
+    /// `map.stm().run(|tx| { let mut v = map.view(tx); ... })`.  Two maps
+    /// built over the same runtime (via [`SkipHashBuilder::stm`]) can be
+    /// composed inside one such transaction.
+    pub fn stm(&self) -> &Stm {
+        &self.inner.stm
     }
 
     /// Statistics from the underlying STM (commits, aborts by cause).
     pub fn stm_stats(&self) -> StatsSnapshot {
-        self.stm.stats()
+        self.inner.stm.stats()
     }
 
     /// Reset STM and range statistics (between benchmark trials).
     pub fn reset_stats(&self) {
-        self.stm.reset_stats();
-        self.range_counters.fast_success.store(0, Ordering::Relaxed);
-        self.range_counters.fast_abort.store(0, Ordering::Relaxed);
-        self.range_counters
+        self.inner.stm.reset_stats();
+        self.inner
+            .range_counters
+            .fast_success
+            .store(0, Ordering::Relaxed);
+        self.inner
+            .range_counters
+            .fast_abort
+            .store(0, Ordering::Relaxed);
+        self.inner
+            .range_counters
             .slow_complete
             .store(0, Ordering::Relaxed);
     }
@@ -207,85 +319,117 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// Range query execution statistics.
     pub fn range_stats(&self) -> RangeStats {
         RangeStats {
-            fast_path_successes: self.range_counters.fast_success.load(Ordering::Relaxed),
-            fast_path_aborts: self.range_counters.fast_abort.load(Ordering::Relaxed),
-            slow_path_completions: self.range_counters.slow_complete.load(Ordering::Relaxed),
+            fast_path_successes: self
+                .inner
+                .range_counters
+                .fast_success
+                .load(Ordering::Relaxed),
+            fast_path_aborts: self.inner.range_counters.fast_abort.load(Ordering::Relaxed),
+            slow_path_completions: self
+                .inner
+                .range_counters
+                .slow_complete
+                .load(Ordering::Relaxed),
         }
+    }
+
+    /// Open a transactional view of this map inside the caller-owned
+    /// transaction `tx`.
+    ///
+    /// All [`TxView`] operations become part of `tx`: they commit or abort
+    /// together with everything else the transaction does, including views of
+    /// *other* maps built over the same [`Stm`] runtime.  This is the
+    /// composition tier the sealed methods are built on.
+    ///
+    /// ```
+    /// use skiphash::SkipHash;
+    ///
+    /// let map: SkipHash<u64, u64> = SkipHash::new();
+    /// map.insert(1, 10);
+    /// // Atomic read-modify-write across two keys.
+    /// map.stm().run(|tx| {
+    ///     let mut v = map.view(tx);
+    ///     let taken = v.take(&1)?.unwrap_or(0);
+    ///     v.insert(2, taken + 5)?;
+    ///     Ok(())
+    /// });
+    /// assert_eq!(map.get(&2), Some(15));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` was started by a different [`Stm`] runtime than this
+    /// map's — timestamps from two unrelated clocks are incomparable, so the
+    /// composition would be unsound.  Build the maps you want to compose over
+    /// one shared runtime with [`SkipHashBuilder::stm`].
+    pub fn view<'a, 't>(&'a self, tx: &'a mut Txn<'t>) -> TxView<'a, 't, K, V> {
+        TxView::new(&self.inner, tx)
+    }
+
+    /// Run `body` as one atomic transaction over this map.
+    ///
+    /// Convenience over [`SkipHash::view`] for single-map composition: the
+    /// body receives a ready-made [`TxView`] and is retried until it commits,
+    /// under the [`TxResult`](skiphash_stm::TxResult) contract.
+    ///
+    /// ```
+    /// use skiphash::SkipHash;
+    ///
+    /// let map: SkipHash<u64, u64> = SkipHash::new();
+    /// map.transact(|v| {
+    ///     v.insert(1, 10)?;
+    ///     v.insert(2, 20)?;
+    ///     Ok(())
+    /// });
+    /// assert_eq!(map.len(), 2);
+    /// ```
+    pub fn transact<T, F>(&self, mut body: F) -> T
+    where
+        F: FnMut(&mut TxView<'_, '_, K, V>) -> skiphash_stm::TxResult<T>,
+    {
+        self.inner.stm.run(|tx| {
+            let mut view = TxView::new(&self.inner, tx);
+            body(&mut view)
+        })
     }
 
     /// Look up `key`, returning a clone of its value.
     ///
     /// `O(1)`: a hash map lookup plus one value read.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.stm.run(|tx| match self.index.get(tx, key)? {
-            None => Ok(None),
-            Some(node) => Ok(Some(node.read_value(tx)?)),
-        })
+        self.transact(|v| v.get(key))
     }
 
     /// True if `key` is present.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.stm.run(|tx| self.index.contains(tx, key))
+        self.transact(|v| v.contains_key(key))
     }
 
-    /// Insert `key -> value` if `key` is absent.  Returns `false` (and leaves
-    /// the map unchanged) when the key is already present — the paper's
-    /// set-style `insert` semantics.
+    /// Insert `key -> value` **only if `key` is absent**, returning whether
+    /// the insertion happened.
+    ///
+    /// # This never overwrites
+    ///
+    /// `insert` follows the paper's *set-style* semantics: when the key is
+    /// already present it returns `false` and the map is **unchanged** — the
+    /// existing value is *not* replaced and the new value is dropped.  This
+    /// differs from `std::collections` maps, whose `insert` overwrites and
+    /// returns the previous value.  If you want overwrite-and-return
+    /// semantics, use [`SkipHash::upsert`]; if you want to modify an existing
+    /// value atomically, use [`SkipHash::update`] or [`SkipHash::compute`].
     pub fn insert(&self, key: K, value: V) -> bool {
-        let height = {
-            let mut rng = rand::thread_rng();
-            self.skiplist.random_height(&mut rng)
-        };
-        let inserted = self.stm.run(|tx| {
-            if self.index.contains(tx, &key)? {
-                return Ok(false);
-            }
-            let i_time = self.rqc.on_update(tx)?;
-            let node = self.skiplist.insert_after_logical_deletes(
-                tx,
-                key.clone(),
-                value.clone(),
-                height,
-                i_time,
-            )?;
-            self.index.insert(tx, key.clone(), node)?;
-            Ok(true)
-        });
-        if inserted {
-            self.population.record_insert();
-        }
-        inserted
+        self.transact(|v| v.insert(key.clone(), value.clone()))
     }
 
-    /// Insert or overwrite, returning the previous value when the key was
-    /// present.  (A convenience beyond the paper's interface; an overwrite is
-    /// a value update on the existing node and costs `O(1)`.)
+    /// Insert or overwrite, returning the displaced value when the key was
+    /// present.
+    ///
+    /// This is the `std`-style counterpart to the set-style
+    /// [`SkipHash::insert`]: it *always* stores `value`, and tells you what
+    /// it replaced.  (A convenience beyond the paper's interface; an
+    /// overwrite is a value update on the existing node and costs `O(1)`.)
     pub fn upsert(&self, key: K, value: V) -> Option<V> {
-        let height = {
-            let mut rng = rand::thread_rng();
-            self.skiplist.random_height(&mut rng)
-        };
-        let previous = self.stm.run(|tx| {
-            if let Some(node) = self.index.get(tx, &key)? {
-                let previous = node.read_value(tx)?;
-                node.value.write(tx, Some(value.clone()))?;
-                return Ok(Some(previous));
-            }
-            let i_time = self.rqc.on_update(tx)?;
-            let node = self.skiplist.insert_after_logical_deletes(
-                tx,
-                key.clone(),
-                value.clone(),
-                height,
-                i_time,
-            )?;
-            self.index.insert(tx, key.clone(), node)?;
-            Ok(None)
-        });
-        if previous.is_none() {
-            self.population.record_insert();
-        }
-        previous
+        self.transact(|v| v.upsert(key.clone(), value.clone()))
     }
 
     /// Remove `key`.  Returns `true` if the key was present.
@@ -295,125 +439,68 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
 
     /// Remove `key` and return its value if it was present.
     pub fn take(&self, key: &K) -> Option<V> {
-        let (value, deferred) = self.stm.run(|tx| {
-            let node = match self.index.get(tx, key)? {
-                None => return Ok((None, None)),
-                Some(node) => node,
-            };
-            self.index.remove(tx, key)?;
-            let value = node.read_value(tx)?;
-            let r_time = self.rqc.on_update(tx)?;
-            node.r_time.write(tx, Some(r_time))?;
-            let deferred = self.after_remove(tx, node)?;
-            Ok((Some(value), deferred))
-        });
-        if value.is_some() {
-            self.population.record_remove();
-        }
-        if let Some(node) = deferred {
-            self.buffer_deferred_node(node);
-        }
-        value
+        self.transact(|v| v.take(key))
     }
 
-    /// `after_remove` from Figure 4: either unstitch immediately (inside the
-    /// removing transaction) or arrange for deferral.  Under the buffered
-    /// policy the deferral itself happens after the transaction commits, via
-    /// the per-thread buffer, so this returns the node to be buffered.
-    fn after_remove(
-        &self,
-        tx: &mut skiphash_stm::Txn<'_>,
-        node: Arc<Node<K, V>>,
-    ) -> skiphash_stm::TxResult<Option<Arc<Node<K, V>>>> {
-        if self.rqc.can_unstitch_now(tx, &node)? {
-            self.skiplist.unstitch(tx, &node)?;
-            return Ok(None);
-        }
-        match self.config.removal_policy {
-            RemovalPolicy::Immediate => {
-                self.rqc.defer_to_latest(tx, node)?;
-                Ok(None)
-            }
-            RemovalPolicy::Buffered(_) => Ok(Some(node)),
-        }
+    /// Atomically replace the value under `key` with `f(&current)`, returning
+    /// the new value, or `None` (without calling `f`) when the key is absent.
+    ///
+    /// The read and the write happen in one transaction, so concurrent
+    /// `update`s to the same key never lose increments the way a
+    /// `get` + `upsert` pair would.  `f` may be called once per retry; it
+    /// must be a pure function of its argument.
+    pub fn update<F>(&self, key: &K, f: F) -> Option<V>
+    where
+        F: Fn(&V) -> V,
+    {
+        self.transact(|v| v.update(key, &f))
     }
 
-    /// Push a node whose unstitching must be deferred into the calling
-    /// thread's buffer, flushing the buffer to the RQC when it fills up.
-    fn buffer_deferred_node(&self, node: Arc<Node<K, V>>) {
-        if let Some(batch) = self.buffer.push(node) {
-            self.flush_deferred_batch(batch);
-        }
+    /// Return the value under `key`, atomically inserting `f()` first if the
+    /// key is absent.
+    ///
+    /// `f` may be called once per retry; only the committing attempt's value
+    /// is ever observable.
+    pub fn get_or_insert_with<F>(&self, key: K, f: F) -> V
+    where
+        F: Fn() -> V,
+    {
+        self.transact(|v| v.get_or_insert_with(key.clone(), &f))
     }
 
-    pub(crate) fn flush_deferred_batch(&self, batch: Vec<Arc<Node<K, V>>>) {
-        if batch.is_empty() {
-            return;
-        }
-        let accepted = self
-            .stm
-            .run(|tx| self.rqc.defer_batch_to_latest(tx, &batch));
-        if !accepted {
-            // No slow-path range query is in flight: unstitch the whole batch
-            // ourselves, one small transaction per node.
-            for node in &batch {
-                self.stm.run(|tx| self.skiplist.unstitch(tx, node));
-            }
-        }
+    /// Atomically decide the fate of `key`: `f` sees the current value (if
+    /// any) and returns a [`Compute`] verdict — keep it, replace it, or
+    /// remove it.  Returns the value present after the operation.
+    ///
+    /// This single entry point expresses conditional insert, conditional
+    /// remove, and read-modify-write without any caller-side retry loop.
+    /// `f` may be called once per retry; it must be a pure function of its
+    /// argument.
+    pub fn compute<F>(&self, key: K, f: F) -> Option<V>
+    where
+        F: Fn(Option<&V>) -> Compute<V>,
+    {
+        self.transact(|v| v.compute(key.clone(), &f))
     }
 
     /// Smallest key `>= key`, if any (`O(1)` when `key` itself is present).
     pub fn ceil(&self, key: &K) -> Option<K> {
-        self.stm.run(|tx| {
-            if self.index.contains(tx, key)? {
-                return Ok(Some(key.clone()));
-            }
-            let node = self.skiplist.ceil_present(tx, key)?;
-            Ok(if node.is_tail() {
-                None
-            } else {
-                Some(node.key().clone())
-            })
-        })
+        self.transact(|v| v.ceil(key))
     }
 
     /// Smallest key strictly `> key`, if any.
     pub fn succ(&self, key: &K) -> Option<K> {
-        self.stm.run(|tx| {
-            let node = self.skiplist.succ_present(tx, key)?;
-            Ok(if node.is_tail() {
-                None
-            } else {
-                Some(node.key().clone())
-            })
-        })
+        self.transact(|v| v.succ(key))
     }
 
     /// Largest key `<= key`, if any (`O(1)` when `key` itself is present).
     pub fn floor(&self, key: &K) -> Option<K> {
-        self.stm.run(|tx| {
-            if self.index.contains(tx, key)? {
-                return Ok(Some(key.clone()));
-            }
-            let node = self.skiplist.floor_present(tx, key)?;
-            Ok(if node.is_head() {
-                None
-            } else {
-                Some(node.key().clone())
-            })
-        })
+        self.transact(|v| v.floor(key))
     }
 
     /// Largest key strictly `< key`, if any.
     pub fn pred(&self, key: &K) -> Option<K> {
-        self.stm.run(|tx| {
-            let node = self.skiplist.pred_present(tx, key)?;
-            Ok(if node.is_head() {
-                None
-            } else {
-                Some(node.key().clone())
-            })
-        })
+        self.transact(|v| v.pred(key))
     }
 
     /// Number of keys currently present.
@@ -427,22 +514,28 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// debug builds a quiescent caller also pays the `O(n)` walk, which must
     /// agree with the counter.
     pub fn len(&self) -> usize {
-        let total = self.population.total();
+        let total = self.inner.population.total();
         #[cfg(debug_assertions)]
         {
             // A caller racing updaters can observe the walk and the counter
             // mid-divergence (the counter is bumped just after the
             // transaction commits), so only a *persistent* mismatch is a
             // bug.  Re-sample a few times before declaring one.
-            let mut walked = self.stm.run(|tx| self.skiplist.count_present(tx));
-            let mut counted = self.population.total();
+            let mut walked = self
+                .inner
+                .stm
+                .run(|tx| self.inner.skiplist.count_present(tx));
+            let mut counted = self.inner.population.total();
             for _ in 0..3 {
                 if walked == counted {
                     break;
                 }
                 std::thread::yield_now();
-                walked = self.stm.run(|tx| self.skiplist.count_present(tx));
-                counted = self.population.total();
+                walked = self
+                    .inner
+                    .stm
+                    .run(|tx| self.inner.skiplist.count_present(tx));
+                counted = self.inner.population.total();
             }
             debug_assert_eq!(
                 walked, counted,
@@ -455,16 +548,15 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
 
     /// True when the map holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.stm.run(|tx| {
-            let first = self.skiplist.first_present(tx)?;
-            Ok(first.is_tail())
-        })
+        self.transact(|v| v.is_empty())
     }
 
     /// Snapshot every `(key, value)` pair in ascending key order, as one
     /// atomic (fast-path style) transaction.
     pub fn to_vec(&self) -> Vec<(K, V)> {
-        self.stm.run(|tx| self.skiplist.collect_present(tx))
+        self.inner
+            .stm
+            .run(|tx| self.inner.skiplist.collect_present(tx))
     }
 
     /// Remove every key.  Runs as a sequence of individual removals (there is
@@ -472,8 +564,9 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     pub fn clear(&self) {
         loop {
             let keys: Vec<K> = self
+                .inner
                 .stm
-                .run(|tx| self.skiplist.collect_present(tx))
+                .run(|tx| self.inner.skiplist.collect_present(tx))
                 .into_iter()
                 .map(|(k, _)| k)
                 .collect();
@@ -491,18 +584,19 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// is well formed, and the sharded population counter matches the number
     /// of present keys.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let present = self.stm.run(|tx| {
-            let structural = self.skiplist.check_invariants(tx)?;
+        let inner = &self.inner;
+        let present = inner.stm.run(|tx| {
+            let structural = inner.skiplist.check_invariants(tx)?;
             if let Err(e) = structural {
                 return Ok(Err(e));
             }
-            let mut from_list: Vec<K> = self
+            let mut from_list: Vec<K> = inner
                 .skiplist
                 .collect_present(tx)?
                 .into_iter()
                 .map(|(k, _)| k)
                 .collect();
-            let mut from_map: Vec<K> = self.index.keys(tx)?.into_iter().collect();
+            let mut from_map: Vec<K> = inner.index.keys(tx)?.into_iter().collect();
             from_list.sort();
             from_map.sort();
             if from_list != from_map {
@@ -518,14 +612,14 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         // so a caller racing updaters can catch it mid-divergence; re-sample
         // and only report a mismatch that persists.
         let mut walked = present;
-        let mut counted = self.population.total();
+        let mut counted = inner.population.total();
         for _ in 0..3 {
             if walked == counted {
                 return Ok(());
             }
             std::thread::yield_now();
-            walked = self.stm.run(|tx| self.skiplist.count_present(tx));
-            counted = self.population.total();
+            walked = inner.stm.run(|tx| inner.skiplist.count_present(tx));
+            counted = inner.population.total();
         }
         if walked != counted {
             return Err(format!(
@@ -551,14 +645,5 @@ impl<K: MapKey, V: MapValue> Extend<(K, V)> for SkipHash<K, V> {
         for (k, v) in iter {
             self.insert(k, v);
         }
-    }
-}
-
-impl<K: MapKey, V: MapValue> Drop for SkipHash<K, V> {
-    fn drop(&mut self) {
-        // The doubly linked skip list is a large cycle of `Arc`s; sever every
-        // link so the nodes can actually be reclaimed.  `Drop` has exclusive
-        // access, so the non-transactional stores are safe.
-        self.skiplist.sever_all();
     }
 }

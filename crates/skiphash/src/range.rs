@@ -1,4 +1,4 @@
-//! Linearizable range queries.
+//! Linearizable range queries, with std-style [`RangeBounds`] arguments.
 //!
 //! Implements §4.4 of the paper: a **fast path** that runs the whole range
 //! query as a single `try_once` transaction, and a **slow path** that
@@ -6,40 +6,204 @@
 //! version number, and walks the range in many small transactions, pausing
 //! only on *safe nodes* — nodes guaranteed not to be unstitched before the
 //! query finishes.
+//!
+//! [`SkipHash::range`] accepts any `RangeBounds<K>` (`1..=5`, `..`, `3..`,
+//! `(Bound::Excluded(a), Bound::Included(b))`, …) and returns an owned
+//! [`Range`] iterator over the snapshot.  An inverted range (start above
+//! end) yields an empty iterator rather than panicking like
+//! `BTreeMap::range` — a concurrent map should not turn a stale bound pair
+//! into a crash.
 
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::iter::FusedIterator;
+use std::ops::Bound as StdBound;
+use std::ops::RangeBounds;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use skiphash_stm::{TxResult, Txn};
 
 use crate::config::RangePolicy;
-use crate::map::SkipHash;
-use crate::node::Node;
+use crate::map::{Inner, SkipHash};
+use crate::node::{Bound as NodeBound, Node};
 use crate::{MapKey, MapValue};
 
+/// An owned iterator over one linearizable range-query snapshot, in
+/// ascending key order.
+///
+/// Returned by [`SkipHash::range`], [`SkipHash::range_attempt_fast`], and
+/// [`TxView::range`](crate::TxView::range).  The snapshot is materialized at
+/// the query's linearization point; iterating it performs no further
+/// synchronization.
+#[derive(Clone)]
+pub struct Range<K, V> {
+    pairs: std::vec::IntoIter<(K, V)>,
+}
+
+impl<K, V> Range<K, V> {
+    pub(crate) fn new(pairs: Vec<(K, V)>) -> Self {
+        Self {
+            pairs: pairs.into_iter(),
+        }
+    }
+
+    /// The pairs not yet yielded, as a slice (in ascending key order).
+    pub fn as_slice(&self) -> &[(K, V)] {
+        self.pairs.as_slice()
+    }
+}
+
+impl<K, V> Iterator for Range<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        self.pairs.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.pairs.size_hint()
+    }
+}
+
+impl<K, V> DoubleEndedIterator for Range<K, V> {
+    fn next_back(&mut self) -> Option<(K, V)> {
+        self.pairs.next_back()
+    }
+}
+
+impl<K, V> ExactSizeIterator for Range<K, V> {}
+impl<K, V> FusedIterator for Range<K, V> {}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Range<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Range")
+            .field("remaining", &self.pairs.as_slice())
+            .finish()
+    }
+}
+
+/// `Bound<&K> -> Bound<K>` (we hold owned bounds so retry loops can re-borrow
+/// them without lifetime gymnastics; `Bound::cloned` needs K: Clone anyway).
+fn clone_bound<K: Clone>(bound: StdBound<&K>) -> StdBound<K> {
+    match bound {
+        StdBound::Included(k) => StdBound::Included(k.clone()),
+        StdBound::Excluded(k) => StdBound::Excluded(k.clone()),
+        StdBound::Unbounded => StdBound::Unbounded,
+    }
+}
+
+fn bound_as_ref<K>(bound: &StdBound<K>) -> StdBound<&K> {
+    match bound {
+        StdBound::Included(k) => StdBound::Included(k),
+        StdBound::Excluded(k) => StdBound::Excluded(k),
+        StdBound::Unbounded => StdBound::Unbounded,
+    }
+}
+
+/// True when no key can satisfy the pair of bounds (start above end).
+/// `BTreeMap::range` panics here; a concurrent map yields emptiness instead.
+fn range_is_empty<K: Ord>(start: &StdBound<K>, end: &StdBound<K>) -> bool {
+    match (start, end) {
+        (StdBound::Included(l), StdBound::Included(h)) => l > h,
+        (StdBound::Included(l), StdBound::Excluded(h))
+        | (StdBound::Excluded(l), StdBound::Included(h))
+        | (StdBound::Excluded(l), StdBound::Excluded(h)) => l >= h,
+        (StdBound::Unbounded, _) | (_, StdBound::Unbounded) => false,
+    }
+}
+
+/// True when a node at `position` still lies at or below the end bound.
+fn end_allows<K: Ord>(position: &NodeBound<K>, end: StdBound<&K>) -> bool {
+    match end {
+        StdBound::Unbounded => true,
+        StdBound::Included(h) => position.is_at_most(h),
+        StdBound::Excluded(h) => position.is_before(h),
+    }
+}
+
+impl<K: MapKey, V: MapValue> Inner<K, V> {
+    /// Walk the range inside `tx` (fast-path style: one transaction sees the
+    /// whole snapshot).  Shared by the fast path and by
+    /// [`TxView::range`](crate::TxView::range).
+    pub(crate) fn collect_range(
+        &self,
+        tx: &mut Txn<'_>,
+        start: StdBound<&K>,
+        end: StdBound<&K>,
+    ) -> TxResult<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        if range_is_empty(&start, &end) {
+            return Ok(out);
+        }
+        let mut node = match start {
+            StdBound::Unbounded => self.skiplist.head().succ0(tx)?,
+            StdBound::Included(low) => self.skiplist.ceil_raw(tx, low)?,
+            StdBound::Excluded(low) => {
+                // Skip *every* node carrying the excluded key, including
+                // logically deleted duplicates lingering before the live one.
+                let mut node = self.skiplist.ceil_raw(tx, low)?;
+                while !node.is_tail() && node.bound.cmp_key(low) == CmpOrdering::Equal {
+                    node = node.succ0(tx)?;
+                }
+                node
+            }
+        };
+        while !node.is_tail() && end_allows(&node.bound, end) {
+            if !node.is_logically_deleted(tx)? {
+                out.push((node.key().clone(), node.read_value(tx)?));
+            }
+            node = node.succ0(tx)?;
+        }
+        Ok(out)
+    }
+}
+
 impl<K: MapKey, V: MapValue> SkipHash<K, V> {
-    /// Collect every `(key, value)` pair with `low <= key <= high`, in
+    /// Collect every `(key, value)` pair whose key lies in `range`, in
     /// ascending key order, as of a single linearization point.
+    ///
+    /// Accepts any [`RangeBounds`] expression, like `BTreeMap::range`:
+    ///
+    /// ```
+    /// use skiphash::SkipHash;
+    ///
+    /// let map: SkipHash<u64, u64> = SkipHash::new();
+    /// for k in [1, 3, 5, 7] {
+    ///     map.insert(k, k * 10);
+    /// }
+    /// assert_eq!(map.range(3..=7).collect::<Vec<_>>(), vec![(3, 30), (5, 50), (7, 70)]);
+    /// assert_eq!(map.range(..4).count(), 2);
+    /// assert_eq!(map.range(..).count(), 4);
+    /// assert_eq!(map.range(5..2).count(), 0, "inverted ranges are empty, not a panic");
+    /// ```
     ///
     /// The execution strategy (fast path, slow path, or fast-then-slow) is
     /// chosen by the configured [`RangePolicy`].
-    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
-        match self.config.range_policy {
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        let start = clone_bound(range.start_bound());
+        let end = clone_bound(range.end_bound());
+        if range_is_empty(&start, &end) {
+            return Range::new(Vec::new());
+        }
+        let pairs = match self.inner.config.range_policy {
             RangePolicy::FastOnly => loop {
-                if let Some(result) = self.range_fast(low, high) {
-                    return result;
+                if let Some(result) = self.range_fast(bound_as_ref(&start), bound_as_ref(&end)) {
+                    break result;
                 }
             },
-            RangePolicy::SlowOnly => self.range_slow(low, high),
-            RangePolicy::TwoPath { tries } => {
+            RangePolicy::SlowOnly => self.range_slow(bound_as_ref(&start), bound_as_ref(&end)),
+            RangePolicy::TwoPath { tries } => 'outer: {
                 for _ in 0..tries.max(1) {
-                    if let Some(result) = self.range_fast(low, high) {
-                        return result;
+                    if let Some(result) = self.range_fast(bound_as_ref(&start), bound_as_ref(&end))
+                    {
+                        break 'outer result;
                     }
                 }
-                self.range_slow(low, high)
+                self.range_slow(bound_as_ref(&start), bound_as_ref(&end))
             }
-        }
+        };
+        Range::new(pairs)
     }
 
     /// Perform exactly one fast-path attempt of a range query, returning
@@ -48,33 +212,33 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// This exposes the building block [`SkipHash::range`] uses so callers
     /// (and the Table 1 benchmark) can implement custom fallback policies or
     /// measure abort behaviour directly.
-    pub fn range_attempt_fast(&self, low: &K, high: &K) -> Option<Vec<(K, V)>> {
-        self.range_fast(low, high)
+    pub fn range_attempt_fast<R: RangeBounds<K>>(&self, range: R) -> Option<Range<K, V>> {
+        let start = range.start_bound();
+        let end = range.end_bound();
+        if range_is_empty(&start, &end) {
+            return Some(Range::new(Vec::new()));
+        }
+        self.range_fast(start, end).map(Range::new)
     }
 
     /// One fast-path attempt: the entire query as a single transaction that
     /// does not retry on conflict.  Returns `None` if the attempt aborted.
-    pub(crate) fn range_fast(&self, low: &K, high: &K) -> Option<Vec<(K, V)>> {
-        let attempt = self.stm.try_once(|tx| {
-            let mut out = Vec::new();
-            let mut node = self.skiplist.ceil_raw(tx, low)?;
-            while !node.is_tail() && node.bound.is_at_most(high) {
-                if !node.is_logically_deleted(tx)? {
-                    out.push((node.key().clone(), node.read_value(tx)?));
-                }
-                node = node.succ0(tx)?;
-            }
-            Ok(out)
-        });
+    pub(crate) fn range_fast(&self, start: StdBound<&K>, end: StdBound<&K>) -> Option<Vec<(K, V)>> {
+        let attempt = self
+            .inner
+            .stm
+            .try_once(|tx| self.inner.collect_range(tx, start, end));
         match attempt {
             Ok(result) => {
-                self.range_counters
+                self.inner
+                    .range_counters
                     .fast_success
                     .fetch_add(1, Ordering::Relaxed);
                 Some(result)
             }
             Err(_) => {
-                self.range_counters
+                self.inner
+                    .range_counters
                     .fast_abort
                     .fetch_add(1, Ordering::Relaxed);
                 None
@@ -84,14 +248,19 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
 
     /// The slow path: register with the RQC, then gather the range across
     /// several transactions, pausing only on safe nodes.
-    pub(crate) fn range_slow(&self, low: &K, high: &K) -> Vec<(K, V)> {
+    pub(crate) fn range_slow(&self, start: StdBound<&K>, end: StdBound<&K>) -> Vec<(K, V)> {
+        let inner = &self.inner;
         // Setup transaction: find the starting node and acquire a version
         // number atomically, so the start node is a safe node for this query.
         // This commit is the query's linearization point.
-        let (start, version) = self.stm.run(|tx| {
-            let start = self.skiplist.ceil_present(tx, low)?;
-            let version = self.rqc.on_range(tx)?;
-            Ok((start, version))
+        let (start_node, version) = inner.stm.run(|tx| {
+            let start_node = match start {
+                StdBound::Unbounded => inner.skiplist.first_present(tx)?,
+                StdBound::Included(low) => inner.skiplist.ceil_present(tx, low)?,
+                StdBound::Excluded(low) => inner.skiplist.succ_present(tx, low)?,
+            };
+            let version = inner.rqc.on_range(tx)?;
+            Ok((start_node, version))
         });
 
         // Collection phase.  `collected` and `node` are plain locals captured
@@ -99,9 +268,9 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         // gathered so far and the current safe node are retained, so the next
         // attempt resumes exactly where the previous one stopped.
         let mut collected: Vec<(K, V)> = Vec::new();
-        let mut node: Arc<Node<K, V>> = start;
-        self.stm.run(|tx| {
-            while !node.is_tail() && node.bound.is_at_most(high) {
+        let mut node: Arc<Node<K, V>> = start_node;
+        inner.stm.run(|tx| {
+            while !node.is_tail() && end_allows(&node.bound, end) {
                 let value = node.read_value(tx)?;
                 let next = self.next_safe(tx, &node, version)?;
                 // Only update the locals once everything read for this node
@@ -115,11 +284,12 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
 
         // Finalization: deregister from the RQC and unstitch any nodes whose
         // removal was deferred onto this query.
-        let removals = self.stm.run(|tx| self.rqc.after_range(tx, version));
+        let removals = inner.stm.run(|tx| inner.rqc.after_range(tx, version));
         for removed in &removals {
-            self.stm.run(|tx| self.skiplist.unstitch(tx, removed));
+            inner.stm.run(|tx| inner.skiplist.unstitch(tx, removed));
         }
-        self.range_counters
+        inner
+            .range_counters
             .slow_complete
             .fetch_add(1, Ordering::Relaxed);
         collected
@@ -177,37 +347,120 @@ mod tests {
         }
     }
 
+    fn collect(map: &SkipHash<u64, u64>, r: impl RangeBounds<u64>) -> Vec<(u64, u64)> {
+        map.range(r).collect()
+    }
+
     #[test]
     fn fast_path_range_collects_inclusive_bounds() {
         let map = map_with_policy(RangePolicy::FastOnly);
         fill(&map, [1, 3, 5, 7, 9]);
-        assert_eq!(map.range(&3, &7), vec![(3, 30), (5, 50), (7, 70)]);
-        assert_eq!(map.range(&0, &100).len(), 5);
-        assert_eq!(map.range(&4, &4), vec![]);
+        assert_eq!(collect(&map, 3..=7), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(collect(&map, 0..=100).len(), 5);
+        assert_eq!(collect(&map, 4..=4), vec![]);
         let stats = map.range_stats();
         assert!(stats.fast_path_successes >= 3);
         assert_eq!(stats.slow_path_completions, 0);
     }
 
     #[test]
+    fn all_bound_shapes_agree_with_btreemap() {
+        use std::collections::BTreeMap;
+        use std::ops::Bound::*;
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        fill(&map, [1, 3, 5, 7, 9]);
+        let reference: BTreeMap<u64, u64> = [1, 3, 5, 7, 9].map(|k| (k, k * 10)).into();
+        let cases: Vec<(StdBound<u64>, StdBound<u64>)> = vec![
+            (Unbounded, Unbounded),
+            (Unbounded, Included(5)),
+            (Unbounded, Excluded(5)),
+            (Included(3), Unbounded),
+            (Excluded(3), Unbounded),
+            (Included(3), Included(7)),
+            (Included(3), Excluded(7)),
+            (Excluded(3), Included(7)),
+            (Excluded(3), Excluded(7)),
+            (Excluded(0), Excluded(100)),
+        ];
+        for (start, end) in cases {
+            let expected: Vec<(u64, u64)> = reference
+                .range((start, end))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            assert_eq!(
+                collect(&map, (start, end)),
+                expected,
+                "bounds ({start:?}, {end:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn half_open_and_unbounded_sugar() {
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        fill(&map, [2, 4, 6, 8]);
+        assert_eq!(collect(&map, ..), vec![(2, 20), (4, 40), (6, 60), (8, 80)]);
+        assert_eq!(collect(&map, 4..), vec![(4, 40), (6, 60), (8, 80)]);
+        assert_eq!(collect(&map, ..6), vec![(2, 20), (4, 40)]);
+        assert_eq!(collect(&map, 4..8), vec![(4, 40), (6, 60)]);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted ranges ARE the subject
+    fn inverted_ranges_are_empty_not_a_panic() {
+        let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
+        fill(&map, [1, 2, 3]);
+        assert_eq!(collect(&map, 3..1), vec![]);
+        assert_eq!(map.range(3..3).count(), 0);
+        assert_eq!(map.range(5..=1).count(), 0);
+        // Empty ranges never touch the counters.
+        assert_eq!(map.range_stats().fast_path_successes, 0);
+    }
+
+    #[test]
+    fn range_iterator_is_double_ended_and_exact() {
+        let map = map_with_policy(RangePolicy::FastOnly);
+        fill(&map, [1, 2, 3, 4]);
+        let mut iter = map.range(1..=4);
+        assert_eq!(iter.len(), 4);
+        assert_eq!(iter.next(), Some((1, 10)));
+        assert_eq!(iter.next_back(), Some((4, 40)));
+        assert_eq!(iter.as_slice(), &[(2, 20), (3, 30)]);
+        assert_eq!(iter.len(), 2);
+    }
+
+    #[test]
     fn slow_path_range_matches_fast_path() {
         let slow = map_with_policy(RangePolicy::SlowOnly);
         fill(&slow, 0..200);
-        let result = slow.range(&10, &20);
+        let result = collect(&slow, 10..=20);
         let expected: Vec<(u64, u64)> = (10..=20).map(|k| (k, k * 10)).collect();
         assert_eq!(result, expected);
         assert_eq!(slow.range_stats().slow_path_completions, 1);
         assert_eq!(slow.range_stats().fast_path_successes, 0);
         // The RQC must be left empty after the query finishes.
-        assert_eq!(slow.rqc.active_queries(), 0);
+        assert_eq!(slow.inner.rqc.active_queries(), 0);
         assert!(slow.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn slow_path_handles_exclusive_and_unbounded_bounds() {
+        let slow = map_with_policy(RangePolicy::SlowOnly);
+        fill(&slow, [10, 20, 30, 40]);
+        assert_eq!(
+            collect(&slow, (StdBound::Excluded(10), StdBound::Excluded(40))),
+            vec![(20, 200), (30, 300)]
+        );
+        assert_eq!(collect(&slow, ..).len(), 4);
+        assert_eq!(collect(&slow, 21..), vec![(30, 300), (40, 400)]);
+        assert_eq!(slow.inner.rqc.active_queries(), 0);
     }
 
     #[test]
     fn two_path_policy_uses_fast_path_when_uncontended() {
         let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
         fill(&map, [2, 4, 6]);
-        assert_eq!(map.range(&1, &7), vec![(2, 20), (4, 40), (6, 60)]);
+        assert_eq!(collect(&map, 1..=7), vec![(2, 20), (4, 40), (6, 60)]);
         let stats = map.range_stats();
         assert_eq!(stats.fast_path_successes, 1);
         assert_eq!(stats.slow_path_completions, 0);
@@ -216,11 +469,11 @@ mod tests {
     #[test]
     fn empty_range_and_empty_map() {
         let map = map_with_policy(RangePolicy::TwoPath { tries: 3 });
-        assert_eq!(map.range(&0, &1000), vec![]);
+        assert_eq!(collect(&map, 0..=1000), vec![]);
         fill(&map, [100]);
-        assert_eq!(map.range(&0, &99), vec![]);
-        assert_eq!(map.range(&101, &1000), vec![]);
-        assert_eq!(map.range(&100, &100), vec![(100, 1000)]);
+        assert_eq!(collect(&map, 0..=99), vec![]);
+        assert_eq!(collect(&map, 101..=1000), vec![]);
+        assert_eq!(collect(&map, 100..=100), vec![(100, 1000)]);
     }
 
     #[test]
@@ -228,7 +481,10 @@ mod tests {
         let map = map_with_policy(RangePolicy::SlowOnly);
         fill(&map, [1, 2, 3, 4, 5]);
         assert!(map.remove(&3));
-        assert_eq!(map.range(&1, &5), vec![(1, 10), (2, 20), (4, 40), (5, 50)]);
+        assert_eq!(
+            collect(&map, 1..=5),
+            vec![(1, 10), (2, 20), (4, 40), (5, 50)]
+        );
         assert!(map.check_invariants().is_ok());
     }
 
@@ -244,22 +500,20 @@ mod tests {
             .build();
         fill(&map, 0..50);
 
-        // Register a slow-path query manually (setup phase only) by starting
-        // a range over everything, which finishes immediately...
-        // Instead, drive the scenario through the public API: a removal that
-        // happens while a query is registered must be deferred.  We simulate
-        // the interleaving by registering the query through the RQC directly.
-        let version = map.stm.run(|tx| map.rqc.on_range(tx));
+        // Register a slow-path query manually (setup phase only): a removal
+        // that happens while a query is registered must be deferred.
+        let inner = &map.inner;
+        let version = inner.stm.run(|tx| inner.rqc.on_range(tx));
         assert!(map.remove(&25));
         // The node is logically gone immediately...
         assert_eq!(map.get(&25), None);
         assert_eq!(map.len(), 49);
         // ...but physically deferred while the query is active.
-        assert_eq!(map.rqc.active_queries(), 1);
-        let removals = map.stm.run(|tx| map.rqc.after_range(tx, version));
+        assert_eq!(inner.rqc.active_queries(), 1);
+        let removals = inner.stm.run(|tx| inner.rqc.after_range(tx, version));
         assert_eq!(removals.len(), 1, "removal must have been deferred");
         for node in &removals {
-            map.stm.run(|tx| map.skiplist.unstitch(tx, node));
+            inner.stm.run(|tx| inner.skiplist.unstitch(tx, node));
         }
         assert!(map.check_invariants().is_ok());
     }
@@ -270,8 +524,26 @@ mod tests {
         fill(&map, [1, 2, 3]);
         assert!(map.remove(&2));
         assert!(map.insert(2, 2222));
-        assert_eq!(map.range(&1, &3), vec![(1, 10), (2, 2222), (3, 30)]);
+        assert_eq!(collect(&map, 1..=3), vec![(1, 10), (2, 2222), (3, 30)]);
         assert_eq!(map.get(&2), Some(2222));
         assert!(map.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn excluded_start_skips_deleted_duplicates() {
+        // A logically deleted node for key 5 lingers before the live one;
+        // `Excluded(5)` must skip both.
+        let map = map_with_policy(RangePolicy::FastOnly);
+        fill(&map, [4, 5, 6]);
+        assert!(map.remove(&5));
+        assert!(map.insert(5, 5555));
+        assert_eq!(
+            collect(&map, (StdBound::Excluded(5), StdBound::Unbounded)),
+            vec![(6, 60)]
+        );
+        assert_eq!(
+            collect(&map, (StdBound::Included(5), StdBound::Unbounded)),
+            vec![(5, 5555), (6, 60)]
+        );
     }
 }

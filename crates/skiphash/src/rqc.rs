@@ -195,9 +195,12 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
 /// 128-slot table hashed an ever-growing thread counter modulo the table and
 /// silently serialized unrelated threads once enough had come and gone.
 pub struct DeferralBuffer<K, V> {
-    slots: Vec<Mutex<Vec<Arc<Node<K, V>>>>>,
+    slots: Vec<Mutex<DeferredBatch<K, V>>>,
     capacity: usize,
 }
+
+/// A batch of logically deleted nodes awaiting physical unstitching.
+pub type DeferredBatch<K, V> = Vec<Arc<Node<K, V>>>;
 
 impl<K, V> fmt::Debug for DeferralBuffer<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

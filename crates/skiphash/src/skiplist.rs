@@ -15,6 +15,10 @@ use skiphash_stm::{TxResult, Txn};
 use crate::node::{Bound, Node};
 use crate::{MapKey, MapValue};
 
+/// One node per level, indexed by level (as returned by
+/// [`SkipList::find_position`]).
+pub type LevelNodes<K, V> = Vec<Arc<Node<K, V>>>;
+
 /// A doubly linked skip list whose nodes map keys to values.
 ///
 /// All methods must be called inside a transaction; the enclosing
@@ -84,7 +88,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         &self,
         tx: &mut Txn<'_>,
         key: &K,
-    ) -> TxResult<(Vec<Arc<Node<K, V>>>, Vec<Arc<Node<K, V>>>)> {
+    ) -> TxResult<(LevelNodes<K, V>, LevelNodes<K, V>)> {
         let mut preds = Vec::with_capacity(self.max_level);
         let mut succs = Vec::with_capacity(self.max_level);
         preds.resize(self.max_level, Arc::clone(&self.head));

@@ -44,6 +44,15 @@ impl fmt::Display for TxAbort {
 impl Error for TxAbort {}
 
 /// Result type returned by transactional operations and transaction bodies.
+///
+/// # Contract
+///
+/// An `Err(TxAbort)` means the current transaction *attempt* observed an
+/// inconsistent snapshot and must not continue.  Bodies must propagate it
+/// with `?` — never match on it, log it, or substitute a default — so that
+/// the enclosing [`crate::Stm::run`] loop can retry the whole body from the
+/// top (or [`crate::Stm::try_once`] can report the failure).  Values read
+/// before the abort may be torn relative to each other; discard them.
 pub type TxResult<T> = Result<T, TxAbort>;
 
 /// Error returned by [`crate::Stm::try_once`] when the single attempt aborts.

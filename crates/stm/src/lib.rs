@@ -34,6 +34,29 @@
 //! abort behaviour — the properties the paper's evaluation depends on — are
 //! unchanged; only the granularity of the copy differs.
 //!
+//! # Writing transactions: the `TxResult` contract
+//!
+//! [`Stm::run`] (or the free-function spelling [`atomically`]) hands the
+//! body a [`&mut Txn`](Txn); every transactional operation — [`TCell::read`],
+//! [`TCell::write`], and anything built on them — returns a
+//! [`TxResult<T>`](TxResult).  The contract is:
+//!
+//! 1. **Propagate, never swallow.**  An `Err(TxAbort)` means the attempt
+//!    observed an inconsistent snapshot and *must* die; forward it with `?`.
+//!    Catching it and continuing would let the body act on torn data.
+//! 2. **Bodies re-execute.**  `Stm::run` retries the body after every abort,
+//!    so the body must be safe to run any number of times.  Side effects that
+//!    must happen exactly once per *committed* transaction go through
+//!    [`Txn::on_commit`], which drops its actions when the attempt aborts.
+//! 3. **Locals survive aborts.**  The body is an ordinary closure, so `&mut`
+//!    captures keep their values across retries (the paper's `no_local_undo`
+//!    mode); [`Stm::try_once`] never retries and surfaces the abort cause.
+//! 4. **One runtime per transaction.**  Every `TCell` touched by one
+//!    transaction must be managed by the `Stm` that started it — timestamps
+//!    from different clocks are incomparable.  Structures that want to be
+//!    composable inside a single transaction must share an `Stm`
+//!    ([`Txn::belongs_to`] lets a structure enforce this).
+//!
 //! # Example
 //!
 //! ```
@@ -70,7 +93,7 @@ pub use clock::{ClockKind, ClockSource};
 pub use error::{TxAbort, TxResult};
 pub use stats::{StatsSnapshot, StmStats};
 pub use tcell::TCell;
-pub use txn::{Stm, StmBuilder, Txn};
+pub use txn::{atomically, Stm, StmBuilder, Txn};
 
 #[cfg(test)]
 mod tests {

@@ -60,6 +60,7 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
     /// concurrent writer or has been written since the transaction began; the
     /// enclosing [`crate::Stm::run`] loop will retry the transaction.
     #[inline]
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn read(&self, tx: &mut Txn<'_>) -> TxResult<T> {
         tx.read_cell(self)
     }
@@ -76,6 +77,7 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
     /// Returns [`crate::TxAbort::WriteConflict`] if the location is owned by
     /// a concurrent writer.
     #[inline]
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn write(&self, tx: &mut Txn<'_>, value: T) -> TxResult<()> {
         tx.write_cell(self, value)
     }

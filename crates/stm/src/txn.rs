@@ -126,6 +126,7 @@ impl Stm {
             writes: Vec::new(),
             retired: Bag::new(),
             keepalive: Vec::new(),
+            post_commit: Vec::new(),
             finished: false,
         }
     }
@@ -150,7 +151,14 @@ impl Stm {
             let mut tx = self.begin();
             let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
             match outcome {
-                Ok(value) => return value,
+                Ok(value) => {
+                    let actions = std::mem::take(&mut tx.post_commit);
+                    drop(tx);
+                    for action in actions {
+                        action();
+                    }
+                    return value;
+                }
                 Err(cause) => {
                     tx.rollback();
                     self.stats.record_abort(cause);
@@ -181,7 +189,14 @@ impl Stm {
         let mut tx = self.begin();
         let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
         match outcome {
-            Ok(value) => Ok(value),
+            Ok(value) => {
+                let actions = std::mem::take(&mut tx.post_commit);
+                drop(tx);
+                for action in actions {
+                    action();
+                }
+                Ok(value)
+            }
             Err(cause) => {
                 tx.rollback();
                 self.stats.record_abort(cause);
@@ -215,6 +230,9 @@ pub struct Txn<'stm> {
     /// a commit with `k` writes pins once and flushes once.
     retired: Bag,
     keepalive: Vec<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
+    /// Actions registered by [`Txn::on_commit`]; executed (in registration
+    /// order) only after this attempt commits, dropped unrun on abort.
+    post_commit: Vec<Box<dyn FnOnce()>>,
     finished: bool,
 }
 
@@ -246,8 +264,39 @@ impl<'stm> Txn<'stm> {
     }
 
     /// Explicitly abort this attempt; the enclosing [`Stm::run`] will retry.
+    #[must_use = "the abort must be propagated with `?` (or returned) so the transaction actually aborts"]
     pub fn abort<T>(&self) -> TxResult<T> {
         Err(TxAbort::Explicit)
+    }
+
+    /// True if this transaction was started by `stm` (pointer identity).
+    ///
+    /// Data structures that expose transactional views use this to reject a
+    /// transaction from a *different* runtime: version timestamps from two
+    /// unrelated clocks are incomparable, so mixing runtimes would silently
+    /// break opacity.  Structures that should be composable within one
+    /// transaction must share a single [`Stm`] (see `SkipHashBuilder::stm`
+    /// in the `skiphash` crate).
+    pub fn belongs_to(&self, stm: &Stm) -> bool {
+        std::ptr::eq(self.stm, stm)
+    }
+
+    /// Register an action to run after — and only if — this transaction
+    /// attempt commits.
+    ///
+    /// Actions run in registration order, after the attempt's epoch guard is
+    /// released; an aborted attempt drops its registered actions without
+    /// running them, and the retry registers fresh ones.  This is how
+    /// transactional data structures schedule non-transactional side effects
+    /// (statistics counters, deferred physical cleanup) from inside a
+    /// caller-owned transaction: the effect must not happen per *attempt*,
+    /// only per *commit*.
+    ///
+    /// The action may itself start new transactions (the registering
+    /// transaction is finished by the time it runs), but must not assume any
+    /// particular thread-local state beyond running on the committing thread.
+    pub fn on_commit<F: FnOnce() + 'static>(&mut self, action: F) {
+        self.post_commit.push(Box::new(action));
     }
 
     /// Pin `value` so it outlives this transaction attempt, including the
@@ -405,8 +454,36 @@ impl<'stm> Txn<'stm> {
         }
         self.guard.flush_batch(&mut self.retired);
         self.read_set.clear();
+        // Commit-only side effects die with the attempt.
+        self.post_commit.clear();
         self.finished = true;
     }
+}
+
+/// Run `body` as a transaction against `stm`, retrying until it commits.
+///
+/// Free-function spelling of [`Stm::run`], for call sites that read better
+/// as `atomically(&stm, |tx| ...)` — in particular composed multi-structure
+/// transactions where no single structure owns the operation:
+///
+/// ```
+/// use skiphash_stm::{atomically, Stm, TCell};
+///
+/// let stm = Stm::new();
+/// let a = TCell::new(10u64);
+/// let b = TCell::new(0u64);
+/// atomically(&stm, |tx| {
+///     let v = a.read(tx)?;
+///     a.write(tx, 0)?;
+///     b.write(tx, v)
+/// });
+/// assert_eq!(b.load_atomic(), 10);
+/// ```
+pub fn atomically<T, F>(stm: &Stm, body: F) -> T
+where
+    F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+{
+    stm.run(body)
 }
 
 impl Drop for Txn<'_> {
@@ -588,6 +665,108 @@ mod tests {
         });
         assert_eq!(survivor.a.load_atomic(), 1);
         assert_eq!(survivor.b.load_atomic(), 2);
+    }
+
+    #[test]
+    fn on_commit_runs_exactly_once_per_commit() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let fired = Rc::new(Cell::new(0u32));
+        let mut attempts = 0;
+        stm.run(|tx| {
+            attempts += 1;
+            let fired = Rc::clone(&fired);
+            tx.on_commit(move || fired.set(fired.get() + 1));
+            if attempts < 3 {
+                // Aborted attempts must drop their registered actions.
+                return Err(TxAbort::Explicit);
+            }
+            cell.write(tx, attempts)
+        });
+        assert_eq!(attempts, 3);
+        assert_eq!(fired.get(), 1, "only the committing attempt may fire");
+    }
+
+    #[test]
+    fn on_commit_does_not_run_for_failed_try_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let fired = Rc::new(Cell::new(false));
+        let result = stm.try_once(|tx| -> TxResult<()> {
+            let fired = Rc::clone(&fired);
+            tx.on_commit(move || fired.set(true));
+            Err(TxAbort::Explicit)
+        });
+        assert!(result.is_err());
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn on_commit_runs_for_read_only_transactions() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(7u64);
+        let fired = Rc::new(Cell::new(false));
+        let v = stm.run(|tx| {
+            let fired = Rc::clone(&fired);
+            tx.on_commit(move || fired.set(true));
+            cell.read(tx)
+        });
+        assert_eq!(v, 7);
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn on_commit_may_start_a_new_transaction() {
+        // The action runs after the registering transaction is fully over
+        // (guard released, orecs free), so starting a fresh transaction on
+        // the same runtime from inside it must work — this is how deferred
+        // physical cleanup runs after a caller-owned transaction commits.
+        let stm = Arc::new(Stm::new());
+        let cell = Arc::new(TCell::new(0u64));
+        let stm_for_hook = Arc::clone(&stm);
+        let cell_for_hook = Arc::clone(&cell);
+        stm.run(|tx| {
+            cell.write(tx, 1)?;
+            let stm = Arc::clone(&stm_for_hook);
+            let cell = Arc::clone(&cell_for_hook);
+            tx.on_commit(move || {
+                stm.run(|tx| {
+                    let v = cell.read(tx)?;
+                    cell.write(tx, v + 98)
+                });
+            });
+            Ok(())
+        });
+        assert_eq!(cell.load_atomic(), 99);
+    }
+
+    #[test]
+    fn belongs_to_distinguishes_runtimes() {
+        let stm_a = Stm::new();
+        let stm_b = Stm::new();
+        stm_a.run(|tx| {
+            assert!(tx.belongs_to(&stm_a));
+            assert!(!tx.belongs_to(&stm_b));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn atomically_is_run() {
+        let stm = Stm::new();
+        let cell = TCell::new(1u64);
+        let doubled = atomically(&stm, |tx| {
+            let v = cell.read(tx)?;
+            cell.write(tx, v * 2)?;
+            Ok(v * 2)
+        });
+        assert_eq!(doubled, 2);
+        assert_eq!(cell.load_atomic(), 2);
     }
 
     #[test]

@@ -1,13 +1,29 @@
-//! Limit order book: price levels as ordered-map keys, with point queries
-//! (`floor`/`ceil`) matching incoming orders against the best opposing level.
+//! Limit order book on *composable transactions*: two skip hashes (bids and
+//! asks) share one STM runtime, so a single transaction can atomically move
+//! an order between the books — the cross-structure composition the paper
+//! argues STM makes simple.
 //!
-//! The skip hash's `O(1)` behaviour on present keys and its `pred`/`succ`
-//! point queries (enabled by the doubly linked skip list) are exactly what a
-//! matching engine needs.  Run with `cargo run --example order_book`.
+//! The example demonstrates the two API tiers:
+//!
+//! * **sealed** single operations (`insert`, `floor`, `range`) for posting
+//!   liquidity and snapshotting ladders;
+//! * **composable** [`TxView`] transactions for the flows a matching engine
+//!   actually needs: an atomic bid→ask transfer (repricing an order across
+//!   the spread) and atomic read-modify-write fills (`update` / `compute`)
+//!   with no caller-side retry loops.
+//!
+//! While a flipper thread bounces tracked orders between the books, an
+//! auditor thread atomically reads *both* books in one transaction and
+//! asserts every tracked order is in exactly one of them — never both, never
+//! neither.  Run with `cargo run --example order_book`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
+use skiphash_repro::skiphash::SkipHashBuilder;
+use skiphash_repro::stm::Stm;
+use skiphash_repro::Compute;
 use skiphash_repro::SkipHash;
 
 /// Resting quantity at one price level (price is the map key, in ticks).
@@ -17,9 +33,19 @@ struct Level {
 }
 
 fn main() {
-    // Two books: bids (buy orders) and asks (sell orders).
-    let bids: Arc<SkipHash<u64, Level>> = Arc::new(SkipHash::new());
-    let asks: Arc<SkipHash<u64, Level>> = Arc::new(SkipHash::new());
+    // One STM runtime shared by both books: the prerequisite for touching
+    // them in a single transaction.
+    let stm = Arc::new(Stm::new());
+    let book = |stm: &Arc<Stm>| -> Arc<SkipHash<u64, Level>> {
+        Arc::new(
+            SkipHashBuilder::new()
+                .buckets(4_099)
+                .stm(Arc::clone(stm))
+                .build(),
+        )
+    };
+    let bids = book(&stm);
+    let asks = book(&stm);
 
     // Seed resting liquidity: bids below 10_000, asks above.
     for i in 0..500u64 {
@@ -36,58 +62,85 @@ fn main() {
             },
         );
     }
-
-    // The spread: best bid is the largest bid key, best ask the smallest ask
-    // key.
     let best_bid = bids.floor(&u64::MAX).expect("bids seeded");
     let best_ask = asks.ceil(&0).expect("asks seeded");
     println!("initial best bid {best_bid}, best ask {best_ask}");
     assert!(best_bid < best_ask);
 
-    // Concurrent traders: each thread alternates between posting new levels
-    // and cancelling ones it posted, on its own price band so the example can
-    // assert exact outcomes.
-    let mut handles = Vec::new();
-    for trader in 0..4u64 {
+    // Tracked orders living at odd prices so they never collide with the
+    // seeded levels: each starts in the bid book and is atomically flipped
+    // between the books for the rest of the run.
+    let tracked: Vec<u64> = (0..64u64).map(|i| 20_001 + i * 2).collect();
+    for &price in &tracked {
+        assert!(bids.insert(price, Level { quantity: 5 }));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Flipper: one atomic bid→ask (or ask→bid) transfer per iteration.  The
+    // take and the insert are one transaction — there is no instant at which
+    // the order exists in both books or in neither.
+    let flipper = {
+        let stm = Arc::clone(&stm);
         let bids = Arc::clone(&bids);
         let asks = Arc::clone(&asks);
-        handles.push(thread::spawn(move || {
-            let base_bid = 5_000 + trader * 500;
-            let base_ask = 15_000 + trader * 500;
-            let mut posted = 0u64;
-            for i in 0..400u64 {
-                let bid_price = base_bid + (i % 250);
-                let ask_price = base_ask + (i % 250);
-                if bids.insert(
-                    bid_price,
-                    Level {
-                        quantity: 1 + i % 9,
-                    },
-                ) {
-                    posted += 1;
-                }
-                if asks.insert(
-                    ask_price,
-                    Level {
-                        quantity: 1 + i % 9,
-                    },
-                ) {
-                    posted += 1;
-                }
-                if i % 3 == 0 {
-                    bids.remove(&bid_price);
-                    asks.remove(&ask_price);
-                    posted = posted.saturating_sub(2);
-                }
+        let tracked = tracked.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut flips = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let price = tracked[(flips % tracked.len() as u64) as usize];
+                stm.run(|tx| {
+                    if let Some(level) = bids.view(tx).take(&price)? {
+                        asks.view(tx).insert(price, level)?;
+                    } else if let Some(level) = asks.view(tx).take(&price)? {
+                        bids.view(tx).insert(price, level)?;
+                    }
+                    Ok(())
+                });
+                flips += 1;
             }
-            posted
-        }));
-    }
-    let posted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    println!("net levels posted by traders: {posted}");
+            flips
+        })
+    };
 
-    // Matching sweep: market buy walks the ask book upward from the best ask
-    // using `succ`, consuming levels until it has filled its size.
+    // Auditor: reads BOTH books in one transaction.  Thanks to the atomic
+    // transfer it must observe every tracked order in exactly one book.
+    let auditor = {
+        let stm = Arc::clone(&stm);
+        let bids = Arc::clone(&bids);
+        let asks = Arc::clone(&asks);
+        let tracked = tracked.clone();
+        thread::spawn(move || {
+            let mut audits = 0u64;
+            for round in 0..2_000u64 {
+                let price = tracked[(round % tracked.len() as u64) as usize];
+                let (in_bids, in_asks) = stm.run(|tx| {
+                    Ok((
+                        bids.view(tx).contains_key(&price)?,
+                        asks.view(tx).contains_key(&price)?,
+                    ))
+                });
+                assert!(
+                    in_bids ^ in_asks,
+                    "order {price} seen in {} books mid-transfer",
+                    (in_bids as u32) + (in_asks as u32)
+                );
+                audits += 1;
+            }
+            audits
+        })
+    };
+
+    let audits = auditor.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let flips = flipper.join().unwrap();
+    println!("atomic transfers: {flips}, audits (all exactly-one): {audits}");
+
+    // Matching sweep, now with atomic read-modify-write: a market buy walks
+    // the ask book upward consuming levels.  A partial fill decrements the
+    // level with `compute` (remove-on-empty) — read and write are one
+    // transaction, so concurrent fills never lose quantity.
     let mut remaining = 200u64;
     let mut cursor = asks.ceil(&0);
     let mut filled_levels = 0;
@@ -96,19 +149,33 @@ fn main() {
             Some(p) => p,
             None => break,
         };
-        if let Some(level) = asks.get(&price) {
-            let take = remaining.min(level.quantity);
-            remaining -= take;
-            if take == level.quantity {
-                asks.remove(&price);
+        // `compute`'s closure may run once per internal retry, so it reports
+        // its decision through a Cell instead of a captured `&mut`.
+        let took = std::cell::Cell::new(0u64);
+        let after = asks.compute(price, |level| {
+            took.set(0); // reset per attempt: a retry may find the level gone
+            match level {
+                None => Compute::Keep, // another matcher consumed it first
+                Some(level) => {
+                    let take = remaining.min(level.quantity);
+                    took.set(take);
+                    if take == level.quantity {
+                        Compute::Remove
+                    } else {
+                        Compute::Put(Level {
+                            quantity: level.quantity - take,
+                        })
+                    }
+                }
+            }
+        });
+        let took = took.get();
+        if took > 0 {
+            remaining -= took;
+            // `compute` returns the value left behind: None means this fill
+            // emptied the level — atomic with the fill itself, no re-read.
+            if after.is_none() {
                 filled_levels += 1;
-            } else {
-                asks.upsert(
-                    price,
-                    Level {
-                        quantity: level.quantity - take,
-                    },
-                );
             }
         }
         cursor = asks.succ(&price);
@@ -116,13 +183,23 @@ fn main() {
     println!("market buy consumed {filled_levels} ask levels");
     assert_eq!(remaining, 0, "book had enough liquidity");
 
-    // A consistent ladder snapshot around the spread via one range query.
-    let bid_top = bids.floor(&u64::MAX).unwrap();
-    let ladder = bids.range(&bid_top.saturating_sub(20), &bid_top);
+    // Atomic quantity bump on the best bid via `update` (no retry loop).
+    let top = bids.floor(&u64::MAX).unwrap();
+    let bumped = bids.update(&top, |level| Level {
+        quantity: level.quantity + 1,
+    });
+    assert!(bumped.is_some());
+
+    // A consistent ladder snapshot around the spread via one std-style range
+    // query (any RangeBounds works: `a..=b`, `a..`, `..`).
+    let ladder: Vec<(u64, Level)> = bids.range(top.saturating_sub(20)..=top).collect();
     println!("top-of-book bid ladder ({} levels):", ladder.len());
     for (price, level) in ladder.iter().rev().take(5) {
         println!("  {price} x {}", level.quantity);
     }
     assert!(!ladder.is_empty());
+
+    bids.check_invariants().expect("bid book invariants");
+    asks.check_invariants().expect("ask book invariants");
     println!("order_book example finished OK");
 }

@@ -44,8 +44,8 @@ fn main() {
         handle.join().expect("worker thread panicked");
     }
 
-    let in_window = map.range(&1_000, &1_999);
-    println!("keys in [1000, 1999]: {}", in_window.len());
+    let in_window: Vec<(u64, String)> = map.range(1_000..2_000).collect();
+    println!("keys in [1000, 2000): {}", in_window.len());
     assert_eq!(in_window.len(), 250);
     assert!(
         in_window.windows(2).all(|w| w[0].0 < w[1].0),

@@ -34,11 +34,9 @@ fn spawn_writers(
                 let mut updates = 0u64;
                 let mut key = HOT_BAND.start + w;
                 while !stop.load(Ordering::Relaxed) {
-                    if map.remove(&key) {
-                        map.insert(key, updates);
-                    } else {
-                        map.insert(key, updates);
-                    }
+                    // Churn the key: remove whatever is there, reinsert fresh.
+                    map.remove(&key);
+                    map.insert(key, updates);
                     updates += 1;
                     key += 7;
                     if key >= HOT_BAND.end {
@@ -81,11 +79,11 @@ fn main() {
         let high = 30_000u64;
 
         // Probe the fast path directly once per iteration to observe aborts.
-        if map.range_attempt_fast(&low, &high).is_none() {
+        if map.range_attempt_fast(low..=high).is_none() {
             fast_failures_observed += 1;
         }
 
-        let window = map.range(&low, &high);
+        let window: Vec<(u64, u64)> = map.range(low..=high).collect();
         // Stable keys (outside the hot band) must all be present in every
         // linearizable snapshot; hot-band keys may or may not be, but must
         // never appear twice.

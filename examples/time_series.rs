@@ -62,7 +62,7 @@ fn main() {
                 if let Some(newest) = index.floor(&u64::MAX) {
                     let horizon = newest.saturating_sub(5_000);
                     // Expire a small batch of the oldest entries.
-                    for (timestamp, _) in index.range(&0, &horizon).into_iter().take(256) {
+                    for (timestamp, _) in index.range(..=horizon).take(256) {
                         if index.remove(&timestamp) {
                             expired += 1;
                         }
@@ -81,7 +81,7 @@ fn main() {
     for _ in 0..200 {
         if let Some(newest) = index.floor(&u64::MAX) {
             let low = newest.saturating_sub(1_000);
-            let window = index.range(&low, &newest);
+            let window: Vec<(u64, Sample)> = index.range(low..=newest).collect();
             for pair in window.windows(2) {
                 assert!(pair[0].0 < pair[1].0, "range output must be sorted");
             }

@@ -27,7 +27,11 @@ fn drive(map: &Arc<dyn BenchMap>, seed: u64, operations: usize) -> Vec<(u64, u64
         }
     }
     let mut buffer = Vec::new();
-    match map.range(0, u64::MAX - 1, &mut buffer) {
+    let everything = (
+        std::ops::Bound::Included(0),
+        std::ops::Bound::Included(u64::MAX - 1),
+    );
+    match map.range(everything, &mut buffer) {
         Some(_) => buffer,
         None => Vec::new(),
     }
@@ -87,7 +91,11 @@ fn range_results_agree_between_skiphash_policies_and_baselines() {
         let mut expected: Option<Vec<(u64, u64)>> = None;
         for (kind, map) in kinds.iter().zip(&maps) {
             let mut buffer = Vec::new();
-            map.range(low, high, &mut buffer).expect("range-capable");
+            let bounds = (
+                std::ops::Bound::Included(low),
+                std::ops::Bound::Included(high),
+            );
+            map.range(bounds, &mut buffer).expect("range-capable");
             match &expected {
                 None => expected = Some(buffer),
                 Some(reference) => {

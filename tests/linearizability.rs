@@ -52,7 +52,7 @@ fn stable_evens_scenario(policy: RangePolicy, removal: RemovalPolicy) {
     while std::time::Instant::now() < deadline {
         let low = (queries * 37) % (UNIVERSE / 2);
         let high = low + 500;
-        let window = map.range(&low, &high);
+        let window: Vec<(u64, u64)> = map.range(low..=high).collect();
         // All even keys in the window must be present exactly once.
         let expected_evens = (low..=high).filter(|k| k % 2 == 0).count();
         let observed_evens = window.iter().filter(|(k, _)| k % 2 == 0).count();
@@ -123,7 +123,7 @@ fn atomic_key_migration_is_never_partially_visible() {
         })
     };
     for _ in 0..2_000 {
-        let snapshot = map.range(&0, &63);
+        let snapshot: Vec<(u64, u64)> = map.range(0..=63).collect();
         let copies = snapshot.iter().filter(|(_, v)| *v == TOKEN).count();
         assert!(copies <= 1, "token duplicated: {snapshot:?}");
     }
@@ -154,7 +154,7 @@ fn disjoint_concurrent_inserts_land_exactly_once() {
             handle.join().unwrap();
         }
         assert_eq!(map.len(), 2_000);
-        let snapshot = map.range(&0, &u64::MAX);
+        let snapshot: Vec<(u64, u64)> = map.range(..).collect();
         assert_eq!(snapshot.len(), 2_000);
         map.check_invariants().expect("invariants");
     }

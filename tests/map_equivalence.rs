@@ -97,7 +97,11 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
                 let high = low + len as u64;
                 let expected: Vec<(u64, u64)> =
                     reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
-                assert_eq!(map.range(&low, &high), expected, "range({low},{high})");
+                assert_eq!(
+                    map.range(low..=high).collect::<Vec<_>>(),
+                    expected,
+                    "range({low},{high})"
+                );
             }
             Op::Ceil(k) => {
                 let k = k as u64;

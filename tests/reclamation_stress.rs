@@ -194,11 +194,7 @@ fn stm_commit_batches_balance_allocations_and_drops() {
 
     // Drop the cells (freeing the current values), then drive the epoch
     // until every retired clone has been reclaimed.
-    drop(
-        Arc::try_unwrap(cells)
-            .ok()
-            .expect("all worker handles joined"),
-    );
+    drop(Arc::try_unwrap(cells).unwrap_or_else(|_| panic!("all worker handles joined")));
     let deadline = Instant::now() + Duration::from_secs(60);
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
@@ -285,7 +281,7 @@ fn skiphash_churn_under_concurrent_range_queries() {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let key = (t * 997 + i * 13) % 1024;
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     map.insert(key, i);
                 } else {
                     map.remove(&key);
@@ -295,7 +291,7 @@ fn skiphash_churn_under_concurrent_range_queries() {
         }));
     }
     for _ in 0..200 {
-        let snapshot = map.range(&0, &1023);
+        let snapshot: Vec<(u64, u64)> = map.range(0..=1023).collect();
         // Range results are sorted and duplicate-free.
         assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
     }

@@ -7,8 +7,16 @@
 //! for the configured measurement time, and prints mean ns/iter with a
 //! min..max spread, the median, and the 95th percentile (nearest-rank) over
 //! the sample batches — enough for CI jobs to record a comparable baseline.
-//! There is no statistical outlier analysis, HTML report, or baseline
-//! comparison — swap the real crate back in (one manifest line) for those.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line to it
+//! (`{"id": ..., "mean_ns": ..., "median_ns": ..., "p95_ns": ...}`), which is
+//! what the CI regression gate (`skiphash_bench`'s `bench_gate` binary)
+//! consumes as its stored baseline artifact.
+//!
+//! There is no statistical outlier analysis, HTML report, or in-process
+//! baseline comparison — swap the real crate back in (one manifest line) for
+//! those.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -169,11 +177,33 @@ impl BenchmarkGroup<'_> {
             "{label:<55} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]  \
              median {median:.1}  p95 {p95:.1}"
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                append_json_record(&path, &label, mean, median, p95);
+            }
+        }
         self
     }
 
     /// Finish the group (prints nothing; reports are per-benchmark).
     pub fn finish(self) {}
+}
+
+/// Append one benchmark result as a JSON line to `path` (best effort: a CI
+/// artifact writer must never fail the benchmark run itself).
+fn append_json_record(path: &str, label: &str, mean: f64, median: f64, p95: f64) {
+    use std::io::Write;
+    let escaped: String = label.chars().flat_map(char::escape_default).collect();
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{escaped}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\"p95_ns\":{p95:.1}}}"
+        );
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted, non-empty sample set.
