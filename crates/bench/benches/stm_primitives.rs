@@ -9,7 +9,10 @@
 //! path in the system: the multi-threaded churn case demonstrates that the
 //! epoch shim no longer serializes threads on a global lock — per-batch time
 //! should stay roughly flat as the thread count grows (up to the core
-//! count), where the seed's mutex-backed shim degraded linearly.
+//! count), where the seed's mutex-backed shim degraded linearly.  The
+//! `commit_path` group is the second CI-gated group: it times the writer
+//! hot path the allocation-free redesign targets (see `docs/PERF.md` and
+//! docs/BENCHMARKS.md for the gate wiring).
 
 use std::sync::atomic::Ordering;
 use std::thread;
@@ -132,6 +135,83 @@ fn bench_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The writer-commit hot path end to end, the group the allocation-free
+/// redesign is gated on in CI (alongside `epoch`): pooled scratch, the
+/// unboxed write log, slab-recycled payloads, read-set dedup, and the
+/// sampled clock's skip-validation fast path all sit under these timings.
+///
+/// * `rmw_1` — the canonical read-modify-write transaction (one read, one
+///   write), per clock: the sampled clock commits without validation, the
+///   hardware clock shows the price of always validating.
+/// * `write_8` — a write-only transaction logging eight cells: the cost of
+///   the write log and the batched epoch hand-off.
+/// * `scan_rmw` — reads 64 cells *twice* (the dedup filter halves the read
+///   set) and updates two of them: a skip-list-traversal-shaped commit.
+/// * `skiphash_insert_remove` — the end-to-end client: one key churned
+///   through a `SkipHash` insert + remove pair, the workload whose `Link`
+///   towers dominate slab traffic.
+fn bench_commit_path(c: &mut Criterion) {
+    use skiphash::SkipHash;
+
+    let mut group = c.benchmark_group("commit_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+
+    for clock in [ClockKind::Sampled, ClockKind::Hardware] {
+        let stm = Stm::with_clock(clock);
+        let cells: Vec<TCell<u64>> = (0..64).map(TCell::new).collect();
+
+        group.bench_function(BenchmarkId::new("rmw_1", format!("{clock}")), |b| {
+            b.iter(|| {
+                stm.run(|tx| {
+                    let v = cells[0].read(tx)?;
+                    cells[0].write(tx, v + 1)
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("write_8", format!("{clock}")), |b| {
+            b.iter(|| {
+                stm.run(|tx| {
+                    for cell in cells.iter().take(8) {
+                        cell.write(tx, 1)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("scan_rmw", format!("{clock}")), |b| {
+            b.iter(|| {
+                stm.run(|tx| {
+                    let mut sum = 0;
+                    for _ in 0..2 {
+                        for cell in &cells {
+                            sum += cell.read(tx)?;
+                        }
+                    }
+                    cells[0].write(tx, sum)?;
+                    cells[63].write(tx, sum)
+                })
+            })
+        });
+    }
+
+    let map: SkipHash<u64, u64> = SkipHash::new();
+    for key in 0..1024u64 {
+        map.insert(key, key);
+    }
+    group.bench_function("skiphash_insert_remove", |b| {
+        b.iter(|| {
+            map.insert(2048, 1);
+            map.remove(&2048)
+        })
+    });
+    group.finish();
+}
+
 fn bench_uninstrumented_baseline(c: &mut Criterion) {
     // A plain (non-transactional) loop over the same data, to quantify STM
     // instrumentation overhead.
@@ -155,6 +235,7 @@ criterion_group!(
     benches,
     bench_transactions,
     bench_epoch,
+    bench_commit_path,
     bench_uninstrumented_baseline
 );
 criterion_main!(benches);

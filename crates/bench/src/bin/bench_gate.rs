@@ -2,24 +2,30 @@
 //!
 //! Reads two JSON-lines artifacts produced by the criterion shim (run the
 //! benches with `CRITERION_JSON=<path>`), compares the medians of every
-//! benchmark id under `--prefix`, and exits non-zero when any of them slowed
-//! down by more than `--max-regression`.
+//! benchmark id under any of the comma-separated `--prefix` groups, and
+//! exits non-zero when any of them slowed down by more than
+//! `--max-regression`.
 //!
 //! ```text
 //! bench_gate --baseline bench-baseline.json --current bench-current.json \
-//!            --prefix epoch/ --max-regression 0.25
+//!            --prefix epoch/,commit_path/ --max-regression 0.25
 //! ```
 
 use std::process::ExitCode;
 
-use skiphash_bench::gate::{compare, parse_records};
+use skiphash_bench::gate::{compare_prefixes, parse_records};
 use skiphash_bench::BenchOptions;
 
 fn main() -> ExitCode {
     let options = BenchOptions::from_args();
     let baseline_path = options.get("baseline").unwrap_or("bench-baseline.json");
     let current_path = options.get("current").unwrap_or("bench-current.json");
-    let prefix = options.get("prefix").unwrap_or("epoch/");
+    let prefix = options.get("prefix").unwrap_or("epoch/,commit_path/");
+    let prefixes: Vec<&str> = prefix
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
     let max_regression = options
         .get("max-regression")
         .and_then(|v| v.parse::<f64>().ok())
@@ -40,9 +46,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = compare(&baseline, &current, prefix, max_regression);
+    let report = compare_prefixes(&baseline, &current, &prefixes, max_regression);
     println!(
-        "bench_gate: gating prefix {prefix:?} at +{:.0}% median\n",
+        "bench_gate: gating prefixes {prefixes:?} at +{:.0}% median\n",
         max_regression * 100.0
     );
     for comparison in &report.compared {

@@ -136,14 +136,29 @@ impl GateReport {
 
 /// Compare all benchmark ids starting with `prefix`, flagging any whose
 /// median slowed down by more than `max_regression` (e.g. `0.25` = +25%).
+///
+/// Single-prefix convenience over [`compare_prefixes`].
 pub fn compare(
     baseline: &BTreeMap<String, BenchRecord>,
     current: &BTreeMap<String, BenchRecord>,
     prefix: &str,
     max_regression: f64,
 ) -> GateReport {
+    compare_prefixes(baseline, current, &[prefix], max_regression)
+}
+
+/// Compare all benchmark ids starting with *any* of `prefixes` (the CI gate
+/// covers several groups — `epoch/` and `commit_path/` — in one invocation),
+/// flagging any whose median slowed down by more than `max_regression`.
+pub fn compare_prefixes(
+    baseline: &BTreeMap<String, BenchRecord>,
+    current: &BTreeMap<String, BenchRecord>,
+    prefixes: &[&str],
+    max_regression: f64,
+) -> GateReport {
+    let gated = |id: &str| prefixes.iter().any(|prefix| id.starts_with(prefix));
     let mut report = GateReport::default();
-    for (id, base) in baseline.iter().filter(|(id, _)| id.starts_with(prefix)) {
+    for (id, base) in baseline.iter().filter(|(id, _)| gated(id)) {
         match current.get(id) {
             None => report.missing_in_current.push(id.clone()),
             Some(cur) => {
@@ -162,7 +177,7 @@ pub fn compare(
             }
         }
     }
-    for id in current.keys().filter(|id| id.starts_with(prefix)) {
+    for id in current.keys().filter(|id| gated(id)) {
         if !baseline.contains_key(id) {
             report.missing_in_baseline.push(id.clone());
         }
@@ -236,6 +251,30 @@ not json at all
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].id, "epoch/pin_unpin");
         assert!(regressions[0].to_string().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn multiple_prefixes_gate_their_union() {
+        let baseline = parse_records(
+            r#"
+{"id":"epoch/pin_unpin","mean_ns":10.0,"median_ns":10.0,"p95_ns":12.0}
+{"id":"commit_path/rmw_1/gv5-sampled","mean_ns":100.0,"median_ns":100.0,"p95_ns":110.0}
+{"id":"stm_txn/read_only_8/gv5-sampled","mean_ns":200.0,"median_ns":190.0,"p95_ns":220.0}
+"#,
+        );
+        let current = parse_records(
+            r#"
+{"id":"epoch/pin_unpin","mean_ns":10.0,"median_ns":10.0,"p95_ns":12.0}
+{"id":"commit_path/rmw_1/gv5-sampled","mean_ns":140.0,"median_ns":140.0,"p95_ns":150.0}
+{"id":"stm_txn/read_only_8/gv5-sampled","mean_ns":900.0,"median_ns":900.0,"p95_ns":990.0}
+"#,
+        );
+        let report = compare_prefixes(&baseline, &current, &["epoch/", "commit_path/"], 0.25);
+        assert_eq!(report.compared.len(), 2, "stm_txn is outside both prefixes");
+        assert!(!report.passed(), "+40% on commit_path must fail the gate");
+        let regressions: Vec<_> = report.regressions().collect();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "commit_path/rmw_1/gv5-sampled");
     }
 
     #[test]

@@ -294,7 +294,12 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         &self.inner.stm
     }
 
-    /// Statistics from the underlying STM (commits, aborts by cause).
+    /// Statistics from the underlying STM: commits and aborts by cause, plus
+    /// the hot-path counters — `validation_skipped_commits` (writer commits
+    /// whose clock proved quiescence), `read_dedup_hits` (re-reads absorbed
+    /// by the read-set filter; skip-list traversals generate many), and
+    /// `slab_recycle_hits` (cell payloads served from recycled slab blocks).
+    /// See `docs/PERF.md`.
     pub fn stm_stats(&self) -> StatsSnapshot {
         self.inner.stm.stats()
     }

@@ -88,7 +88,10 @@ pub struct Node<K, V> {
     /// range query version when the node is logically deleted.
     pub r_time: TCell<Option<u64>>,
     /// Predecessor/successor links, one pair per level in `0..height`.
-    pub tower: Vec<Level<K, V>>,
+    /// Boxed slice rather than `Vec`: the tower is immutable after
+    /// construction (only the cells inside it change), so the node carries
+    /// no spare capacity word.
+    pub tower: Box<[Level<K, V>]>,
 }
 
 impl<K, V> fmt::Debug for Node<K, V>

@@ -4,16 +4,58 @@
 //! evaluates three flavours:
 //!
 //! * `gv1` — a single shared counter incremented on every writer commit.
-//! * `gv5`-style — a shared counter that writers bump lazily (commits may
-//!   share a timestamp, trading precision for fewer contended increments).
+//! * `gv5`-style — a shared counter that a writer first tries to advance from
+//!   its *own* read version; when that CAS succeeds the writer has proven no
+//!   other transaction committed since it sampled the clock, so it can skip
+//!   read-set validation entirely (the §5.1 ablation this workspace defaults
+//!   to).
 //! * `rdtscp` — the hardware timestamp counter, which provides monotonically
 //!   increasing values without any shared cache line.
 //!
-//! All the skip hash experiments in the paper use the hardware clock; the
-//! logical clocks are provided for the ablation discussed in §5.1.
+//! The paper's headline experiments use the hardware clock
+//! ([`crate::Stm`]s built from `Config::paper()` still do); this crate
+//! defaults to [`ClockKind::Sampled`] because with a timestamp clock the
+//! quiescence fast path below can never fire, making every writer commit pay
+//! an O(reads) validation walk.
+//!
+//! # The quiescence fast path, and why `tick` takes the read version
+//!
+//! TL2 skips commit-time read-set validation when `wv == rv + 1`: if this
+//! writer's tick moved the clock directly from its read version to the next
+//! value, no other transaction can have committed in between, so nothing the
+//! writer read can have changed.  That implication only holds when the clock
+//! can *prove* the transition was exclusive — which is why
+//! [`ClockSource::tick`] receives the caller's `rv` and reports
+//! [`CommitStamp::quiescent`] itself, instead of letting callers compare
+//! `wv == rv + 1` after the fact:
+//!
+//! * a naive "sampled" clock that adopts another writer's tick on CAS failure
+//!   would hand two concurrent writers the same `wv = rv + 1`, and the loser —
+//!   which very much did race another commit — would wrongly skip validation
+//!   (a lost-update bug);
+//! * worse, returning an *already published* clock value from `tick` violates
+//!   the contract below ("strictly greater than every value `now` has
+//!   returned"), and read-only transactions rely on that contract: a reader
+//!   with `rv = v` may admit any version `<= v`, so a writer committing *at*
+//!   `v` concurrently with that reader can tear its snapshot.
+//!
+//! [`SampledClock::tick`] therefore claims `rv + 1` with a single CAS and
+//! reports `quiescent` only when that claim succeeded; on failure it falls
+//! back to a unique `fetch_add` tick, exactly like `gv1`.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A writer's commit timestamp plus the clock's quiescence verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStamp {
+    /// The commit (write) version.
+    pub wv: u64,
+    /// True only when the clock proves no other transaction committed between
+    /// the caller's read-version sample and this tick; the caller may then
+    /// skip commit-time read-set validation.
+    pub quiescent: bool,
+}
 
 /// A source of monotonically non-decreasing timestamps used as transaction
 /// read and write versions.
@@ -22,10 +64,14 @@ pub trait ClockSource: Send + Sync + fmt::Debug {
     /// read version).
     fn now(&self) -> u64;
 
-    /// Advance the clock and return a value strictly greater than every value
-    /// returned by `now` before this call on any thread (used as a writer's
-    /// commit version).
-    fn tick(&self) -> u64;
+    /// Advance the clock for a writer that sampled `rv` from [`Self::now`],
+    /// returning its commit stamp.
+    ///
+    /// `wv` must be strictly greater than every value returned by `now`
+    /// before this call on any thread, and `quiescent` may be `true` only
+    /// when no other `tick` completed between the caller's `now` sample and
+    /// this call (see the module docs for why this must be decided here).
+    fn tick(&self, rv: u64) -> CommitStamp;
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
@@ -36,11 +82,13 @@ pub trait ClockSource: Send + Sync + fmt::Debug {
 pub enum ClockKind {
     /// Shared counter incremented on every writer commit (TL2 `gv1`).
     Counter,
-    /// Shared counter incremented only when a writer observes that the clock
-    /// has not moved since its read version was taken (`gv5`-style).
+    /// Shared counter that writers first try to advance from their own read
+    /// version (`gv5`-style); a successful claim proves quiescence and lets
+    /// the commit skip read-set validation.  The default.
     Sampled,
     /// Hardware timestamp counter (`rdtscp`-style).  Falls back to a striped
-    /// logical clock on targets without a TSC.
+    /// logical clock on targets without a TSC.  Never quiescent: timestamps
+    /// are not consecutive, so every writer commit validates its read set.
     Hardware,
 }
 
@@ -86,8 +134,14 @@ impl ClockSource for CounterClock {
         self.counter.load(Ordering::SeqCst)
     }
 
-    fn tick(&self) -> u64 {
-        self.counter.fetch_add(1, Ordering::SeqCst) + 1
+    fn tick(&self, rv: u64) -> CommitStamp {
+        let prev = self.counter.fetch_add(1, Ordering::SeqCst);
+        CommitStamp {
+            wv: prev + 1,
+            // fetch_add hands out unique predecessors, so observing our own
+            // read version here proves nobody ticked since we sampled it.
+            quiescent: prev == rv,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -95,14 +149,15 @@ impl ClockSource for CounterClock {
     }
 }
 
-/// `gv5`-style clock: writers reuse the current value when it has already
-/// advanced past their read version, so many commits can share a timestamp.
+/// `gv5`-style clock: a writer first tries to claim `rv + 1` with a single
+/// CAS from its own read version; success proves quiescence (no commit
+/// happened since its sample) and skips read-set validation.  On failure it
+/// degenerates to a unique `gv1`-style tick.
 ///
-/// This reduces contention on the shared counter at the cost of spurious
-/// validation failures (two writers sharing a timestamp cannot be ordered by
-/// it).  The skip hash paper reports that this clock interacts poorly with
-/// the range query coordinator's assumptions, which our reproduction of
-/// Table 1/Fig. 6 can demonstrate by switching clock kinds.
+/// Under low contention almost every writer commit takes the quiescent path,
+/// which is the ablation the paper discusses in §5.1; under heavy contention
+/// the shared counter costs what `gv1` costs.  [`HardwareClock`] avoids the
+/// shared cache line entirely but can never prove quiescence.
 #[derive(Debug, Default)]
 pub struct SampledClock {
     counter: AtomicU64,
@@ -122,17 +177,28 @@ impl ClockSource for SampledClock {
         self.counter.load(Ordering::SeqCst)
     }
 
-    fn tick(&self) -> u64 {
-        // Advance by one, but only if nobody else already advanced the clock
-        // "recently".  A failed CAS means another writer advanced it for us
-        // and we can reuse the new value, emulating gv5's shared increments.
-        let cur = self.counter.load(Ordering::SeqCst);
-        match self
+    fn tick(&self, rv: u64) -> CommitStamp {
+        // Claim rv + 1 exclusively.  Success means the clock has not moved
+        // since our read sample, hence no transaction committed in between.
+        if self
             .counter
-            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(rv, rv + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
         {
-            Ok(_) => cur + 1,
-            Err(newer) => newer,
+            return CommitStamp {
+                wv: rv + 1,
+                quiescent: true,
+            };
+        }
+        // Somebody committed since we sampled; take a unique tick so our wv
+        // is strictly newer than anything `now` has returned (reusing the
+        // winner's value would let a concurrent reader admit our writes
+        // mid-flight and tear its snapshot).  Never quiescent: the failed
+        // CAS already proved a commit intervened since `rv`.
+        let prev = self.counter.fetch_add(1, Ordering::SeqCst);
+        CommitStamp {
+            wv: prev + 1,
+            quiescent: false,
         }
     }
 
@@ -149,6 +215,9 @@ impl ClockSource for SampledClock {
 /// `rdtscp` optimization the paper applies to the skip hash and to the vCAS /
 /// bundling baselines.  On other targets it falls back to a shared counter
 /// advanced with relaxed increments, preserving monotonicity.
+///
+/// Because two TSC reads are never consecutive integers, a hardware-clocked
+/// writer can never prove quiescence and always validates its read set.
 #[derive(Debug, Default)]
 pub struct HardwareClock {
     #[cfg_attr(target_arch = "x86_64", allow(dead_code))]
@@ -180,8 +249,11 @@ impl ClockSource for HardwareClock {
         self.sample()
     }
 
-    fn tick(&self) -> u64 {
-        self.sample()
+    fn tick(&self, _rv: u64) -> CommitStamp {
+        CommitStamp {
+            wv: self.sample(),
+            quiescent: false,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -197,9 +269,12 @@ mod tests {
 
     fn exercise(clock: &dyn ClockSource) {
         let a = clock.now();
-        let b = clock.tick();
+        let stamp = clock.tick(a);
         let c = clock.now();
-        assert!(b >= a, "tick must not go backwards: {a} -> {b}");
+        assert!(
+            stamp.wv >= a,
+            "tick must not go backwards: {a} -> {stamp:?}"
+        );
         assert!(c >= a, "now must not go backwards: {a} -> {c}");
     }
 
@@ -225,7 +300,9 @@ mod tests {
         for _ in 0..4 {
             let clock = Arc::clone(&clock);
             handles.push(thread::spawn(move || {
-                (0..1000).map(|_| clock.tick()).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|_| clock.tick(clock.now()).wv)
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<u64> = handles
@@ -238,6 +315,31 @@ mod tests {
     }
 
     #[test]
+    fn sampled_ticks_are_unique_across_threads() {
+        // The soundness property the STM relies on: even under racing
+        // commits, no two writers ever share a commit version (the old
+        // adopt-the-winner behaviour violated this).
+        let clock = Arc::new(SampledClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let clock = Arc::clone(&clock);
+            handles.push(thread::spawn(move || {
+                (0..1000)
+                    .map(|_| clock.tick(clock.now()).wv)
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let len = all.len();
+        all.dedup();
+        assert_eq!(all.len(), len, "gv5 ticks must be unique");
+    }
+
+    #[test]
     fn clock_kind_builds_named_clocks() {
         assert_eq!(ClockKind::Counter.build().name(), "gv1-counter");
         assert_eq!(ClockKind::Sampled.build().name(), "gv5-sampled");
@@ -246,12 +348,36 @@ mod tests {
     }
 
     #[test]
-    fn sampled_clock_never_exceeds_commit_count() {
+    fn uncontended_sampled_ticks_are_quiescent() {
         let clock = SampledClock::new();
         for _ in 0..100 {
-            clock.tick();
+            let rv = clock.now();
+            let stamp = clock.tick(rv);
+            assert_eq!(stamp.wv, rv + 1);
+            assert!(stamp.quiescent, "an exclusive claim proves quiescence");
         }
-        assert!(clock.now() <= 100);
-        assert!(clock.now() > 0);
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    fn stale_read_version_is_never_quiescent() {
+        let clock = SampledClock::new();
+        let rv = clock.now();
+        let _ = clock.tick(clock.now()); // another writer commits
+        let stamp = clock.tick(rv);
+        assert!(!stamp.quiescent, "a commit intervened since rv was sampled");
+        assert!(stamp.wv > rv + 1, "the fallback tick must be unique");
+
+        let counter = CounterClock::new();
+        let rv = counter.now();
+        let _ = counter.tick(rv);
+        assert!(!counter.tick(rv).quiescent);
+    }
+
+    #[test]
+    fn hardware_clock_never_claims_quiescence() {
+        let clock = HardwareClock::new();
+        let rv = clock.now();
+        assert!(!clock.tick(rv).quiescent);
     }
 }

@@ -9,8 +9,15 @@
 //!   table.
 //! * **Global version clock** — commit timestamps come from a pluggable
 //!   [`clock::ClockSource`]; a shared counter (`gv1`), a sampled counter
-//!   (`gv5`-style), and a hardware timestamp (`rdtscp`-style) source are
-//!   provided.
+//!   (`gv5`-style, the default: its quiescence proof lets uncontended writer
+//!   commits skip read-set validation), and a hardware timestamp
+//!   (`rdtscp`-style) source are provided.
+//! * **Allocation-free steady state** — transaction scratch (read set, write
+//!   log, retirement bag, post-commit queue) is pooled per thread, the write
+//!   log is a flat array of monomorphic records rather than boxed trait
+//!   objects, and cell payloads are carved from a recycling size-classed
+//!   slab; after warmup, a read-modify-write transaction touches the global
+//!   allocator zero times (see `docs/PERF.md`).
 //! * **Eager acquisition with undo logging** — writers acquire the orec on
 //!   first write and publish the new value immediately; an abort restores the
 //!   previous value.
@@ -85,11 +92,13 @@
 pub mod clock;
 pub mod error;
 pub mod orec;
+mod scratch;
+mod slab;
 pub mod stats;
 pub mod tcell;
 pub mod txn;
 
-pub use clock::{ClockKind, ClockSource};
+pub use clock::{ClockKind, ClockSource, CommitStamp};
 pub use error::{TxAbort, TxResult};
 pub use stats::{StatsSnapshot, StmStats};
 pub use tcell::TCell;

@@ -20,6 +20,9 @@ pub struct StmStats {
     aborts_write_conflict: AtomicU64,
     aborts_validation: AtomicU64,
     aborts_explicit: AtomicU64,
+    validation_skipped_commits: AtomicU64,
+    read_dedup_hits: AtomicU64,
+    slab_recycle_hits: AtomicU64,
 }
 
 impl StmStats {
@@ -32,6 +35,25 @@ impl StmStats {
         self.commits.fetch_add(1, Ordering::Relaxed);
         if read_only {
             self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_validation_skipped(&self) {
+        self.validation_skipped_commits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one attempt's locally accumulated hot-path counters in (the
+    /// transaction batches these so the shared cache line is touched once
+    /// per attempt, not once per read or write).
+    pub(crate) fn record_hot_path(&self, dedup_hits: u32, slab_hits: u32) {
+        if dedup_hits > 0 {
+            self.read_dedup_hits
+                .fetch_add(u64::from(dedup_hits), Ordering::Relaxed);
+        }
+        if slab_hits > 0 {
+            self.slab_recycle_hits
+                .fetch_add(u64::from(slab_hits), Ordering::Relaxed);
         }
     }
 
@@ -54,6 +76,9 @@ impl StmStats {
             aborts_write_conflict: self.aborts_write_conflict.load(Ordering::Relaxed),
             aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
             aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            validation_skipped_commits: self.validation_skipped_commits.load(Ordering::Relaxed),
+            read_dedup_hits: self.read_dedup_hits.load(Ordering::Relaxed),
+            slab_recycle_hits: self.slab_recycle_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -65,6 +90,9 @@ impl StmStats {
         self.aborts_write_conflict.store(0, Ordering::Relaxed);
         self.aborts_validation.store(0, Ordering::Relaxed);
         self.aborts_explicit.store(0, Ordering::Relaxed);
+        self.validation_skipped_commits.store(0, Ordering::Relaxed);
+        self.read_dedup_hits.store(0, Ordering::Relaxed);
+        self.slab_recycle_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -83,6 +111,15 @@ pub struct StatsSnapshot {
     pub aborts_validation: u64,
     /// Aborts requested explicitly by the transaction body.
     pub aborts_explicit: u64,
+    /// Writer commits that skipped read-set validation because the clock
+    /// proved quiescence (see the `clock` module docs).
+    pub validation_skipped_commits: u64,
+    /// Reads answered by the read-set dedup filter instead of growing the
+    /// read set (re-reads of already-validated cells).
+    pub read_dedup_hits: u64,
+    /// Transactional writes whose payload came from a recycled slab block
+    /// rather than the global allocator.
+    pub slab_recycle_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -112,6 +149,10 @@ impl StatsSnapshot {
             aborts_write_conflict: self.aborts_write_conflict - earlier.aborts_write_conflict,
             aborts_validation: self.aborts_validation - earlier.aborts_validation,
             aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
+            validation_skipped_commits: self.validation_skipped_commits
+                - earlier.validation_skipped_commits,
+            read_dedup_hits: self.read_dedup_hits - earlier.read_dedup_hits,
+            slab_recycle_hits: self.slab_recycle_hits - earlier.slab_recycle_hits,
         }
     }
 }
@@ -120,14 +161,18 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} (ro={}) aborts={} [read={} write={} validation={} explicit={}]",
+            "commits={} (ro={}, noval={}) aborts={} [read={} write={} validation={} explicit={}] \
+             dedup={} slab={}",
             self.commits,
             self.read_only_commits,
+            self.validation_skipped_commits,
             self.total_aborts(),
             self.aborts_read_conflict,
             self.aborts_write_conflict,
             self.aborts_validation,
             self.aborts_explicit,
+            self.read_dedup_hits,
+            self.slab_recycle_hits,
         )
     }
 }
@@ -173,6 +218,24 @@ mod tests {
         let delta = second.since(&first);
         assert_eq!(delta.commits, 1);
         assert_eq!(delta.aborts_validation, 1);
+    }
+
+    #[test]
+    fn hot_path_counters_accumulate_and_reset() {
+        let stats = StmStats::new();
+        stats.record_validation_skipped();
+        stats.record_hot_path(3, 2);
+        stats.record_hot_path(0, 0); // zero batches must not touch the lines
+        let snap = stats.snapshot();
+        assert_eq!(snap.validation_skipped_commits, 1);
+        assert_eq!(snap.read_dedup_hits, 3);
+        assert_eq!(snap.slab_recycle_hits, 2);
+        let display = snap.to_string();
+        assert!(display.contains("noval=1"));
+        assert!(display.contains("dedup=3"));
+        assert!(display.contains("slab=2"));
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use std::fmt;
 use std::sync::atomic::Ordering;
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use crossbeam_epoch::{self as epoch, Atomic, Shared};
 
 use crate::error::TxResult;
 use crate::orec::{Orec, OrecState};
+use crate::slab;
 use crate::txn::Txn;
 
 /// A transactionally managed memory location holding a value of type `T`.
@@ -16,6 +17,12 @@ use crate::txn::Txn;
 /// itself lives behind an epoch-managed pointer so that optimistic readers
 /// can never observe a torn value: writers install a freshly allocated value
 /// and retire the previous one through epoch-based reclamation.
+///
+/// Value storage comes from the size-classed slab (see `docs/PERF.md`):
+/// small payloads are carved from recycled blocks rather than the global
+/// allocator, so steady-state write churn — the `Link` towers of the skip
+/// hash above all — performs no heap allocation.  Types that are too large
+/// or over-aligned fall back to plain `Box`es transparently.
 ///
 /// Cells are accessed inside transactions via [`TCell::read`] and
 /// [`TCell::write`].  Outside of transactions, [`TCell::load_atomic`]
@@ -44,9 +51,12 @@ pub struct TCell<T> {
 impl<T> TCell<T> {
     /// Create a new cell holding `value`, with version 0.
     pub fn new(value: T) -> Self {
+        let (ptr, _) = slab::alloc_value(value);
+        let data = Atomic::null();
+        data.store(Shared::from(ptr as *const T), Ordering::Relaxed);
         Self {
             orec: Orec::new(0),
-            data: Atomic::new(value),
+            data,
         }
     }
 }
@@ -85,10 +95,22 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
     /// Overwrite the cell outside of any transaction.
     ///
     /// Spin-acquires the ownership record, installs the new value, and
-    /// releases the orec at its previous version (so concurrent readers see
-    /// the store as a regular committed write).  Intended for initialization
-    /// and single-threaded teardown (e.g. severing links in destructors);
-    /// concurrent algorithms should use transactions.
+    /// releases the orec at its **unchanged** version.  Intended for
+    /// initialization (before the cell is shared) and single-threaded
+    /// teardown (e.g. severing links in destructors); concurrent algorithms
+    /// should use transactions.
+    ///
+    /// The store is atomic per location (an epoch-protected pointer swap —
+    /// no reader ever observes a torn value), but it is *not* a committed
+    /// transactional write: the version does not change, so a concurrent
+    /// transaction's snapshot validation cannot order itself against it.
+    /// The version deliberately must not be bumped here — orec versions are
+    /// commit timestamps, and inventing one the clock never issued breaks
+    /// logical clocks: a fresh `Counter`/`Sampled` runtime sits at 0, so a
+    /// cell stamped `1` by initialization would make every transaction abort
+    /// with `ReadConflict` forever (the clock only advances on commits, and
+    /// no transaction can commit).  The old `Hardware` default masked
+    /// exactly that livelock.
     pub fn store_atomic(&self, value: T) {
         let backoff = crossbeam_utils::Backoff::new();
         loop {
@@ -99,13 +121,15 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
                 // they can never collide with it in practice.
                 const STORE_OWNER: u64 = (1 << 62) - 1;
                 if self.orec.try_acquire(version, STORE_OWNER) {
+                    let (ptr, _) = slab::alloc_value(value);
                     let guard = epoch::pin();
-                    let old = self.data.swap(Owned::new(value), Ordering::AcqRel, &guard);
-                    if !old.is_null() {
-                        // SAFETY: `old` is unreachable once swapped out.
-                        unsafe { guard.defer_destroy(old) };
-                    }
-                    self.orec.release(version.saturating_add(1));
+                    let old =
+                        self.data
+                            .swap(Shared::from(ptr as *const T), Ordering::AcqRel, &guard);
+                    // SAFETY: `old` is unreachable once swapped out; the glue
+                    // matches this cell's allocation path.
+                    unsafe { guard.defer_with(old.as_raw() as *mut (), slab::drop_glue::<T>()) };
+                    self.orec.release(version);
                     return;
                 }
             }
@@ -142,13 +166,14 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
 
 impl<T> Drop for TCell<T> {
     fn drop(&mut self) {
-        // We have exclusive access; reclaim the current value immediately.
+        // We have exclusive access; reclaim the current value immediately
+        // (returning its block to the slab).
         // SAFETY: `&mut self` guarantees no concurrent access, and the
         // pointer is either null or owned by this cell.
         unsafe {
             let shared = self.data.load(Ordering::Relaxed, epoch::unprotected());
             if !shared.is_null() {
-                drop(shared.into_owned());
+                slab::free_value_now(shared.as_raw() as *mut T);
             }
         }
     }
@@ -174,28 +199,75 @@ impl<T: Clone + Send + Sync + Default + 'static> Default for TCell<T> {
 unsafe impl<T: Send + Sync> Send for TCell<T> {}
 unsafe impl<T: Send + Sync> Sync for TCell<T> {}
 
-pub(crate) struct CellWrite<T> {
-    pub(crate) cell: *const TCell<T>,
-    pub(crate) old_version: u64,
-    pub(crate) old_data: *const T,
+/// One undo-log entry: a pending transactional write, type-erased through
+/// monomorphic function pointers instead of a `Box<dyn ...>` object.
+///
+/// The previous design heap-allocated a trait object per write; this record
+/// is plain data that lives in the pooled write log, so logging a write costs
+/// a `Vec` push.  Displaced values are not retired through the epoch one at
+/// a time either: they are collected into the transaction's
+/// [`epoch::Bag`] and flushed in a single thread-local access when the
+/// transaction finishes, so a commit with `k` writes pins once and flushes
+/// once.
+pub(crate) struct WriteEntry {
+    cell: *const (),
+    old_version: u64,
+    old_data: *const (),
+    commit_fn: unsafe fn(*const (), *const (), &mut epoch::Bag, u64),
+    abort_fn: unsafe fn(*const (), *const (), u64, &epoch::Guard, &mut epoch::Bag),
 }
 
-/// Type-erased handle to a pending transactional write, used by the undo log.
-///
-/// Displaced values are not retired through the epoch one at a time; they are
-/// collected into the transaction's [`epoch::Bag`] and flushed in a single
-/// thread-local access when the transaction finishes, so a commit with `k`
-/// writes pins once and flushes once.
-pub(crate) trait WriteBack {
-    /// Restore the pre-transaction value, release the orec at its old
-    /// version, and park the displaced value in `retired`.  Called on abort.
-    ///
-    /// # Safety
-    ///
-    /// Must only be called by the owning transaction, exactly once, with the
-    /// transaction's epoch guard still pinned; `retired` must be flushed
-    /// through that guard before it is unpinned.
-    unsafe fn abort(&self, guard: &epoch::Guard, retired: &mut epoch::Bag);
+unsafe fn commit_write<T: Send + Sync + 'static>(
+    cell: *const (),
+    old_data: *const (),
+    retired: &mut epoch::Bag,
+    version: u64,
+) {
+    // SAFETY: forwarded from `WriteEntry::commit`'s contract; `old_data` was
+    // displaced by this transaction's own write and is unreachable to new
+    // readers.
+    unsafe {
+        if !old_data.is_null() {
+            retired.defer_with(old_data as *mut (), slab::drop_glue::<T>());
+        }
+        (*(cell as *const TCell<T>)).orec.release(version);
+    }
+}
+
+unsafe fn abort_write<T: Send + Sync + 'static>(
+    cell: *const (),
+    old_data: *const (),
+    old_version: u64,
+    guard: &epoch::Guard,
+    retired: &mut epoch::Bag,
+) {
+    // SAFETY: forwarded from `WriteEntry::abort`'s contract; the transaction
+    // owns the orec, so nobody else can swap the data pointer concurrently.
+    unsafe {
+        let cell = &*(cell as *const TCell<T>);
+        let old = Shared::from(old_data as *const T);
+        let current = cell.data.swap(old, Ordering::AcqRel, guard);
+        if !current.is_null() {
+            retired.defer_with(current.as_raw() as *mut (), slab::drop_glue::<T>());
+        }
+        cell.orec.release(old_version);
+    }
+}
+
+impl WriteEntry {
+    pub(crate) fn new<T: Send + Sync + 'static>(
+        cell: *const TCell<T>,
+        old_version: u64,
+        old_data: *const T,
+    ) -> Self {
+        Self {
+            cell: cell as *const (),
+            old_version,
+            old_data: old_data as *const (),
+            commit_fn: commit_write::<T>,
+            abort_fn: abort_write::<T>,
+        }
+    }
 
     /// Park the pre-transaction value in `retired` and release the orec at
     /// `version`.  Called on commit.
@@ -205,35 +277,21 @@ pub(crate) trait WriteBack {
     /// Must only be called by the owning transaction, exactly once, with the
     /// transaction's epoch guard still pinned; `retired` must be flushed
     /// through that guard before it is unpinned.
-    unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64);
-}
-
-impl<T: Send + Sync + 'static> WriteBack for CellWrite<T> {
-    unsafe fn abort(&self, guard: &epoch::Guard, retired: &mut epoch::Bag) {
-        let cell = &*self.cell;
-        let old = epoch::Shared::from(self.old_data);
-        let current = cell.data.swap(old, Ordering::AcqRel, guard);
-        if !current.is_null() {
-            retired.defer_destroy(current);
-        }
-        cell.orec.release(self.old_version);
+    pub(crate) unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64) {
+        // SAFETY: forwarded to the monomorphic glue under the same contract.
+        unsafe { (self.commit_fn)(self.cell, self.old_data, retired, version) }
     }
 
-    unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64) {
-        let old = epoch::Shared::from(self.old_data);
-        if !old.is_null() {
-            retired.defer_destroy(old);
-        }
-        let cell = &*self.cell;
-        cell.orec.release(version);
+    /// Restore the pre-transaction value, release the orec at its old
+    /// version, and park the displaced value in `retired`.  Called on abort.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`WriteEntry::commit`].
+    pub(crate) unsafe fn abort(&self, guard: &epoch::Guard, retired: &mut epoch::Bag) {
+        // SAFETY: forwarded to the monomorphic glue under the same contract.
+        unsafe { (self.abort_fn)(self.cell, self.old_data, self.old_version, guard, retired) }
     }
-}
-
-// The raw pointers inside `CellWrite` refer to data owned by the transaction
-// (which is single-threaded); entries never cross threads.
-#[allow(dead_code)]
-fn _assert_owned_has_into_shared(o: Owned<u32>) -> Owned<u32> {
-    o
 }
 
 #[cfg(test)]
@@ -299,5 +357,32 @@ mod tests {
             let cell = TCell::new(vec![1u8; 128]);
             drop(cell);
         }
+    }
+
+    #[test]
+    fn slab_ineligible_values_still_round_trip() {
+        // 1 KiB payloads exceed every slab class, exercising the Box
+        // fallback across write, overwrite, and store_atomic.
+        let stm = Stm::new();
+        let cell = TCell::new([1u8; 1024]);
+        stm.run(|tx| {
+            cell.write(tx, [2u8; 1024])?;
+            cell.write(tx, [3u8; 1024])
+        });
+        assert_eq!(cell.load_atomic()[0], 3);
+        cell.store_atomic([4u8; 1024]);
+        assert_eq!(cell.load_atomic()[0], 4);
+    }
+
+    #[test]
+    fn heap_values_survive_slab_round_trips() {
+        // Values owning heap data (String) exercise the drop glue: the value
+        // must be dropped exactly once when its block is recycled.
+        let stm = Stm::new();
+        let cell = TCell::new(String::from("start"));
+        for i in 0..1000 {
+            stm.run(|tx| cell.write(tx, format!("value-{i}")));
+        }
+        assert_eq!(cell.load_atomic(), "value-999");
     }
 }

@@ -3,14 +3,16 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam_epoch::{self as epoch, Bag, Guard, Owned};
+use crossbeam_epoch::{self as epoch, Guard, Shared};
 use crossbeam_utils::Backoff;
 
 use crate::clock::{ClockKind, ClockSource};
 use crate::error::{SingleAttemptFailed, TxAbort, TxResult};
 use crate::orec::{Orec, OrecState};
+use crate::scratch::{self, PostCommit, ReadEntry, ScratchLease};
+use crate::slab;
 use crate::stats::{StatsSnapshot, StmStats};
-use crate::tcell::{CellWrite, TCell, WriteBack};
+use crate::tcell::{TCell, WriteEntry};
 
 /// Builder for [`Stm`] instances.
 ///
@@ -32,10 +34,13 @@ impl Default for StmBuilder {
 }
 
 impl StmBuilder {
-    /// Start building with the default (hardware) clock.
+    /// Start building with the default ([`ClockKind::Sampled`]) clock, whose
+    /// quiescence fast path lets uncontended writer commits skip read-set
+    /// validation (see the `clock` module docs).  Use
+    /// [`StmBuilder::clock`] for the `gv1` counter or the hardware TSC.
     pub fn new() -> Self {
         Self {
-            clock: ClockKind::Hardware,
+            clock: ClockKind::Sampled,
         }
     }
 
@@ -85,7 +90,7 @@ impl Default for Stm {
 }
 
 impl Stm {
-    /// Create an STM runtime with the default hardware clock.
+    /// Create an STM runtime with the default ([`ClockKind::Sampled`]) clock.
     pub fn new() -> Self {
         StmBuilder::new().build()
     }
@@ -121,12 +126,10 @@ impl Stm {
             stm: self,
             id,
             rv: self.clock.now(),
-            guard: epoch::pin(),
-            read_set: Vec::new(),
-            writes: Vec::new(),
-            retired: Bag::new(),
-            keepalive: Vec::new(),
-            post_commit: Vec::new(),
+            guard: Some(epoch::pin()),
+            scratch: scratch::lease(),
+            dedup_hits: 0,
+            slab_hits: 0,
             finished: false,
         }
     }
@@ -152,11 +155,7 @@ impl Stm {
             let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
             match outcome {
                 Ok(value) => {
-                    let actions = std::mem::take(&mut tx.post_commit);
-                    drop(tx);
-                    for action in actions {
-                        action();
-                    }
+                    tx.run_post_commit();
                     return value;
                 }
                 Err(cause) => {
@@ -190,11 +189,7 @@ impl Stm {
         let outcome = body(&mut tx).and_then(|value| tx.commit().map(|()| value));
         match outcome {
             Ok(value) => {
-                let actions = std::mem::take(&mut tx.post_commit);
-                drop(tx);
-                for action in actions {
-                    action();
-                }
+                tx.run_post_commit();
                 Ok(value)
             }
             Err(cause) => {
@@ -218,27 +213,25 @@ impl Stm {
 ///
 /// Handed to transaction bodies by [`Stm::run`] and [`Stm::try_once`]; use it
 /// with [`TCell::read`] and [`TCell::write`].
+///
+/// The attempt's growable state (read set, write log, retirement bag,
+/// keep-alive list, post-commit queue) lives in a per-thread pooled scratch:
+/// retries and successive transactions reuse capacity instead of
+/// re-allocating, which is what makes the steady-state commit path
+/// allocation-free (see `docs/PERF.md`).
 pub struct Txn<'stm> {
     stm: &'stm Stm,
     id: u64,
     rv: u64,
-    guard: Guard,
-    read_set: Vec<ReadEntry>,
-    writes: Vec<Box<dyn WriteBack>>,
-    /// Values displaced by this attempt's writes, retired through the epoch
-    /// in one batch when the attempt finishes (commit, rollback, or drop) —
-    /// a commit with `k` writes pins once and flushes once.
-    retired: Bag,
-    keepalive: Vec<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
-    /// Actions registered by [`Txn::on_commit`]; executed (in registration
-    /// order) only after this attempt commits, dropped unrun on abort.
-    post_commit: Vec<Box<dyn FnOnce()>>,
+    /// `Some` until the attempt finishes; released before post-commit actions
+    /// run so they observe a fully committed, unpinned world.
+    guard: Option<Guard>,
+    scratch: ScratchLease,
+    /// Reads served from the dedup filter instead of growing the read set.
+    dedup_hits: u32,
+    /// Writes whose payload came from a recycled slab block.
+    slab_hits: u32,
     finished: bool,
-}
-
-struct ReadEntry {
-    orec: *const Orec,
-    observed: u64,
 }
 
 impl fmt::Debug for Txn<'_> {
@@ -246,8 +239,8 @@ impl fmt::Debug for Txn<'_> {
         f.debug_struct("Txn")
             .field("id", &self.id)
             .field("rv", &self.rv)
-            .field("reads", &self.read_set.len())
-            .field("writes", &self.writes.len())
+            .field("reads", &self.scratch.read_set.len())
+            .field("writes", &self.scratch.writes.len())
             .finish()
     }
 }
@@ -260,7 +253,7 @@ impl<'stm> Txn<'stm> {
 
     /// True if this attempt has performed at least one write.
     pub fn is_writer(&self) -> bool {
-        !self.writes.is_empty()
+        !self.scratch.writes.is_empty()
     }
 
     /// Explicitly abort this attempt; the enclosing [`Stm::run`] will retry.
@@ -281,6 +274,13 @@ impl<'stm> Txn<'stm> {
         std::ptr::eq(self.stm, stm)
     }
 
+    #[inline]
+    fn guard(&self) -> &Guard {
+        self.guard
+            .as_ref()
+            .expect("transaction attempt still in flight")
+    }
+
     /// Register an action to run after — and only if — this transaction
     /// attempt commits.
     ///
@@ -292,11 +292,14 @@ impl<'stm> Txn<'stm> {
     /// caller-owned transaction: the effect must not happen per *attempt*,
     /// only per *commit*.
     ///
+    /// Closures up to three words are stored inline in the pooled action
+    /// queue (no allocation); larger captures are boxed.
+    ///
     /// The action may itself start new transactions (the registering
     /// transaction is finished by the time it runs), but must not assume any
     /// particular thread-local state beyond running on the committing thread.
     pub fn on_commit<F: FnOnce() + 'static>(&mut self, action: F) {
-        self.post_commit.push(Box::new(action));
+        self.scratch.post_commit.push(PostCommit::new(action));
     }
 
     /// Pin `value` so it outlives this transaction attempt, including the
@@ -312,7 +315,7 @@ impl<'stm> Txn<'stm> {
     /// Prefer [`Txn::alloc`], which performs the allocation and the
     /// registration in one step and cannot be forgotten.
     pub fn keep_alive<T: Send + Sync + 'static>(&mut self, value: std::sync::Arc<T>) {
-        self.keepalive.push(value);
+        self.scratch.keepalive.push(value);
     }
 
     /// Allocate `value` on the heap and register the allocation with this
@@ -327,7 +330,9 @@ impl<'stm> Txn<'stm> {
     /// transaction body.
     pub fn alloc<T: Send + Sync + 'static>(&mut self, value: T) -> std::sync::Arc<T> {
         let arc = std::sync::Arc::new(value);
-        self.keepalive.push(std::sync::Arc::clone(&arc) as _);
+        self.scratch
+            .keepalive
+            .push(std::sync::Arc::clone(&arc) as _);
         arc
     }
 
@@ -340,7 +345,7 @@ impl<'stm> Txn<'stm> {
         if Orec::raw_is_owned_by(o1, self.id) {
             // Read-after-write: we own the location, so the current value is
             // our own uncommitted write.
-            let shared = cell.data.load(Ordering::Acquire, &self.guard);
+            let shared = cell.data.load(Ordering::Acquire, self.guard());
             // SAFETY: the pointer is protected by our pinned guard.
             return Ok(unsafe { shared.deref() }.clone());
         }
@@ -352,7 +357,7 @@ impl<'stm> Txn<'stm> {
                 }
             }
         }
-        let shared = cell.data.load(Ordering::Acquire, &self.guard);
+        let shared = cell.data.load(Ordering::Acquire, self.guard());
         // SAFETY: the pointer is protected by our pinned guard; even if a
         // concurrent writer replaces it, reclamation is deferred past our
         // guard, and the post-read orec check below rejects the value.
@@ -360,10 +365,17 @@ impl<'stm> Txn<'stm> {
         if cell.orec.raw() != o1 {
             return Err(TxAbort::ReadConflict);
         }
-        self.read_set.push(ReadEntry {
-            orec: &cell.orec as *const Orec,
-            observed: o1,
-        });
+        // Dedup on insertion: a re-read of a cell this attempt already
+        // validated cannot have a different orec word (any post-begin commit
+        // carries a version above rv and would have aborted above), so the
+        // read set and the commit-time validation walk stay proportional to
+        // the number of *distinct* cells read, not the number of reads.
+        let orec = &cell.orec as *const Orec;
+        if self.scratch.filter.insert(orec as usize) {
+            self.scratch.read_set.push(ReadEntry { orec, observed: o1 });
+        } else {
+            self.dedup_hits += 1;
+        }
         Ok(value)
     }
 
@@ -379,12 +391,23 @@ impl<'stm> Txn<'stm> {
             // we previously installed.  The intermediate value may have been
             // glimpsed by concurrent (doomed) readers, so retire it through
             // the epoch rather than dropping in place.
+            let (ptr, recycled) = slab::alloc_value(value);
+            self.slab_hits += u32::from(recycled);
             let old = cell
                 .data
-                .swap(Owned::new(value), Ordering::AcqRel, &self.guard);
+                .swap(
+                    Shared::from(ptr as *const T),
+                    Ordering::AcqRel,
+                    self.guard(),
+                )
+                .as_raw();
             // SAFETY: `old` is no longer reachable once swapped out; the bag
             // is flushed before our guard unpins.
-            unsafe { self.retired.defer_destroy(old) };
+            unsafe {
+                self.scratch
+                    .retired
+                    .defer_with(old as *mut (), slab::drop_glue::<T>())
+            };
             return Ok(());
         }
         let old_version = match Orec::decode_raw(o1) {
@@ -400,29 +423,39 @@ impl<'stm> Txn<'stm> {
         if !cell.orec.try_acquire(old_version, self.id) {
             return Err(TxAbort::WriteConflict);
         }
+        let (ptr, recycled) = slab::alloc_value(value);
+        self.slab_hits += u32::from(recycled);
         let old = cell
             .data
-            .swap(Owned::new(value), Ordering::AcqRel, &self.guard);
-        self.writes.push(Box::new(CellWrite::<T> {
-            cell: cell as *const TCell<T>,
-            old_version,
-            old_data: old.as_raw(),
-        }));
+            .swap(
+                Shared::from(ptr as *const T),
+                Ordering::AcqRel,
+                self.guard(),
+            )
+            .as_raw();
+        self.scratch
+            .writes
+            .push(WriteEntry::new(cell as *const TCell<T>, old_version, old));
         Ok(())
     }
 
     fn commit(&mut self) -> TxResult<()> {
-        if self.writes.is_empty() {
+        if self.scratch.writes.is_empty() {
             // Read-only transactions: every read was validated against the
             // read version at the time it executed, so the read set already
             // forms a consistent snapshot and no further work is required.
             self.stm.stats.record_commit(true);
+            self.flush_hot_path_stats();
             self.finished = true;
             return Ok(());
         }
-        let wv = self.stm.clock.tick();
-        if wv != self.rv + 1 {
-            for entry in &self.read_set {
+        let stamp = self.stm.clock.tick(self.rv);
+        if stamp.quiescent {
+            // The clock proved no transaction committed between our read
+            // sample and our tick, so nothing we read can have changed.
+            self.stm.stats.record_validation_skipped();
+        } else {
+            for entry in &self.scratch.read_set {
                 // SAFETY: read-set orecs belong to cells kept alive by the
                 // data structure for at least the duration of the enclosing
                 // transaction closure.
@@ -433,30 +466,66 @@ impl<'stm> Txn<'stm> {
                 }
             }
         }
-        for write in self.writes.drain(..) {
+        let scratch = &mut *self.scratch;
+        for write in scratch.writes.drain(..) {
             // SAFETY: we are the owning transaction and call commit exactly
             // once per entry, with our guard pinned.
-            unsafe { write.commit(&mut self.retired, wv) };
+            unsafe { write.commit(&mut scratch.retired, stamp.wv) };
         }
         // One batched hand-off to the epoch for the whole commit.
-        self.guard.flush_batch(&mut self.retired);
-        self.read_set.clear();
+        let guard = self
+            .guard
+            .as_ref()
+            .expect("committing transaction holds its guard");
+        guard.flush_batch(&mut self.scratch.retired);
         self.stm.stats.record_commit(false);
+        self.flush_hot_path_stats();
         self.finished = true;
         Ok(())
     }
 
+    /// Release the epoch pin and run the attempt's post-commit actions.
+    /// Called only after [`Txn::commit`] succeeded.
+    fn run_post_commit(&mut self) {
+        debug_assert!(self.finished, "post-commit before commit");
+        // Post-commit actions must observe a finished transaction: orecs
+        // released (commit did that) and the epoch pin gone — an action may
+        // run arbitrary code, including new transactions on this runtime.
+        self.guard = None;
+        for action in self.scratch.post_commit.drain(..) {
+            action.invoke();
+        }
+    }
+
     fn rollback(&mut self) {
-        for write in self.writes.drain(..).rev() {
+        let scratch = &mut *self.scratch;
+        let guard = self
+            .guard
+            .as_ref()
+            .expect("rollback of a finished transaction");
+        for write in scratch.writes.drain(..).rev() {
             // SAFETY: we are the owning transaction and call abort exactly
             // once per entry, with our guard pinned.
-            unsafe { write.abort(&self.guard, &mut self.retired) };
+            unsafe { write.abort(guard, &mut scratch.retired) };
         }
-        self.guard.flush_batch(&mut self.retired);
-        self.read_set.clear();
-        // Commit-only side effects die with the attempt.
-        self.post_commit.clear();
+        guard.flush_batch(&mut scratch.retired);
+        // The remaining buffers — read set, dedup filter, unrun post-commit
+        // actions (commit-only side effects die with the attempt) — are
+        // cleared in one place: the scratch lease's reset when this attempt
+        // is dropped.
+        self.flush_hot_path_stats();
         self.finished = true;
+    }
+
+    /// Fold this attempt's locally accumulated counters into the runtime
+    /// statistics (one relaxed add per non-zero counter per attempt, never
+    /// one per operation).
+    fn flush_hot_path_stats(&mut self) {
+        self.stm
+            .stats
+            .record_hot_path(self.dedup_hits, self.slab_hits);
+        self.dedup_hits = 0;
+        self.slab_hits = 0;
     }
 }
 
@@ -491,12 +560,16 @@ impl Drop for Txn<'_> {
         // Defensive: if the transaction body panicked (or was otherwise
         // abandoned) while holding orecs, release them so other threads are
         // not blocked forever.
-        if !self.finished && !self.writes.is_empty() {
+        if !self.finished && !self.scratch.writes.is_empty() {
             self.rollback();
         }
         // Normal paths flush in commit/rollback; this catches bodies that
         // errored after a same-cell overwrite without triggering either.
-        self.guard.flush_batch(&mut self.retired);
+        if let Some(guard) = &self.guard {
+            guard.flush_batch(&mut self.scratch.retired);
+        }
+        // The scratch lease returns the (cleared) buffers to the thread pool
+        // when it drops, after the guard.
     }
 }
 
@@ -507,10 +580,10 @@ mod tests {
     use std::thread;
 
     #[test]
-    fn builder_default_uses_hardware_clock() {
+    fn builder_default_uses_sampled_clock() {
         let stm = Stm::new();
-        assert_eq!(stm.clock_name(), "hardware-tsc");
-        assert_eq!(stm.clock_kind(), ClockKind::Hardware);
+        assert_eq!(stm.clock_name(), "gv5-sampled");
+        assert_eq!(stm.clock_kind(), ClockKind::Sampled);
     }
 
     #[test]
@@ -625,6 +698,67 @@ mod tests {
         assert_eq!(snap.read_only_commits, 0);
         stm.reset_stats();
         assert_eq!(stm.stats().commits, 0);
+    }
+
+    #[test]
+    fn uncontended_writers_skip_validation() {
+        let stm = Stm::new(); // sampled clock
+        let cell = TCell::new(0u64);
+        for i in 0..50u64 {
+            stm.run(|tx| {
+                let v = cell.read(tx)?;
+                cell.write(tx, v + i)
+            });
+        }
+        let snap = stm.stats();
+        assert_eq!(
+            snap.validation_skipped_commits, 50,
+            "every uncontended sampled-clock commit proves quiescence"
+        );
+    }
+
+    #[test]
+    fn hardware_clock_never_skips_validation() {
+        let stm = Stm::with_clock(ClockKind::Hardware);
+        let cell = TCell::new(0u64);
+        for _ in 0..10 {
+            stm.run(|tx| cell.write(tx, 1));
+        }
+        assert_eq!(stm.stats().validation_skipped_commits, 0);
+    }
+
+    #[test]
+    fn repeated_reads_are_deduped() {
+        let stm = Stm::new();
+        let cell = TCell::new(7u64);
+        let total = stm.run(|tx| {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += cell.read(tx)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(total, 700);
+        let snap = stm.stats();
+        assert_eq!(
+            snap.read_dedup_hits, 99,
+            "99 of the 100 reads hit the dedup filter"
+        );
+    }
+
+    #[test]
+    fn slab_recycle_hits_accumulate_under_write_churn() {
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        // Enough commits to cycle retired payloads through the epoch and
+        // back into the slab magazines.
+        for i in 0..2_000u64 {
+            stm.run(|tx| cell.write(tx, i));
+        }
+        assert!(
+            stm.stats().slab_recycle_hits > 0,
+            "steady-state write churn must reuse slab blocks"
+        );
     }
 
     #[test]

@@ -256,6 +256,98 @@ fn txn_alloc_objects_survive_abort_and_rollback() {
     );
 }
 
+/// The slab under churn: contended writers recycle payload blocks across
+/// threads (a block retired by one thread's commit is freed by whichever
+/// thread drives collection and reused by *its* next write), aborted
+/// attempts retire through the rollback glue, non-transactional
+/// `store_atomic` shares the same blocks, and an oversized payload exercises
+/// the `Box` fallback side by side.  Every clone ever made must be dropped
+/// exactly once — a double free into the slab free list would surface here
+/// (and under ASan) as an imbalance or corruption.
+#[test]
+fn slab_recycling_balances_drops_under_cross_thread_churn() {
+    const THREADS: usize = 8;
+    const OPS_PER_THREAD: usize = 2_000;
+    const CELLS: usize = 8;
+
+    let live = Arc::new(AtomicIsize::new(0));
+    let stm = Arc::new(Stm::new());
+    // 24-byte `Balanced` payloads ride the slab; the 1 KiB array cells take
+    // the Box fallback (ineligible size) in the same transactions.  The
+    // `store_cells` are dedicated to non-transactional `store_atomic` /
+    // `load_atomic` traffic (mixing those with transactional writes on one
+    // cell is outside `store_atomic`'s init/teardown contract) — they churn
+    // the same slab classes from a different entry point.
+    let cells: Arc<Vec<TCell<Balanced>>> = Arc::new(
+        (0..CELLS as u64)
+            .map(|i| TCell::new(Balanced::new(&live, i)))
+            .collect(),
+    );
+    let store_cells: Arc<Vec<TCell<Balanced>>> = Arc::new(
+        (0..CELLS as u64)
+            .map(|i| TCell::new(Balanced::new(&live, i)))
+            .collect(),
+    );
+    let big: Arc<TCell<[u8; 1024]>> = Arc::new(TCell::new([0; 1024]));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let cells = Arc::clone(&cells);
+            let store_cells = Arc::clone(&store_cells);
+            let big = Arc::clone(&big);
+            let live = Arc::clone(&live);
+            thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    match (t + i) % 4 {
+                        // Contended transactional writer (conflicts force the
+                        // rollback retirement glue under the hood).
+                        0 | 1 => {
+                            stm.run(|tx| {
+                                let cell = &cells[(t + i) % CELLS];
+                                let current = cell.read(tx)?;
+                                cell.write(tx, Balanced::new(&live, current.value + 1))?;
+                                big.write(tx, [i as u8; 1024])
+                            });
+                        }
+                        // Non-transactional store sharing the same slab.
+                        2 => {
+                            store_cells[(t + i) % CELLS]
+                                .store_atomic(Balanced::new(&live, i as u64));
+                        }
+                        // Reader cloning values out of recycled blocks.
+                        _ => {
+                            let value = store_cells[(t + i) % CELLS].load_atomic();
+                            assert!(value.live.load(Ordering::SeqCst) > 0);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    assert!(
+        stm.stats().slab_recycle_hits > 0,
+        "the churn must actually recycle slab blocks"
+    );
+
+    drop(big);
+    drop(Arc::try_unwrap(cells).unwrap_or_else(|_| panic!("all worker handles joined")));
+    drop(Arc::try_unwrap(store_cells).unwrap_or_else(|_| panic!("all worker handles joined")));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+        drop(epoch::pin());
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "allocation/drop imbalance after slab churn (positive = leak, negative = double free)"
+    );
+}
+
 /// End-to-end churn through the skip hash: inserts and removals retire nodes
 /// and hash-chain vectors through the batched transaction bags while range
 /// queries hold pins; the map must stay consistent throughout.  (Memory

@@ -51,7 +51,7 @@
 //!    collector's registry scan misses this thread, the thread's subsequent
 //!    pointer loads happen after the scan — so the collector cannot free
 //!    memory the thread is about to read.
-//! 2. **In `seal_and_push`**, between the retirement stores (the pointer
+//! 2. **In `seal_local`**, between the retirement stores (the pointer
 //!    swaps that made the garbage unreachable) and the load of the global
 //!    epoch used as the bag's tag.  This is what guarantees the tag is not
 //!    older than the epoch during which the garbage was still reachable.
@@ -116,6 +116,12 @@ struct FreeSlot(*const Slot);
 // slot is leaked) and only dereferenced to re-register a thread.
 unsafe impl Send for FreeSlot {}
 
+/// How many collected `SealedBag` allocations (box + garbage `Vec` capacity)
+/// are parked for reuse by future seals.  Steady-state churn cycles bags
+/// between the local bag, the sealed stack, and this pool without ever
+/// touching the global allocator; the cap only bounds memory after a burst.
+const BAG_POOL_CAP: usize = 32;
+
 struct Registry {
     epoch: PaddedEpoch,
     /// Head of the lock-free intrusive participant list (push-only).
@@ -125,6 +131,14 @@ struct Registry {
     /// Slots of exited threads, reused by new registrations.  Locked only at
     /// thread registration/teardown, never on the pin or defer paths.
     free_slots: Mutex<Vec<FreeSlot>>,
+    /// Collected bags (entries already destroyed, `Vec` capacity retained),
+    /// recycled by the seal paths so steady-state reclamation performs no
+    /// heap allocation.  Locked once per seal / per collected bag — the same
+    /// ~1-in-`BAG_SEAL_THRESHOLD` cadence as the sealed-stack CAS.  The
+    /// `Box` is the recycled artifact itself (bags live on the Treiber stack
+    /// via `Box::into_raw`), so `clippy::vec_box` does not apply.
+    #[allow(clippy::vec_box)]
+    bag_pool: Mutex<Vec<Box<SealedBag>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -134,6 +148,7 @@ fn registry() -> &'static Registry {
         slots: AtomicPtr::new(ptr::null_mut()),
         sealed: AtomicPtr::new(ptr::null_mut()),
         free_slots: Mutex::new(Vec::new()),
+        bag_pool: Mutex::new(Vec::new()),
     })
 }
 
@@ -188,17 +203,23 @@ impl Deferred {
         }
     }
 
+    fn with(ptr: *mut (), drop_fn: unsafe fn(*mut ())) -> Self {
+        Self { ptr, drop_fn }
+    }
+
     fn call(self) {
-        // SAFETY: constructed from a uniquely owned `Box`-allocated pointer,
-        // and `call` runs at most once per retirement.
+        // SAFETY: the retirement contract (`defer_destroy` / `defer_with`)
+        // guarantees the pointer is uniquely owned by the reclamation
+        // machinery, and `call` runs at most once per retirement.
         unsafe { (self.drop_fn)(self.ptr) }
     }
 }
 
-/// Tag `garbage` with the current global epoch and publish it on the
-/// sealed-bag stack (lock-free).
-fn seal_and_push(garbage: Vec<Deferred>) {
-    if garbage.is_empty() {
+/// Seal the contents of `local` (swapping in a recycled, empty `Vec` so the
+/// caller's bag keeps serving pushes without reallocating) and publish them
+/// on the sealed-bag stack, tagged with the current global epoch.
+fn seal_local(local: &mut Vec<Deferred>) {
+    if local.is_empty() {
         return;
     }
     let reg = registry();
@@ -206,11 +227,21 @@ fn seal_and_push(garbage: Vec<Deferred>) {
     // cannot predate the epoch during which the garbage was last reachable.
     fence(Ordering::SeqCst);
     let epoch = reg.epoch.0.load(Ordering::Relaxed);
-    let bag = Box::into_raw(Box::new(SealedBag {
-        epoch,
-        garbage,
-        next: AtomicPtr::new(ptr::null_mut()),
-    }));
+    let bag = match reg.bag_pool.lock().unwrap().pop() {
+        Some(mut bag) => {
+            bag.epoch = epoch;
+            // The recycled bag's garbage Vec is empty with capacity retained;
+            // hand that capacity to the caller's local bag.
+            std::mem::swap(&mut bag.garbage, local);
+            bag.next.store(ptr::null_mut(), Ordering::Relaxed);
+            Box::into_raw(bag)
+        }
+        None => Box::into_raw(Box::new(SealedBag {
+            epoch,
+            garbage: std::mem::take(local),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })),
+    };
     push_sealed(reg, bag);
 }
 
@@ -267,9 +298,15 @@ fn collect_sealed(reg: &Registry, global_epoch: usize) {
         let next = unsafe { (*cursor).next.load(Ordering::Relaxed) };
         let expired = unsafe { (*cursor).epoch + 2 <= global_epoch };
         if expired {
-            let bag = unsafe { Box::from_raw(cursor) };
-            for deferred in bag.garbage {
+            let mut bag = unsafe { Box::from_raw(cursor) };
+            for deferred in bag.garbage.drain(..) {
                 deferred.call();
+            }
+            // Park the emptied allocation (box + Vec capacity) for the next
+            // seal instead of freeing it.
+            let mut pool = reg.bag_pool.lock().unwrap();
+            if pool.len() < BAG_POOL_CAP {
+                pool.push(bag);
             }
         } else {
             push_sealed(reg, cursor);
@@ -299,7 +336,7 @@ impl Local {
     /// free sufficiently old sealed bags.
     fn collect(&mut self) {
         let reg = registry();
-        seal_and_push(std::mem::take(&mut self.bag));
+        seal_local(&mut self.bag);
         let global_epoch = try_advance(reg);
         collect_sealed(reg, global_epoch);
     }
@@ -310,7 +347,7 @@ impl Drop for Local {
         // Publish remaining garbage, go inactive, and donate the slot to the
         // next thread that registers.
         self.slot.state.store(0, Ordering::Release);
-        seal_and_push(std::mem::take(&mut self.bag));
+        seal_local(&mut self.bag);
         registry()
             .free_slots
             .lock()
@@ -429,6 +466,24 @@ impl Bag {
             self.entries.push(Deferred::new(ptr.as_raw()));
         }
     }
+
+    /// Schedule `drop_fn(ptr)` to run once the batch is flushed through a
+    /// guard and no pinned thread can still reference the pointee.
+    ///
+    /// Shim extension for callers whose allocations do not come from
+    /// [`Owned::new`] (e.g. a custom slab): the caller supplies the matching
+    /// reclamation glue instead of the default `Box` drop.
+    ///
+    /// # Safety
+    ///
+    /// Same flushing contract as [`Bag::defer_destroy`]; additionally
+    /// `drop_fn(ptr)` must be safe to call exactly once from any thread after
+    /// the pointee becomes unreachable.
+    pub unsafe fn defer_with(&mut self, ptr: *mut (), drop_fn: unsafe fn(*mut ())) {
+        if !ptr.is_null() {
+            self.entries.push(Deferred::with(ptr, drop_fn));
+        }
+    }
 }
 
 impl Drop for Bag {
@@ -477,13 +532,43 @@ impl Guard {
         let _ = with_local(|local| {
             local.bag.push(deferred);
             if local.bag.len() >= BAG_SEAL_THRESHOLD {
-                seal_and_push(std::mem::take(&mut local.bag));
+                seal_local(&mut local.bag);
+            }
+        });
+    }
+
+    /// Schedule `drop_fn(ptr)` for once no pinned thread can reference the
+    /// pointee (shim extension; the custom-glue sibling of
+    /// [`Guard::defer_destroy`], see [`Bag::defer_with`]).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be unreachable to any thread that is not currently pinned,
+    /// and `drop_fn(ptr)` must be safe to call exactly once from any thread.
+    /// Through an [`unprotected`] guard the glue runs immediately (the caller
+    /// asserts exclusive access).
+    pub unsafe fn defer_with(&self, ptr: *mut (), drop_fn: unsafe fn(*mut ())) {
+        if ptr.is_null() {
+            return;
+        }
+        if !self.active {
+            // Unprotected guard: caller asserts exclusive access.
+            unsafe { drop_fn(ptr) };
+            return;
+        }
+        let deferred = Deferred::with(ptr, drop_fn);
+        let _ = with_local(|local| {
+            local.bag.push(deferred);
+            if local.bag.len() >= BAG_SEAL_THRESHOLD {
+                seal_local(&mut local.bag);
             }
         });
     }
 
     /// Move every retirement in `bag` into the thread-local bag in one
-    /// thread-local access (shim extension; see [`Bag`]).
+    /// thread-local access (shim extension; see [`Bag`]).  The batch keeps
+    /// its capacity, so a pooled bag serves any number of flushes without
+    /// reallocating.
     ///
     /// Through an [`unprotected`] guard the batch is freed immediately
     /// (caller asserts exclusive access, as for `defer_destroy`).
@@ -491,25 +576,22 @@ impl Guard {
         if bag.entries.is_empty() {
             return;
         }
-        let mut entries = std::mem::take(&mut bag.entries);
         if !self.active {
-            for deferred in entries {
+            for deferred in bag.entries.drain(..) {
                 deferred.call();
             }
             return;
         }
         // If thread-local storage is already torn down, leak (same policy as
-        // `defer_destroy`).
+        // `defer_destroy`).  `Vec::append` leaves `bag` empty with its
+        // capacity intact for the next transaction.
         let _ = with_local(|local| {
-            if local.bag.is_empty() {
-                local.bag = entries;
-            } else {
-                local.bag.append(&mut entries);
-            }
+            local.bag.append(&mut bag.entries);
             if local.bag.len() >= BAG_SEAL_THRESHOLD {
-                seal_and_push(std::mem::take(&mut local.bag));
+                seal_local(&mut local.bag);
             }
         });
+        bag.entries.clear();
     }
 }
 
