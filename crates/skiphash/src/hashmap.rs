@@ -10,6 +10,14 @@
 //! holding the bucket's chain.  Updates copy the (short) chain, which keeps
 //! conflicts at bucket granularity — two updates conflict only when they hash
 //! to the same bucket.
+//!
+//! Chains are `Chain`s (see the private `chain` module), not `Vec`s: the
+//! copy-on-write
+//! discipline clones a chain on every read and retires the displaced one on
+//! every update, and with `Vec` buffers each of those paid the global
+//! allocator.  `Chain` buffers come from the structure arena's size-classed
+//! pools, so steady-state map operations recycle the same blocks instead
+//! (`chain_recycle_hits` in `Stm::stats()` shows the effect).
 
 use std::collections::hash_map::RandomState;
 use std::fmt;
@@ -17,11 +25,12 @@ use std::hash::{BuildHasher, Hash};
 
 use skiphash_stm::{TCell, TxResult, Txn};
 
+use crate::chain::Chain;
 use crate::MapValue;
 
 /// A fixed-capacity, closed-addressing (chained) transactional hash map.
 pub struct TxHashMap<K, T> {
-    buckets: Vec<TCell<Vec<(K, T)>>>,
+    buckets: Vec<TCell<Chain<K, T>>>,
     hasher: RandomState,
 }
 
@@ -46,7 +55,9 @@ where
     pub fn new(bucket_count: usize) -> Self {
         assert!(bucket_count > 0, "bucket count must be positive");
         Self {
-            buckets: (0..bucket_count).map(|_| TCell::new(Vec::new())).collect(),
+            buckets: (0..bucket_count)
+                .map(|_| TCell::new(Chain::new()))
+                .collect(),
             hasher: RandomState::new(),
         }
     }
@@ -56,25 +67,42 @@ where
         self.buckets.len()
     }
 
-    fn bucket_for(&self, key: &K) -> &TCell<Vec<(K, T)>> {
+    fn bucket_for(&self, key: &K) -> &TCell<Chain<K, T>> {
         let hash = self.hasher.hash_one(key);
         let index = (hash % self.buckets.len() as u64) as usize;
         &self.buckets[index]
     }
 
     /// Transactionally look up `key`.
+    ///
+    /// Reads the bucket through `read_with`, so only the matching value is
+    /// cloned — never the chain buffer.
     #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn get(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Option<T>> {
-        let chain = self.bucket_for(key).read(tx)?;
-        Ok(chain.into_iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        self.bucket_for(key).read_with(tx, |chain| {
+            chain
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, value)| value.clone())
+        })
     }
 
-    /// Transactionally check for `key` without cloning the mapped value's
-    /// chain entry.
+    /// Transactionally check for `key` without cloning anything.
     #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn contains(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<bool> {
-        let chain = self.bucket_for(key).read(tx)?;
-        Ok(chain.iter().any(|(k, _)| k == key))
+        self.bucket_for(key)
+            .read_with(tx, |chain| chain.iter().any(|(k, _)| k == key))
+    }
+
+    /// Transactionally collect every key (test helper; `O(buckets + n)`).
+    pub fn keys(&self, tx: &mut Txn<'_>) -> TxResult<Vec<K>> {
+        let mut out = Vec::new();
+        for bucket in &self.buckets {
+            let keys: Vec<K> =
+                bucket.read_with(tx, |chain| chain.iter().map(|(k, _)| k.clone()).collect())?;
+            out.extend(keys);
+        }
+        Ok(out)
     }
 
     /// Transactionally insert `key -> value` **only if `key` is absent**,
@@ -139,17 +167,6 @@ where
             total += bucket.read(tx)?.len();
         }
         Ok(total)
-    }
-
-    /// Transactionally collect every key (test helper; `O(buckets + n)`).
-    pub fn keys(&self, tx: &mut Txn<'_>) -> TxResult<Vec<K>> {
-        let mut out = Vec::new();
-        for bucket in &self.buckets {
-            for (k, _) in bucket.read(tx)? {
-                out.push(k);
-            }
-        }
-        Ok(out)
     }
 
     /// Average chain length over non-empty buckets (reporting helper used to

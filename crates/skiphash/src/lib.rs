@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+mod chain;
 pub mod config;
 pub mod hashmap;
 pub mod map;

@@ -11,11 +11,11 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use skiphash_stm::{StatsSnapshot, Stm, Txn};
+use skiphash_stm::{StatsSnapshot, Stm, TCell, Txn};
 
 use crate::config::{Config, RemovalPolicy, SkipHashBuilder};
 use crate::hashmap::TxHashMap;
-use crate::node::Node;
+use crate::node::NodeRef;
 use crate::rqc::{DeferralBuffer, Rqc};
 use crate::skiplist::SkipList;
 use crate::thread_slots;
@@ -109,18 +109,66 @@ impl PopulationCounter {
     }
 }
 
+/// The *transactional* sharded population counter backing
+/// [`crate::TxView::len`].
+///
+/// Same sharding idea as [`PopulationCounter`], but the shards are
+/// [`TCell`]s bumped *inside* the inserting/removing transaction, so a
+/// caller-owned transaction can read a linearizable count in `O(shards)`
+/// instead of walking level 0 in `O(n)`.  The costs, by design:
+///
+/// * every update carries one extra read + write (its own thread's shard) in
+///   its sets — two live threads conflict only if the slot table folds them
+///   onto one shard;
+/// * a transactional `len` reads every shard, so it conflicts with any
+///   concurrent update — inherent to a linearizable count.
+///
+/// Shards may individually go negative (a thread can remove keys another
+/// thread inserted); only the transactionally consistent sum is meaningful,
+/// and that sum is always the true population.
+pub(crate) struct TxPopulation {
+    shards: Box<[CachePadded<TCell<i64>>]>,
+}
+
+impl TxPopulation {
+    fn new() -> Self {
+        Self {
+            shards: (0..thread_slots::slot_table_size())
+                .map(|_| CachePadded::new(TCell::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Add `delta` to the calling thread's shard, inside `tx`.
+    pub(crate) fn bump(&self, tx: &mut Txn<'_>, delta: i64) -> skiphash_stm::TxResult<()> {
+        let cell = &self.shards[thread_slots::current_slot() & (self.shards.len() - 1)];
+        let current = cell.read(tx)?;
+        cell.write(tx, current + delta)
+    }
+
+    /// The transactionally consistent population, in `O(shards)` reads.
+    pub(crate) fn sum(&self, tx: &mut Txn<'_>) -> skiphash_stm::TxResult<i64> {
+        let mut total = 0i64;
+        for shard in self.shards.iter() {
+            total += shard.read(tx)?;
+        }
+        Ok(total)
+    }
+}
+
 /// The skip hash's state, shared between the public handle, transactional
 /// views, and post-commit actions (which capture an `Arc` of it so deferred
 /// effects stay valid however long the caller's transaction lives).
 pub(crate) struct Inner<K: MapKey, V: MapValue> {
     pub(crate) stm: Arc<Stm>,
     pub(crate) skiplist: SkipList<K, V>,
-    pub(crate) index: TxHashMap<K, Arc<Node<K, V>>>,
+    pub(crate) index: TxHashMap<K, NodeRef<K, V>>,
     pub(crate) rqc: Rqc<K, V>,
     pub(crate) buffer: DeferralBuffer<K, V>,
     pub(crate) config: Config,
     pub(crate) range_counters: RangeCounters,
     pub(crate) population: PopulationCounter,
+    pub(crate) tx_population: TxPopulation,
 }
 
 impl<K: MapKey, V: MapValue> Inner<K, V> {
@@ -131,8 +179,8 @@ impl<K: MapKey, V: MapValue> Inner<K, V> {
     pub(crate) fn after_remove(
         &self,
         tx: &mut Txn<'_>,
-        node: Arc<Node<K, V>>,
-    ) -> skiphash_stm::TxResult<Option<Arc<Node<K, V>>>> {
+        node: NodeRef<K, V>,
+    ) -> skiphash_stm::TxResult<Option<NodeRef<K, V>>> {
         if self.rqc.can_unstitch_now(tx, &node)? {
             self.skiplist.unstitch(tx, &node)?;
             return Ok(None);
@@ -149,13 +197,13 @@ impl<K: MapKey, V: MapValue> Inner<K, V> {
     /// Push a node whose unstitching must be deferred into the calling
     /// thread's buffer, flushing the buffer to the RQC when it fills up.
     /// Runs *outside* any transaction (from a post-commit action).
-    pub(crate) fn buffer_deferred_node(&self, node: Arc<Node<K, V>>) {
+    pub(crate) fn buffer_deferred_node(&self, node: NodeRef<K, V>) {
         if let Some(batch) = self.buffer.push(node) {
             self.flush_deferred_batch(batch);
         }
     }
 
-    pub(crate) fn flush_deferred_batch(&self, batch: Vec<Arc<Node<K, V>>>) {
+    pub(crate) fn flush_deferred_batch(&self, batch: Vec<NodeRef<K, V>>) {
         if batch.is_empty() {
             return;
         }
@@ -275,6 +323,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                 config,
                 range_counters: RangeCounters::new(),
                 population: PopulationCounter::new(),
+                tx_population: TxPopulation::new(),
             }),
         }
     }
@@ -608,6 +657,16 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                 return Ok(Err(format!(
                     "hash map has {} keys but skip list has {} present keys",
                     from_map.len(),
+                    from_list.len()
+                )));
+            }
+            // The transactional sharded counter is read in the same
+            // transaction as the walk, so the two must agree exactly.
+            let tx_counted = inner.tx_population.sum(tx)?;
+            if tx_counted < 0 || tx_counted as usize != from_list.len() {
+                return Ok(Err(format!(
+                    "transactional population counter reports {tx_counted} keys \
+                     but {} are present",
                     from_list.len()
                 )));
             }

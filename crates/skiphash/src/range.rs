@@ -20,13 +20,12 @@ use std::iter::FusedIterator;
 use std::ops::Bound as StdBound;
 use std::ops::RangeBounds;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 use skiphash_stm::{TxResult, Txn};
 
 use crate::config::RangePolicy;
 use crate::map::{Inner, SkipHash};
-use crate::node::{Bound as NodeBound, Node};
+use crate::node::{Bound as NodeBound, NodeRef};
 use crate::{MapKey, MapValue};
 
 /// An owned iterator over one linearizable range-query snapshot, in
@@ -268,7 +267,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         // gathered so far and the current safe node are retained, so the next
         // attempt resumes exactly where the previous one stopped.
         let mut collected: Vec<(K, V)> = Vec::new();
-        let mut node: Arc<Node<K, V>> = start_node;
+        let mut node: NodeRef<K, V> = start_node;
         inner.stm.run(|tx| {
             while !node.is_tail() && end_allows(&node.bound, end) {
                 let value = node.read_value(tx)?;
@@ -301,9 +300,9 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     fn next_safe(
         &self,
         tx: &mut Txn<'_>,
-        node: &Arc<Node<K, V>>,
+        node: &NodeRef<K, V>,
         version: u64,
-    ) -> TxResult<Arc<Node<K, V>>> {
+    ) -> TxResult<NodeRef<K, V>> {
         let mut candidate = node.succ0(tx)?;
         while !Self::is_safe(tx, &candidate, version)? {
             candidate = candidate.succ0(tx)?;
@@ -314,7 +313,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// §4.3's safety test: sentinels are always safe; a node is safe for a
     /// query with version `version` iff it was inserted before the query
     /// began and was not logically deleted before the query began.
-    fn is_safe(tx: &mut Txn<'_>, node: &Arc<Node<K, V>>, version: u64) -> TxResult<bool> {
+    fn is_safe(tx: &mut Txn<'_>, node: &NodeRef<K, V>, version: u64) -> TxResult<bool> {
         if node.is_sentinel() {
             return Ok(true);
         }

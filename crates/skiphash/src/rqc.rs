@@ -22,7 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use skiphash_stm::{TCell, TxResult, Txn};
 
-use crate::node::Node;
+use crate::node::NodeRef;
 use crate::thread_slots;
 use crate::{MapKey, MapValue};
 
@@ -32,7 +32,7 @@ pub struct RangeOp<K, V> {
     pub ver: u64,
     /// Logically deleted nodes whose unstitching is deferred until this query
     /// (or one of its predecessors) completes.
-    pub deferred: TCell<Vec<Arc<Node<K, V>>>>,
+    pub deferred: TCell<Vec<NodeRef<K, V>>>,
 }
 
 impl<K, V> fmt::Debug for RangeOp<K, V> {
@@ -105,7 +105,7 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
     /// True when `node` can be physically unstitched right away: either no
     /// slow-path range query is in flight, or the node was inserted after the
     /// most recent one began (so no in-flight query treats it as safe).
-    pub fn can_unstitch_now(&self, tx: &mut Txn<'_>, node: &Arc<Node<K, V>>) -> TxResult<bool> {
+    pub fn can_unstitch_now(&self, tx: &mut Txn<'_>, node: &NodeRef<K, V>) -> TxResult<bool> {
         let ops = self.range_ops.read(tx)?;
         match ops.last() {
             None => Ok(true),
@@ -116,7 +116,7 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
     /// Hand `node` to the most recent in-flight range query (`after_remove`'s
     /// deferral branch).  The caller must have established, in this same
     /// transaction, that immediate unstitching is not allowed.
-    pub fn defer_to_latest(&self, tx: &mut Txn<'_>, node: Arc<Node<K, V>>) -> TxResult<()> {
+    pub fn defer_to_latest(&self, tx: &mut Txn<'_>, node: NodeRef<K, V>) -> TxResult<()> {
         let ops = self.range_ops.read(tx)?;
         let latest = ops
             .last()
@@ -134,7 +134,7 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
     pub fn defer_batch_to_latest(
         &self,
         tx: &mut Txn<'_>,
-        batch: &[Arc<Node<K, V>>],
+        batch: &[NodeRef<K, V>],
     ) -> TxResult<bool> {
         let ops = self.range_ops.read(tx)?;
         match ops.last() {
@@ -155,7 +155,7 @@ impl<K: MapKey, V: MapValue> Rqc<K, V> {
     /// nodes are passed *backwards* to that query instead, and the returned
     /// vector is empty; every deferred node is therefore reclaimed
     /// eventually.
-    pub fn after_range(&self, tx: &mut Txn<'_>, ver: u64) -> TxResult<Vec<Arc<Node<K, V>>>> {
+    pub fn after_range(&self, tx: &mut Txn<'_>, ver: u64) -> TxResult<Vec<NodeRef<K, V>>> {
         let mut ops = self.range_ops.read(tx)?;
         let index = ops
             .iter()
@@ -200,7 +200,7 @@ pub struct DeferralBuffer<K, V> {
 }
 
 /// A batch of logically deleted nodes awaiting physical unstitching.
-pub type DeferredBatch<K, V> = Vec<Arc<Node<K, V>>>;
+pub type DeferredBatch<K, V> = Vec<NodeRef<K, V>>;
 
 impl<K, V> fmt::Debug for DeferralBuffer<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -235,7 +235,7 @@ impl<K: MapKey, V: MapValue> DeferralBuffer<K, V> {
 
     /// Add `node` to the calling thread's slot.  Returns the full batch when
     /// the slot reached capacity and must now be handed to the RQC.
-    pub fn push(&self, node: Arc<Node<K, V>>) -> Option<Vec<Arc<Node<K, V>>>> {
+    pub fn push(&self, node: NodeRef<K, V>) -> Option<Vec<NodeRef<K, V>>> {
         // Leased indices are dense over live threads, so the mask only folds
         // indices when more threads are alive than the table has slots.
         let slot = &self.slots[thread_slots::current_slot() & (self.slots.len() - 1)];
@@ -250,7 +250,7 @@ impl<K: MapKey, V: MapValue> DeferralBuffer<K, V> {
 
     /// Remove and return every buffered node from every slot (used at
     /// teardown and by tests).
-    pub fn drain_all(&self) -> Vec<Arc<Node<K, V>>> {
+    pub fn drain_all(&self) -> Vec<NodeRef<K, V>> {
         let mut all = Vec::new();
         for slot in &self.slots {
             all.append(&mut slot.lock());
@@ -272,9 +272,10 @@ impl<K: MapKey, V: MapValue> DeferralBuffer<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Node;
     use skiphash_stm::Stm;
 
-    fn node(key: u64, i_time: u64) -> Arc<Node<u64, u64>> {
+    fn node(key: u64, i_time: u64) -> NodeRef<u64, u64> {
         Node::new(key, key, 1, i_time)
     }
 
@@ -317,10 +318,10 @@ mod tests {
         let rqc: Rqc<u64, u64> = Rqc::new();
         let ver = stm.run(|tx| rqc.on_range(tx));
         let n = node(1, 0);
-        stm.run(|tx| rqc.defer_to_latest(tx, Arc::clone(&n)));
+        stm.run(|tx| rqc.defer_to_latest(tx, n.clone()));
         let removals = stm.run(|tx| rqc.after_range(tx, ver));
         assert_eq!(removals.len(), 1);
-        assert!(Arc::ptr_eq(&removals[0], &n));
+        assert!(NodeRef::ptr_eq(&removals[0], &n));
         assert_eq!(rqc.active_queries(), 0);
     }
 
@@ -331,7 +332,7 @@ mod tests {
         let v1 = stm.run(|tx| rqc.on_range(tx));
         let v2 = stm.run(|tx| rqc.on_range(tx));
         let n = node(1, 0);
-        stm.run(|tx| rqc.defer_to_latest(tx, Arc::clone(&n)));
+        stm.run(|tx| rqc.defer_to_latest(tx, n.clone()));
         // Finishing the newer query must not release the node...
         let removals = stm.run(|tx| rqc.after_range(tx, v2));
         assert!(removals.is_empty());
@@ -339,7 +340,7 @@ mod tests {
         // ...but finishing the older one must.
         let removals = stm.run(|tx| rqc.after_range(tx, v1));
         assert_eq!(removals.len(), 1);
-        assert!(Arc::ptr_eq(&removals[0], &n));
+        assert!(NodeRef::ptr_eq(&removals[0], &n));
     }
 
     #[test]

@@ -4,28 +4,103 @@
 //! an STM transaction, so the list can be doubly linked: each node knows its
 //! predecessor and successor at every level, which is what lets `remove`
 //! unstitch a node in `O(height)` without re-traversing from the head.
+//!
+//! Nodes are arena-pooled [`NodeRef`]s (see [`crate::node`]); traversals use
+//! the stack-allocated [`LevelNodes`] scratch, so neither inserting a node
+//! nor locating one touches the global allocator in the steady state.
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
 
 use rand::Rng;
 use skiphash_stm::{TxResult, Txn};
 
-use crate::node::{Bound, Node};
+use crate::node::{Bound, Node, NodeRef, RawNode};
 use crate::{MapKey, MapValue};
+
+/// Upper bound on tower heights, and the inline capacity of [`LevelNodes`]
+/// ([`crate::SkipHashBuilder::max_level`] rejects anything at or above it).
+pub const MAX_LEVEL_LIMIT: usize = 64;
 
 /// One node per level, indexed by level (as returned by
 /// [`SkipList::find_position`]).
-pub type LevelNodes<K, V> = Vec<Arc<Node<K, V>>>;
+///
+/// A fixed-capacity inline array rather than a `Vec`: `find_position` runs
+/// on every insert and ordered point query, and two heap-allocated vectors
+/// per traversal would put the allocator right back on the paths the arena
+/// just took it off.  Capacity is [`MAX_LEVEL_LIMIT`]; the live prefix is
+/// `max_level` entries.  Dereferences to `[NodeRef<K, V>]`.
+pub struct LevelNodes<K, V> {
+    slots: [MaybeUninit<NodeRef<K, V>>; MAX_LEVEL_LIMIT],
+    len: usize,
+}
+
+impl<K, V> LevelNodes<K, V> {
+    /// Build by upgrading one borrowed handle per level.
+    ///
+    /// # Safety
+    ///
+    /// Every handle must satisfy the [`RawNode`] validity contract (obtained
+    /// under the still-running transaction attempt).
+    unsafe fn from_raw(raw: &[Option<RawNode<K, V>>]) -> Self {
+        assert!(raw.len() <= MAX_LEVEL_LIMIT);
+        let mut out = Self {
+            slots: [const { MaybeUninit::uninit() }; MAX_LEVEL_LIMIT],
+            len: 0,
+        };
+        for handle in raw {
+            let handle = handle.expect("every level was resolved by the search");
+            // SAFETY: forwarded from this function's contract; `len` tracks
+            // initialization so a panic drops exactly the written prefix.
+            out.slots[out.len].write(unsafe { handle.upgrade() });
+            out.len += 1;
+        }
+        out
+    }
+}
+
+impl<K, V> Deref for LevelNodes<K, V> {
+    type Target = [NodeRef<K, V>];
+
+    fn deref(&self) -> &[NodeRef<K, V>] {
+        // SAFETY: the first `len` slots are always initialized.
+        unsafe { &*(std::ptr::from_ref(&self.slots[..self.len]) as *const [NodeRef<K, V>]) }
+    }
+}
+
+impl<K, V> DerefMut for LevelNodes<K, V> {
+    fn deref_mut(&mut self) -> &mut [NodeRef<K, V>] {
+        // SAFETY: as `deref`, plus exclusivity from `&mut self`.
+        unsafe { &mut *(std::ptr::from_mut(&mut self.slots[..self.len]) as *mut [NodeRef<K, V>]) }
+    }
+}
+
+impl<K, V> Drop for LevelNodes<K, V> {
+    fn drop(&mut self) {
+        for slot in &mut self.slots[..self.len] {
+            // SAFETY: the live prefix is initialized and dropped exactly once.
+            unsafe { slot.assume_init_drop() };
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for LevelNodes<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LevelNodes")
+            .field("len", &self.len)
+            .finish()
+    }
+}
 
 /// A doubly linked skip list whose nodes map keys to values.
 ///
 /// All methods must be called inside a transaction; the enclosing
 /// [`crate::SkipHash`] drives them.
 pub struct SkipList<K, V> {
-    head: Arc<Node<K, V>>,
-    tail: Arc<Node<K, V>>,
+    head: NodeRef<K, V>,
+    tail: NodeRef<K, V>,
     max_level: usize,
 }
 
@@ -42,11 +117,15 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// stitched together at every level.
     pub fn new(max_level: usize) -> Self {
         assert!(max_level >= 1, "skip list needs at least one level");
+        assert!(
+            max_level <= MAX_LEVEL_LIMIT,
+            "skip list supports at most {MAX_LEVEL_LIMIT} levels"
+        );
         let head = Node::sentinel(Bound::NegInf, max_level);
         let tail = Node::sentinel(Bound::PosInf, max_level);
         for level in 0..max_level {
-            head.tower[level].succ.store_atomic(Some(Arc::clone(&tail)));
-            tail.tower[level].pred.store_atomic(Some(Arc::clone(&head)));
+            head.level(level).succ.store_atomic(Some(tail.clone()));
+            tail.level(level).pred.store_atomic(Some(head.clone()));
         }
         Self {
             head,
@@ -56,12 +135,12 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     }
 
     /// The head sentinel.
-    pub fn head(&self) -> &Arc<Node<K, V>> {
+    pub fn head(&self) -> &NodeRef<K, V> {
         &self.head
     }
 
     /// The tail sentinel.
-    pub fn tail(&self) -> &Arc<Node<K, V>> {
+    pub fn tail(&self) -> &NodeRef<K, V> {
         &self.tail
     }
 
@@ -83,46 +162,62 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// Find, at every level, the last node whose key is strictly less than
     /// `key` (the "predecessor") and its successor at that level.
     ///
-    /// Returned vectors are indexed by level and have `max_level` entries.
+    /// Returned scratches are indexed by level and have `max_level` entries.
     pub fn find_position(
         &self,
         tx: &mut Txn<'_>,
         key: &K,
     ) -> TxResult<(LevelNodes<K, V>, LevelNodes<K, V>)> {
-        let mut preds = Vec::with_capacity(self.max_level);
-        let mut succs = Vec::with_capacity(self.max_level);
-        preds.resize(self.max_level, Arc::clone(&self.head));
-        succs.resize(self.max_level, Arc::clone(&self.tail));
+        // Hop with borrowed handles: a search crosses dozens of links, and
+        // cloning a counted handle per hop (increment now, decrement next
+        // hop) made refcount traffic the dominant traversal cost.  Links are
+        // read through `read_with` (no payload clone) into `RawNode`s, and
+        // only the two per-level results are upgraded to counted handles.
+        //
+        // SAFETY (for every `node()` and the final `from_raw`): each handle
+        // was read through a cell inside this same attempt `tx`, whose epoch
+        // guard stays pinned for the whole function — the RawNode validity
+        // contract.
+        let mut raw_preds: [Option<RawNode<K, V>>; MAX_LEVEL_LIMIT] = [None; MAX_LEVEL_LIMIT];
+        let mut raw_succs: [Option<RawNode<K, V>>; MAX_LEVEL_LIMIT] = [None; MAX_LEVEL_LIMIT];
 
-        let mut pred = Arc::clone(&self.head);
+        let mut pred = RawNode::from_ref(&self.head);
         for level in (0..self.max_level).rev() {
-            let mut curr = pred.tower[level]
+            let mut curr = unsafe { pred.node() }
+                .level(level)
                 .succ
-                .read(tx)?
+                .read_with(tx, RawNode::from_link)?
                 .expect("levels are always terminated by the tail sentinel");
-            while curr.bound.is_before(key) {
-                pred = Arc::clone(&curr);
-                curr = curr.tower[level]
+            while unsafe { curr.node() }.bound.is_before(key) {
+                pred = curr;
+                curr = unsafe { curr.node() }
+                    .level(level)
                     .succ
-                    .read(tx)?
+                    .read_with(tx, RawNode::from_link)?
                     .expect("levels are always terminated by the tail sentinel");
             }
-            preds[level] = Arc::clone(&pred);
-            succs[level] = curr;
+            raw_preds[level] = Some(pred);
+            raw_succs[level] = Some(curr);
         }
-        Ok((preds, succs))
+        // SAFETY: as above — the attempt is still running.
+        unsafe {
+            Ok((
+                LevelNodes::from_raw(&raw_preds[..self.max_level]),
+                LevelNodes::from_raw(&raw_succs[..self.max_level]),
+            ))
+        }
     }
 
     /// First node (logically present *or* deleted) whose key is `>= key`,
     /// possibly the tail sentinel.
-    pub fn ceil_raw(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+    pub fn ceil_raw(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
         let (_, succs) = self.find_position(tx, key)?;
-        Ok(Arc::clone(&succs[0]))
+        Ok(succs[0].clone())
     }
 
     /// First *logically present* node whose key is `>= key`, possibly the
     /// tail sentinel.
-    pub fn ceil_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+    pub fn ceil_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
         let mut node = self.ceil_raw(tx, key)?;
         while !node.is_tail() && node.is_logically_deleted(tx)? {
             node = node.succ0(tx)?;
@@ -132,7 +227,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
 
     /// First logically present node whose key is strictly `> key`, possibly
     /// the tail sentinel.
-    pub fn succ_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+    pub fn succ_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
         let mut node = self.ceil_raw(tx, key)?;
         while !node.is_tail()
             && (node.is_logically_deleted(tx)? || node.bound.cmp_key(key) == Ordering::Equal)
@@ -145,7 +240,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// Last logically present node whose key is `<= key`, possibly the head
     /// sentinel.  Uses the predecessor links (this is where double linking
     /// pays off for `floor`/`pred` point queries).
-    pub fn floor_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+    pub fn floor_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
         // A logically present node with this exact key may sit *after*
         // logically deleted nodes with the same key, so resolve equality via
         // `ceil_present` before falling back to the strict predecessor.
@@ -158,14 +253,16 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
 
     /// Last logically present node whose key is strictly `< key`, possibly
     /// the head sentinel.
-    pub fn pred_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Arc<Node<K, V>>> {
+    pub fn pred_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
         let raw = self.ceil_raw(tx, key)?;
-        let mut node = raw.tower[0]
+        let mut node = raw
+            .level(0)
             .pred
             .read(tx)?
             .expect("interior nodes always have a level-0 predecessor");
         while !node.is_head() && node.is_logically_deleted(tx)? {
-            node = node.tower[0]
+            node = node
+                .level(0)
                 .pred
                 .read(tx)?
                 .expect("interior nodes always have a level-0 predecessor");
@@ -174,7 +271,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     }
 
     /// First logically present node in the list (possibly the tail sentinel).
-    pub fn first_present(&self, tx: &mut Txn<'_>) -> TxResult<Arc<Node<K, V>>> {
+    pub fn first_present(&self, tx: &mut Txn<'_>) -> TxResult<NodeRef<K, V>> {
         let mut node = self.head.succ0(tx)?;
         while !node.is_tail() && node.is_logically_deleted(tx)? {
             node = node.succ0(tx)?;
@@ -196,7 +293,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         value: V,
         height: usize,
         i_time: u64,
-    ) -> TxResult<Arc<Node<K, V>>> {
+    ) -> TxResult<NodeRef<K, V>> {
         debug_assert!(height >= 1 && height <= self.max_level);
         let (mut preds, mut succs) = self.find_position(tx, &key)?;
 
@@ -204,38 +301,43 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         // new node lands after them.
         for level in 0..height {
             loop {
-                let succ = Arc::clone(&succs[level]);
-                if succ.is_tail() || succ.bound.cmp_key(&key) != Ordering::Equal {
+                if succs[level].is_tail() || succs[level].bound.cmp_key(&key) != Ordering::Equal {
                     break;
                 }
-                let next = succ.tower[level]
+                let next = succs[level]
+                    .level(level)
                     .succ
                     .read(tx)?
                     .expect("levels are always terminated by the tail sentinel");
-                preds[level] = succ;
-                succs[level] = next;
+                preds[level] = std::mem::replace(&mut succs[level], next);
             }
         }
 
-        // The node's own cells are written below while nothing else references
-        // it; allocating through the transaction keeps it alive through a
-        // potential rollback (and cannot be forgotten, unlike `keep_alive`).
-        let node = tx.alloc(Node::fresh(key, value, height, i_time));
+        // The node's own cells are written below while nothing else
+        // references it.  No `Txn::keep_alive` registration is needed (the
+        // `Arc` design required one): if this attempt aborts after the link
+        // writes, the handle dropped at the end of the body retires the
+        // block through the epoch *under this attempt's pin*, so the block
+        // provably outlives the rollback that restores these cells — see the
+        // lifetime rules in `crate::node`.
+        let node = Node::new(key, value, height, i_time);
         for level in 0..height {
-            node.tower[level]
+            node.level(level)
                 .pred
-                .write(tx, Some(Arc::clone(&preds[level])))?;
-            node.tower[level]
+                .write(tx, Some(preds[level].clone()))?;
+            node.level(level)
                 .succ
-                .write(tx, Some(Arc::clone(&succs[level])))?;
+                .write(tx, Some(succs[level].clone()))?;
         }
         for level in 0..height {
-            preds[level].tower[level]
+            preds[level]
+                .level(level)
                 .succ
-                .write(tx, Some(Arc::clone(&node)))?;
-            succs[level].tower[level]
+                .write(tx, Some(node.clone()))?;
+            succs[level]
+                .level(level)
                 .pred
-                .write(tx, Some(Arc::clone(&node)))?;
+                .write(tx, Some(node.clone()))?;
         }
         Ok(node)
     }
@@ -245,19 +347,21 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// Thanks to the predecessor links this is `O(height)`: no traversal from
     /// the head is required.  The node's own links are left intact so that a
     /// slow-path range query paused on it can still move forward.
-    pub fn unstitch(&self, tx: &mut Txn<'_>, node: &Arc<Node<K, V>>) -> TxResult<()> {
+    pub fn unstitch(&self, tx: &mut Txn<'_>, node: &NodeRef<K, V>) -> TxResult<()> {
         debug_assert!(!node.is_sentinel(), "sentinels are never unstitched");
         for level in 0..node.height {
-            let pred = node.tower[level]
+            let pred = node
+                .level(level)
                 .pred
                 .read(tx)?
                 .expect("linked nodes always have predecessors");
-            let succ = node.tower[level]
+            let succ = node
+                .level(level)
                 .succ
                 .read(tx)?
                 .expect("linked nodes always have successors");
-            pred.tower[level].succ.write(tx, Some(Arc::clone(&succ)))?;
-            succ.tower[level].pred.write(tx, Some(pred))?;
+            pred.level(level).succ.write(tx, Some(succ.clone()))?;
+            succ.level(level).pred.write(tx, Some(pred))?;
         }
         Ok(())
     }
@@ -298,17 +402,19 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     pub fn check_invariants(&self, tx: &mut Txn<'_>) -> TxResult<Result<(), String>> {
         // Level 0 ordering + doubly-linked consistency on all levels.
         for level in 0..self.max_level {
-            let mut prev = Arc::clone(&self.head);
-            let mut curr = prev.tower[level]
+            let mut prev = self.head.clone();
+            let mut curr = prev
+                .level(level)
                 .succ
                 .read(tx)?
                 .expect("levels are always terminated by the tail sentinel");
             loop {
-                let back = curr.tower[level]
+                let back = curr
+                    .level(level)
                     .pred
                     .read(tx)?
                     .expect("linked nodes always have predecessors");
-                if !Arc::ptr_eq(&back, &prev) {
+                if !NodeRef::ptr_eq(&back, &prev) {
                     return Ok(Err(format!("level {level}: pred link mismatch")));
                 }
                 if !prev.is_head() && !curr.is_tail() {
@@ -323,8 +429,9 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                 if curr.is_tail() {
                     break;
                 }
-                prev = Arc::clone(&curr);
-                curr = curr.tower[level]
+                prev = curr.clone();
+                curr = curr
+                    .level(level)
                     .succ
                     .read(tx)?
                     .expect("levels are always terminated by the tail sentinel");
@@ -335,19 +442,22 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         let mut level0 = Vec::new();
         let mut node = self.head.succ0(tx)?;
         while !node.is_tail() {
-            level0.push(Arc::clone(&node));
+            level0.push(node.clone());
             node = node.succ0(tx)?;
         }
         for level in 1..self.max_level {
-            let mut node = self.head.tower[level]
+            let mut node = self
+                .head
+                .level(level)
                 .succ
                 .read(tx)?
                 .expect("levels are always terminated by the tail sentinel");
             while !node.is_tail() {
-                if !level0.iter().any(|n| Arc::ptr_eq(n, &node)) {
+                if !level0.iter().any(|n| NodeRef::ptr_eq(n, &node)) {
                     return Ok(Err(format!("level {level}: node missing from level 0")));
                 }
-                node = node.tower[level]
+                node = node
+                    .level(level)
                     .succ
                     .read(tx)?
                     .expect("levels are always terminated by the tail sentinel");
@@ -359,9 +469,9 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// Sever every link in the list (teardown helper used by
     /// [`crate::SkipHash`]'s `Drop` to break reference cycles).
     pub fn sever_all(&self) {
-        let mut current = Arc::clone(&self.head);
+        let mut current = self.head.clone();
         loop {
-            let next = current.tower[0].succ.load_atomic();
+            let next = current.level(0).succ.load_atomic();
             current.sever_links();
             match next {
                 Some(n) => current = n,
@@ -498,7 +608,10 @@ mod tests {
         let order = stm.run(|tx| {
             let first = list.head().succ0(tx)?;
             let second = first.succ0(tx)?;
-            Ok((Arc::ptr_eq(&first, &old), Arc::ptr_eq(&second, &fresh)))
+            Ok((
+                NodeRef::ptr_eq(&first, &old),
+                NodeRef::ptr_eq(&second, &fresh),
+            ))
         });
         assert_eq!(order, (true, true));
         // Present view only sees the fresh value.
@@ -518,10 +631,38 @@ mod tests {
     }
 
     #[test]
+    fn aborted_insert_rolls_back_without_keepalive() {
+        // The rollback-through-freed-cells hazard the Arc design guarded
+        // against with `Txn::keep_alive`: abort an insert *after* its link
+        // writes and make sure the undo walk (which touches the dead node's
+        // own cells) is sound and the list is unchanged.
+        let stm = Stm::new();
+        let list: SkipList<u64, u64> = SkipList::new(8);
+        stm.run(|tx| {
+            list.insert_after_logical_deletes(tx, 10, 100, 4, 0)
+                .map(|_| ())
+        });
+        let mut first = true;
+        stm.run(|tx| {
+            let _node = list.insert_after_logical_deletes(tx, 20, 200, 8, 0)?;
+            if first {
+                first = false;
+                // `_node` (the only handle) drops at the end of this body,
+                // before the rollback runs.
+                return tx.abort();
+            }
+            Ok(())
+        });
+        let pairs = stm.run(|tx| list.collect_present(tx));
+        assert_eq!(pairs, vec![(10, 100), (20, 200)]);
+        assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
+    }
+
+    #[test]
     fn sever_all_breaks_cycles() {
         let stm = Stm::new();
         let list = list_with(&stm, &[1, 2, 3, 4, 5]);
         list.sever_all();
-        assert!(list.head().tower[0].succ.load_atomic().is_none());
+        assert!(list.head().level(0).succ.load_atomic().is_none());
     }
 }

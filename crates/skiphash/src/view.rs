@@ -151,6 +151,7 @@ impl<'a, 't, K: MapKey, V: MapValue> TxView<'a, 't, K, V> {
         let value = node.read_value(self.tx)?;
         let r_time = self.inner.rqc.on_update(self.tx)?;
         node.r_time.write(self.tx, Some(r_time))?;
+        self.inner.tx_population.bump(self.tx, -1)?;
         let deferred = self.inner.after_remove(self.tx, node)?;
         let inner = Arc::clone(self.inner);
         self.tx.on_commit(move || {
@@ -294,22 +295,36 @@ impl<'a, 't, K: MapKey, V: MapValue> TxView<'a, 't, K, V> {
 
     /// Number of keys currently present.
     ///
-    /// `O(n)`: inside a transaction the only linearizable count is the
-    /// level-0 walk (the sealed [`SkipHash::len`](crate::SkipHash::len) uses
-    /// a sharded counter instead, but that counter is maintained outside
-    /// transactions).  Prefer [`TxView::is_empty`] when emptiness is all you
-    /// need.
+    /// `O(shards)`: sums the transactional sharded population counter that
+    /// the insert and remove paths bump inside their own transactions, so
+    /// the count is linearizable with everything else this transaction does
+    /// without walking level 0 in `O(n)`.  (The sealed
+    /// [`SkipHash::len`](crate::SkipHash::len) uses a cheaper non-
+    /// transactional counter maintained by post-commit actions.)  Reading
+    /// every shard conflicts with concurrent updates — inherent to a
+    /// linearizable count; debug builds additionally cross-check the level-0
+    /// walk.
     #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn len(&mut self) -> TxResult<usize> {
-        self.inner.skiplist.count_present(self.tx)
+        let total = self.inner.tx_population.sum(self.tx)?;
+        #[cfg(debug_assertions)]
+        {
+            let walked = self.inner.skiplist.count_present(self.tx)?;
+            debug_assert_eq!(
+                walked,
+                total.max(0) as usize,
+                "transactional population counter diverged from the level-0 walk"
+            );
+        }
+        debug_assert!(total >= 0, "transactional population went negative");
+        Ok(total.max(0) as usize)
     }
 
-    /// True when the map holds no keys (`O(1)`-ish: finds the first present
-    /// node).
+    /// True when the map holds no keys (`O(shards)`, via [`TxView::len`]'s
+    /// sharded counter).
     #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn is_empty(&mut self) -> TxResult<bool> {
-        let first = self.inner.skiplist.first_present(self.tx)?;
-        Ok(first.is_tail())
+        Ok(self.len()? == 0)
     }
 
     /// Shared insert path for a key known to be absent: stitch a fresh node
@@ -330,6 +345,7 @@ impl<'a, 't, K: MapKey, V: MapValue> TxView<'a, 't, K, V> {
         )?;
         let was_new = self.inner.index.insert(self.tx, key, node)?;
         debug_assert!(was_new, "insert_fresh called with a present key");
+        self.inner.tx_population.bump(self.tx, 1)?;
         let inner = Arc::clone(self.inner);
         self.tx.on_commit(move || inner.population.record_insert());
         Ok(())

@@ -1,0 +1,391 @@
+//! Size-classed recycling pools for *structure* blocks.
+//!
+//! The payload slab (the private `slab` module) removed the allocator from
+//! the per-write payload path, but
+//! the data structures built on the STM still paid `malloc`/`free` for every
+//! **structural** mutation: a skip-hash insert allocated its node (an
+//! `Arc<Node>` plus a boxed tower slice), and every copy-on-write hash-chain
+//! update cloned a `Vec` buffer.  Those blocks are bigger and more variable
+//! than cell payloads — a node block's size depends on its sampled tower
+//! height — so they need their own pool rather than the fixed 16–256-byte
+//! slab classes.
+//!
+//! This module is the raw engine: callers describe a block by `(size, align)`
+//! and get back anonymous memory served from per-thread magazines over
+//! mutex-protected global overflow pools, exactly the discipline proven out
+//! by the payload slab (see `docs/PERF.md`).  It deliberately knows nothing
+//! about *what* lives in a block; the typed glue (node layout, chain layout,
+//! epoch retirement) lives with the client in the `skiphash` crate.
+//!
+//! # Contract
+//!
+//! * [`alloc_raw`] and [`free_raw`] must be called with the **same**
+//!   `(size, align)` pair for a given block.  The class — or the
+//!   global-allocator fallback for oversized/over-aligned/zero-sized
+//!   requests — is a pure function of that pair, so both sides always agree
+//!   about a pointer's provenance and blocks never need a header.
+//! * Callers whose block size is *negotiable* (the hash chains) should round
+//!   it up front with [`recommended_size`] and remember the rounded value:
+//!   that fills the whole class instead of stranding its tail, and keeps the
+//!   alloc/free pair trivially consistent.
+//! * Like the slab, pooled blocks are never returned to the operating system;
+//!   the pools are bounded by peak live structure memory.
+//!
+//! # Lifetime rules (why recycling is the *client's* problem)
+//!
+//! `free_raw` recycles immediately.  A block that was ever reachable by
+//! concurrent readers must therefore be retired **through the epoch** (the
+//! shim's `defer_with`, with reclamation glue that ends in `free_raw`), so it
+//! re-enters a magazine only after every thread pinned at retirement time has
+//! unpinned.  The skip hash's node blocks follow exactly the payload-slab
+//! rule here; see the `node` module of the `skiphash` crate and
+//! `docs/PERF.md`.
+//!
+//! # Recycle counters
+//!
+//! The structure pools also own the process-wide `node_recycle_hits` /
+//! `chain_recycle_hits` counters surfaced by [`crate::StatsSnapshot`].  They
+//! live here (not in per-`Stm` state) because blocks are recycled by whoever
+//! drives epoch collection — often a different thread, sometimes a different
+//! `Stm`, than the one that allocated them.  [`crate::Stm::reset_stats`]
+//! snapshots a baseline so per-trial deltas still work.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Block sizes, one free list per class.  Chosen so consecutive classes
+/// differ by at most 50%: a skip-hash node block grows by one `Level`
+/// (two cells) per tower height, and coarse classes would let a single
+/// unlucky height sample mint a block no earlier insert warmed up.
+const CLASS_SIZES: [usize; 14] = [
+    32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096,
+];
+const NUM_CLASSES: usize = CLASS_SIZES.len();
+
+/// Every pooled block is aligned to this; stricter alignments fall back to
+/// the global allocator (same policy as the payload slab).
+const BLOCK_ALIGN: usize = 16;
+
+/// Magazine size at which half the blocks are flushed to the global pool.
+const MAGAZINE_CAP: usize = 32;
+
+/// Blocks moved from the global pool per magazine refill.
+const REFILL_BATCH: usize = 16;
+
+/// Fresh blocks minted per allocator miss (one returned, the rest pooled).
+/// Same high-water-convergence rationale as the payload slab's batch mint:
+/// epoch reclamation returns blocks in bursts, so a pool sized exactly at
+/// mean demand would mint a trickle forever; over-minting by a small batch
+/// per miss makes misses self-extinguishing.
+const MINT_BATCH: usize = 8;
+
+/// The class serving `size`, or `None` when the request must use the global
+/// allocator (zero-sized, oversized, or — checked by the callers — strictly
+/// aligned).  Pure function of the size, so alloc and free always agree.
+const fn class_of_size(size: usize) -> Option<usize> {
+    if size == 0 || size > CLASS_SIZES[NUM_CLASSES - 1] {
+        return None;
+    }
+    let mut class = 0;
+    while class < NUM_CLASSES {
+        if size <= CLASS_SIZES[class] {
+            return Some(class);
+        }
+        class += 1;
+    }
+    None
+}
+
+/// True when `(size, align)` is served by the pools rather than the global
+/// allocator.
+pub fn pooled(size: usize, align: usize) -> bool {
+    align <= BLOCK_ALIGN && class_of_size(size).is_some()
+}
+
+/// Round a *negotiable* block size up to the full size of the class that
+/// would serve it, so the block's tail capacity is usable instead of
+/// stranded.  Sizes the pools cannot serve come back unchanged.
+///
+/// Callers must remember the rounded size and pass it to both [`alloc_raw`]
+/// and [`free_raw`].
+pub fn recommended_size(size: usize, align: usize) -> usize {
+    if align <= BLOCK_ALIGN {
+        match class_of_size(size) {
+            Some(class) => CLASS_SIZES[class],
+            None => size,
+        }
+    } else {
+        size
+    }
+}
+
+/// Global overflow pools, one per class; block addresses stored as `usize`
+/// so the `static` is trivially `Sync`.
+static GLOBAL_POOLS: [Mutex<Vec<usize>>; NUM_CLASSES] =
+    [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
+/// Process-wide recycle counters (see module docs for why they are global).
+static NODE_RECYCLE_HITS: AtomicU64 = AtomicU64::new(0);
+static CHAIN_RECYCLE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Record that a skip-hash node block was served from a recycled arena block.
+pub fn note_node_recycle() {
+    NODE_RECYCLE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record that a hash-chain buffer was served from a recycled arena block.
+pub fn note_chain_recycle() {
+    CHAIN_RECYCLE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide total of node blocks served from recycled memory.
+pub fn node_recycle_hits() -> u64 {
+    NODE_RECYCLE_HITS.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of chain buffers served from recycled memory.
+pub fn chain_recycle_hits() -> u64 {
+    CHAIN_RECYCLE_HITS.load(Ordering::Relaxed)
+}
+
+/// Per-thread block magazines; flushed to the global pools on thread exit.
+struct Magazines {
+    classes: [Vec<usize>; NUM_CLASSES],
+}
+
+impl Magazines {
+    fn new() -> Self {
+        Self {
+            classes: [const { Vec::new() }; NUM_CLASSES],
+        }
+    }
+}
+
+impl Drop for Magazines {
+    fn drop(&mut self) {
+        for (class, magazine) in self.classes.iter_mut().enumerate() {
+            if !magazine.is_empty() {
+                GLOBAL_POOLS[class]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .append(magazine);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static MAGAZINES: RefCell<Magazines> = RefCell::new(Magazines::new());
+}
+
+fn class_layout(class: usize) -> Layout {
+    Layout::from_size_align(CLASS_SIZES[class], BLOCK_ALIGN).expect("valid class layout")
+}
+
+#[cold]
+fn mint_block(layout: Layout) -> *mut u8 {
+    // SAFETY: every caller passes a non-zero-size layout (class layouts are
+    // non-empty; the fallback path checks for zero before calling).
+    let ptr = unsafe { alloc(layout) };
+    if ptr.is_null() {
+        handle_alloc_error(layout);
+    }
+    ptr
+}
+
+/// Allocate a block of at least `size` bytes aligned to `align`.  The flag
+/// reports whether the block was recycled (`false` = fresh mint from the
+/// global allocator).
+///
+/// Free with [`free_raw`] and the **same** `(size, align)` pair.
+///
+/// # Panics
+///
+/// Panics when the fallback path cannot form a valid `Layout` from the
+/// request — `align` not a power of two, or `size` overflowing when rounded
+/// up to `align`.  Pooled requests never panic, and zero-size fallback
+/// requests are served as one byte rather than rejected.
+pub fn alloc_raw(size: usize, align: usize) -> (*mut u8, bool) {
+    let class = if align <= BLOCK_ALIGN {
+        class_of_size(size)
+    } else {
+        None
+    };
+    let Some(class) = class else {
+        let layout = Layout::from_size_align(size.max(1), align).expect("valid fallback layout");
+        return (mint_block(layout), false);
+    };
+    MAGAZINES
+        .try_with(|magazines| {
+            let mut magazines = magazines.borrow_mut();
+            let magazine = &mut magazines.classes[class];
+            if let Some(addr) = magazine.pop() {
+                return (addr as *mut u8, true);
+            }
+            {
+                let mut pool = GLOBAL_POOLS[class]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let keep = pool.len().saturating_sub(REFILL_BATCH);
+                magazine.extend(pool.drain(keep..));
+            }
+            match magazine.pop() {
+                Some(addr) => (addr as *mut u8, true),
+                None => {
+                    for _ in 0..MINT_BATCH - 1 {
+                        magazine.push(mint_block(class_layout(class)) as usize);
+                    }
+                    (mint_block(class_layout(class)), false)
+                }
+            }
+        })
+        // Thread-local teardown: go straight to the global pool.
+        .unwrap_or_else(|_| {
+            let recycled = GLOBAL_POOLS[class]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop();
+            match recycled {
+                Some(addr) => (addr as *mut u8, true),
+                None => (mint_block(class_layout(class)), false),
+            }
+        })
+}
+
+/// Return a block obtained from [`alloc_raw`] with the same `(size, align)`.
+///
+/// Pooled blocks go to the calling thread's magazine (overflow drains to the
+/// global pool in a batch); fallback blocks go back to the global allocator.
+///
+/// # Safety
+///
+/// `ptr` must have come from `alloc_raw(size, align)` with exactly these
+/// arguments, the caller must have exclusive access to the block, and the
+/// block must not be used afterwards.  If the block was ever visible to
+/// concurrent readers, the call must be sequenced after their quiescence
+/// (epoch retirement — see the module docs).
+pub unsafe fn free_raw(ptr: *mut u8, size: usize, align: usize) {
+    let class = if align <= BLOCK_ALIGN {
+        class_of_size(size)
+    } else {
+        None
+    };
+    let Some(class) = class else {
+        let layout = Layout::from_size_align(size.max(1), align).expect("valid fallback layout");
+        // SAFETY: per the contract, `ptr` came from `alloc_raw`'s fallback
+        // path with this exact layout.
+        unsafe { dealloc(ptr, layout) };
+        return;
+    };
+    let addr = ptr as usize;
+    let stored = MAGAZINES.try_with(|magazines| {
+        let mut magazines = magazines.borrow_mut();
+        let magazine = &mut magazines.classes[class];
+        magazine.push(addr);
+        if magazine.len() >= MAGAZINE_CAP {
+            GLOBAL_POOLS[class]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .extend(magazine.drain(MAGAZINE_CAP / 2..));
+        }
+    });
+    if stored.is_err() {
+        GLOBAL_POOLS[class]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_sizes_and_reject_extremes() {
+        assert!(pooled(1, 1));
+        assert!(pooled(4096, 16));
+        assert!(!pooled(4097, 8), "oversized blocks fall back");
+        assert!(!pooled(0, 8), "zero-size requests fall back");
+        assert!(!pooled(64, 64), "over-aligned blocks fall back");
+        for size in 1..=4096usize {
+            let class = class_of_size(size).expect("covered");
+            assert!(CLASS_SIZES[class] >= size);
+            if class > 0 {
+                assert!(CLASS_SIZES[class - 1] < size, "smallest fitting class");
+            }
+        }
+    }
+
+    #[test]
+    fn recommended_size_fills_the_class() {
+        assert_eq!(recommended_size(1, 8), 32);
+        assert_eq!(recommended_size(33, 8), 64);
+        assert_eq!(recommended_size(4096, 8), 4096);
+        assert_eq!(recommended_size(5000, 8), 5000, "oversize is unchanged");
+        assert_eq!(recommended_size(48, 64), 48, "over-aligned is unchanged");
+        // The round-trip invariant chains rely on: a recommended size maps to
+        // the class whose full size it is.
+        for size in 1..=4096usize {
+            let rounded = recommended_size(size, 8);
+            assert_eq!(class_of_size(rounded), class_of_size(size));
+            assert_eq!(recommended_size(rounded, 8), rounded);
+        }
+    }
+
+    #[test]
+    fn freed_blocks_are_recycled_lifo() {
+        // A distinctive size class to avoid interference from other tests.
+        let (first, _) = alloc_raw(3000, 16);
+        unsafe { free_raw(first, 3000, 16) };
+        let (second, recycled) = alloc_raw(3000, 16);
+        assert!(recycled, "the freed block must come from the magazine");
+        assert_eq!(first, second, "LIFO magazine returns the same block");
+        unsafe { free_raw(second, 3000, 16) };
+    }
+
+    #[test]
+    fn different_sizes_in_one_class_share_blocks() {
+        // 400 and 500 both live in the 512 class; the free/alloc pair must
+        // agree through the size alone.
+        let (a, _) = alloc_raw(400, 8);
+        unsafe { free_raw(a, 400, 8) };
+        let (b, recycled) = alloc_raw(500, 8);
+        assert!(recycled);
+        assert_eq!(a, b);
+        unsafe { free_raw(b, 500, 8) };
+    }
+
+    #[test]
+    fn fallback_blocks_round_trip() {
+        let (big, recycled) = alloc_raw(8192, 8);
+        assert!(!recycled);
+        unsafe { free_raw(big, 8192, 8) };
+        let (aligned, recycled) = alloc_raw(128, 64);
+        assert!(!recycled);
+        assert_eq!(aligned as usize % 64, 0);
+        unsafe { free_raw(aligned, 128, 64) };
+    }
+
+    #[test]
+    fn recycle_counters_accumulate() {
+        let node_before = node_recycle_hits();
+        let chain_before = chain_recycle_hits();
+        note_node_recycle();
+        note_chain_recycle();
+        note_chain_recycle();
+        assert!(node_recycle_hits() > node_before);
+        assert!(chain_recycle_hits() >= chain_before + 2);
+    }
+
+    #[test]
+    fn blocks_are_aligned() {
+        for &size in &[32usize, 100, 777, 4096] {
+            let (ptr, _) = alloc_raw(size, 16);
+            assert_eq!(ptr as usize % BLOCK_ALIGN, 0);
+            unsafe { free_raw(ptr, size, 16) };
+        }
+    }
+}

@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod clock;
 pub mod error;
 pub mod orec;

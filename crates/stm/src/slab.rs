@@ -57,6 +57,17 @@ const MAGAZINE_CAP: usize = 64;
 /// Blocks moved from the global pool per magazine refill.
 const REFILL_BATCH: usize = 32;
 
+/// Fresh blocks minted per allocator miss (one returned, the rest pooled).
+///
+/// Epoch reclamation returns blocks in bursts, ~2 collection cycles after
+/// they were retired, so instantaneous demand fluctuates around the mean —
+/// especially for the skip hash, whose per-operation cell count follows the
+/// random tower height.  Minting a batch per miss converges the pool's
+/// capacity to the workload's high-water mark in a handful of misses instead
+/// of one miss per block, which is what lets the steady state reach *zero*
+/// allocator hits rather than a trickle.
+const MINT_BATCH: usize = 8;
+
 /// True when values of `T` are carved from the slab; false when they use
 /// plain `Box`es.  A compile-time function of the type, so allocation and
 /// reclamation can never disagree about a pointer's provenance.
@@ -153,7 +164,12 @@ fn alloc_block(class: usize) -> (*mut u8, bool) {
             }
             match magazine.pop() {
                 Some(addr) => (addr as *mut u8, true),
-                None => (mint_block(class), false),
+                None => {
+                    for _ in 0..MINT_BATCH - 1 {
+                        magazine.push(mint_block(class) as usize);
+                    }
+                    (mint_block(class), false)
+                }
             }
         })
         // Thread-local teardown: go straight to the global pool.

@@ -9,9 +9,18 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::arena;
 use crate::error::TxAbort;
 
 /// Shared, concurrently updated statistics for one [`crate::Stm`] instance.
+///
+/// The two arena counters (`node_recycle_hits` / `chain_recycle_hits`) are
+/// special: the structure arena is process-global (blocks are recycled by
+/// whichever thread drives epoch collection, regardless of which `Stm` the
+/// structure belonged to), so the live counters live in [`crate::arena`] and
+/// this struct only keeps the *baseline* captured at construction / reset,
+/// letting [`StmStats::snapshot`] report per-trial deltas like every other
+/// counter.
 #[derive(Debug, Default)]
 pub struct StmStats {
     commits: AtomicU64,
@@ -23,12 +32,25 @@ pub struct StmStats {
     validation_skipped_commits: AtomicU64,
     read_dedup_hits: AtomicU64,
     slab_recycle_hits: AtomicU64,
+    node_recycle_baseline: AtomicU64,
+    chain_recycle_baseline: AtomicU64,
 }
 
 impl StmStats {
     /// Create zeroed statistics.
+    ///
+    /// The arena baselines are captured *now*, so a fresh instance reports
+    /// only recycling that happens after its construction (the process-global
+    /// counters may already be far along).
     pub fn new() -> Self {
-        Self::default()
+        let stats = Self::default();
+        stats
+            .node_recycle_baseline
+            .store(arena::node_recycle_hits(), Ordering::Relaxed);
+        stats
+            .chain_recycle_baseline
+            .store(arena::chain_recycle_hits(), Ordering::Relaxed);
+        stats
     }
 
     pub(crate) fn record_commit(&self, read_only: bool) {
@@ -79,10 +101,18 @@ impl StmStats {
             validation_skipped_commits: self.validation_skipped_commits.load(Ordering::Relaxed),
             read_dedup_hits: self.read_dedup_hits.load(Ordering::Relaxed),
             slab_recycle_hits: self.slab_recycle_hits.load(Ordering::Relaxed),
+            node_recycle_hits: arena::node_recycle_hits()
+                .saturating_sub(self.node_recycle_baseline.load(Ordering::Relaxed)),
+            chain_recycle_hits: arena::chain_recycle_hits()
+                .saturating_sub(self.chain_recycle_baseline.load(Ordering::Relaxed)),
         }
     }
 
     /// Reset all counters to zero (used between benchmark trials).
+    ///
+    /// The process-global arena counters cannot be zeroed (other runtimes may
+    /// be mid-trial); instead the current totals become this instance's new
+    /// baseline, so subsequent snapshots report the delta.
     pub fn reset(&self) {
         self.commits.store(0, Ordering::Relaxed);
         self.read_only_commits.store(0, Ordering::Relaxed);
@@ -93,6 +123,10 @@ impl StmStats {
         self.validation_skipped_commits.store(0, Ordering::Relaxed);
         self.read_dedup_hits.store(0, Ordering::Relaxed);
         self.slab_recycle_hits.store(0, Ordering::Relaxed);
+        self.node_recycle_baseline
+            .store(arena::node_recycle_hits(), Ordering::Relaxed);
+        self.chain_recycle_baseline
+            .store(arena::chain_recycle_hits(), Ordering::Relaxed);
     }
 }
 
@@ -120,6 +154,13 @@ pub struct StatsSnapshot {
     /// Transactional writes whose payload came from a recycled slab block
     /// rather than the global allocator.
     pub slab_recycle_hits: u64,
+    /// Skip-hash node blocks served from recycled arena memory rather than
+    /// the global allocator (process-wide, relative to this instance's
+    /// construction/reset baseline — see [`StmStats`]).
+    pub node_recycle_hits: u64,
+    /// Hash-chain buffers served from recycled arena memory rather than the
+    /// global allocator (same baseline semantics as `node_recycle_hits`).
+    pub chain_recycle_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -153,6 +194,8 @@ impl StatsSnapshot {
                 - earlier.validation_skipped_commits,
             read_dedup_hits: self.read_dedup_hits - earlier.read_dedup_hits,
             slab_recycle_hits: self.slab_recycle_hits - earlier.slab_recycle_hits,
+            node_recycle_hits: self.node_recycle_hits - earlier.node_recycle_hits,
+            chain_recycle_hits: self.chain_recycle_hits - earlier.chain_recycle_hits,
         }
     }
 }
@@ -162,7 +205,7 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "commits={} (ro={}, noval={}) aborts={} [read={} write={} validation={} explicit={}] \
-             dedup={} slab={}",
+             dedup={} slab={} node={} chain={}",
             self.commits,
             self.read_only_commits,
             self.validation_skipped_commits,
@@ -173,6 +216,8 @@ impl fmt::Display for StatsSnapshot {
             self.aborts_explicit,
             self.read_dedup_hits,
             self.slab_recycle_hits,
+            self.node_recycle_hits,
+            self.chain_recycle_hits,
         )
     }
 }
@@ -198,13 +243,25 @@ mod tests {
         assert!((snap.abort_rate() - 1.5).abs() < 1e-9);
     }
 
+    /// Zero the process-global arena fields: concurrently running tests may
+    /// recycle blocks between a `reset` and the `snapshot` under assertion,
+    /// and those deltas are legitimate.
+    fn without_arena_counters(mut snap: StatsSnapshot) -> StatsSnapshot {
+        snap.node_recycle_hits = 0;
+        snap.chain_recycle_hits = 0;
+        snap
+    }
+
     #[test]
     fn reset_zeroes_everything() {
         let stats = StmStats::new();
         stats.record_commit(false);
         stats.record_abort(TxAbort::Explicit);
         stats.reset();
-        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+        assert_eq!(
+            without_arena_counters(stats.snapshot()),
+            StatsSnapshot::default()
+        );
     }
 
     #[test]
@@ -235,7 +292,27 @@ mod tests {
         assert!(display.contains("dedup=3"));
         assert!(display.contains("slab=2"));
         stats.reset();
-        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+        assert_eq!(
+            without_arena_counters(stats.snapshot()),
+            StatsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn arena_counters_report_deltas_from_the_baseline() {
+        let stats = StmStats::new();
+        let before = stats.snapshot();
+        arena::note_node_recycle();
+        arena::note_chain_recycle();
+        let after = stats.snapshot();
+        assert!(after.node_recycle_hits > before.node_recycle_hits);
+        assert!(after.chain_recycle_hits > before.chain_recycle_hits);
+        // A freshly constructed instance baselines at the current totals and
+        // reports only recycling from here on.
+        let fresh = StmStats::new();
+        let fresh_before = fresh.snapshot().node_recycle_hits;
+        arena::note_node_recycle();
+        assert!(fresh.snapshot().node_recycle_hits > fresh_before);
     }
 
     #[test]

@@ -92,6 +92,26 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
         tx.write_cell(self, value)
     }
 
+    /// Transactionally read the cell, mapping the committed value through
+    /// `f` by reference instead of returning a clone.
+    ///
+    /// This is the zero-copy sibling of [`TCell::read`] for values that are
+    /// expensive to clone or whose clone has side effects (reference-counted
+    /// handles, buffers).  The value reference is only valid inside `f`;
+    /// `f` **must be a pure function of its argument** — the orec is
+    /// re-validated after `f` returns, and on a conflict the result is
+    /// discarded and the transaction aborts, so `f` may observe a value
+    /// that never validates.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TCell::read`].
+    #[inline]
+    #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
+    pub fn read_with<R>(&self, tx: &mut Txn<'_>, f: impl FnOnce(&T) -> R) -> TxResult<R> {
+        tx.read_cell_with(self, f)
+    }
+
     /// Overwrite the cell outside of any transaction.
     ///
     /// Spin-acquires the ownership record, installs the new value, and

@@ -25,6 +25,7 @@ use crate::tcell::{TCell, WriteEntry};
 #[derive(Debug)]
 pub struct StmBuilder {
     clock: ClockKind,
+    auto_threshold: usize,
 }
 
 impl Default for StmBuilder {
@@ -37,10 +38,12 @@ impl StmBuilder {
     /// Start building with the default ([`ClockKind::Sampled`]) clock, whose
     /// quiescence fast path lets uncontended writer commits skip read-set
     /// validation (see the `clock` module docs).  Use
-    /// [`StmBuilder::clock`] for the `gv1` counter or the hardware TSC.
+    /// [`StmBuilder::clock`] for the `gv1` counter, the hardware TSC, or the
+    /// parallelism-based [`ClockKind::Auto`] selection.
     pub fn new() -> Self {
         Self {
             clock: ClockKind::Sampled,
+            auto_threshold: ClockKind::AUTO_HARDWARE_THRESHOLD,
         }
     }
 
@@ -50,11 +53,24 @@ impl StmBuilder {
         self
     }
 
+    /// Override the hardware-thread count at which [`ClockKind::Auto`]
+    /// chooses `Hardware` over `Sampled` (default:
+    /// [`ClockKind::AUTO_HARDWARE_THRESHOLD`]).  Has no effect on concrete
+    /// clock kinds.
+    pub fn auto_threshold(mut self, threshold: usize) -> Self {
+        self.auto_threshold = threshold;
+        self
+    }
+
     /// Construct the [`Stm`].
+    ///
+    /// [`ClockKind::Auto`] is resolved here, once; the built runtime reports
+    /// the concrete choice from [`Stm::clock_kind`].
     pub fn build(self) -> Stm {
+        let kind = self.clock.resolve_with(self.auto_threshold);
         Stm {
-            clock: self.clock.build(),
-            clock_kind: self.clock,
+            clock: kind.build(),
+            clock_kind: kind,
             stats: StmStats::new(),
             attempt_ids: AtomicU64::new(1),
         }
@@ -336,18 +352,35 @@ impl<'stm> Txn<'stm> {
         arc
     }
 
+    /// The cloning read is the mapping read with `f = Clone::clone`; one
+    /// implementation of the TL2 read protocol serves both.
     #[inline]
     pub(crate) fn read_cell<T: Clone + Send + Sync + 'static>(
         &mut self,
         cell: &TCell<T>,
     ) -> TxResult<T> {
+        self.read_cell_with(cell, T::clone)
+    }
+
+    /// Like [`Txn::read_cell`], but maps the committed value through `f` by
+    /// reference instead of cloning it.  Same validation protocol: the orec
+    /// is re-checked *after* `f` runs, and a concurrent change discards the
+    /// result and aborts.  `f` must therefore be a pure function of its
+    /// argument — it can observe a value whose read subsequently fails
+    /// validation.
+    #[inline]
+    pub(crate) fn read_cell_with<T: Send + Sync + 'static, R>(
+        &mut self,
+        cell: &TCell<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> TxResult<R> {
         let o1 = cell.orec.raw();
         if Orec::raw_is_owned_by(o1, self.id) {
             // Read-after-write: we own the location, so the current value is
             // our own uncommitted write.
             let shared = cell.data.load(Ordering::Acquire, self.guard());
             // SAFETY: the pointer is protected by our pinned guard.
-            return Ok(unsafe { shared.deref() }.clone());
+            return Ok(f(unsafe { shared.deref() }));
         }
         match Orec::decode_raw(o1) {
             OrecState::Locked { .. } => return Err(TxAbort::ReadConflict),
@@ -360,8 +393,8 @@ impl<'stm> Txn<'stm> {
         let shared = cell.data.load(Ordering::Acquire, self.guard());
         // SAFETY: the pointer is protected by our pinned guard; even if a
         // concurrent writer replaces it, reclamation is deferred past our
-        // guard, and the post-read orec check below rejects the value.
-        let value = unsafe { shared.deref() }.clone();
+        // guard, and the post-read orec check below rejects the result.
+        let result = f(unsafe { shared.deref() });
         if cell.orec.raw() != o1 {
             return Err(TxAbort::ReadConflict);
         }
@@ -376,7 +409,7 @@ impl<'stm> Txn<'stm> {
         } else {
             self.dedup_hits += 1;
         }
-        Ok(value)
+        Ok(result)
     }
 
     #[inline]
@@ -584,6 +617,31 @@ mod tests {
         let stm = Stm::new();
         assert_eq!(stm.clock_name(), "gv5-sampled");
         assert_eq!(stm.clock_kind(), ClockKind::Sampled);
+    }
+
+    #[test]
+    fn auto_clock_is_resolved_at_construction() {
+        // Whatever the machine, the built runtime must report a concrete
+        // kind, and the override threshold must steer the choice.
+        let auto = StmBuilder::new().clock(ClockKind::Auto).build();
+        assert_ne!(auto.clock_kind(), ClockKind::Auto);
+        let big_box = StmBuilder::new()
+            .clock(ClockKind::Auto)
+            .auto_threshold(1)
+            .build();
+        assert_eq!(big_box.clock_kind(), ClockKind::Hardware);
+        let small_box = StmBuilder::new()
+            .clock(ClockKind::Auto)
+            .auto_threshold(usize::MAX)
+            .build();
+        assert_eq!(small_box.clock_kind(), ClockKind::Sampled);
+        // The resolved runtime behaves like its concrete kind end to end.
+        let cell = TCell::new(0u64);
+        small_box.run(|tx| {
+            let v = cell.read(tx)?;
+            cell.write(tx, v + 1)
+        });
+        assert_eq!(small_box.stats().validation_skipped_commits, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crossbeam_epoch as epoch;
 use skiphash::SkipHash;
 use skiphash_stm::{Stm, TCell};
 
@@ -127,14 +128,45 @@ fn steady_state_hot_paths_do_not_touch_the_global_allocator() {
          (allocations per 5k-txn window: {measured:?})"
     );
 
-    // ---- 3. End-to-end skip hash insert/remove churn: bounded.
+    // ---- 3. End-to-end skip hash insert/remove churn: ZERO allocations.
     //
-    // A fresh key inherently allocates its node (the `Arc<Node>`, the tower,
-    // the hash-chain vectors); what the slab and scratch pool eliminated is
-    // the per-*write* allocation tail — the seed paid two boxes per written
-    // cell plus fresh transaction buffers per attempt, ~40+ hits per
-    // insert/remove pair.  Assert the remaining structural cost stays small
-    // so the tail cannot quietly grow back.
+    // Until the structure arena existed, a fresh key inherently allocated its
+    // node structure (an `Arc<Node>`, a boxed tower slice, hash-chain `Vec`
+    // clones) and this section could only bound the damage (≤16 hits/pair).
+    // Now node blocks — refcount, header, and the tower inline — are
+    // height-classed arena blocks recycled through the epoch, and the hash
+    // map's copy-on-write chains clone through pooled buffers, so a
+    // steady-state insert/remove pair must not touch the global allocator at
+    // all.
+    //
+    // Windows are assessed like the RMW section: tower heights are sampled
+    // geometrically, so a rare tall-tower *size class* may see its very first
+    // allocation inside a measured window (a once-ever event per class, not a
+    // leak).  Requiring 2 of 3 windows to be exactly zero admits that one-off
+    // while still failing on any per-pair allocation that grows back.
+    // Steady state is defined by warm pools, so warm them deterministically
+    // (a production service does the same at startup):
+    //
+    // * tower heights are sampled geometrically at run time, so cycle blocks
+    //   of every height class through the epoch once — otherwise a rare tall
+    //   tower's *first-ever* block can legitimately mint mid-measurement;
+    // * the link/counter payload class (the slab's smallest) carries a
+    //   standing in-flight population of a couple thousand blocks whose size
+    //   fluctuates with the height distribution, so give it headroom up
+    //   front instead of letting the high-water mark be discovered by
+    //   minting.
+    for height in 1..=20 {
+        let nodes: Vec<_> = (0..32)
+            .map(|i| skiphash::node::Node::<u64, u64>::new(i, 0, height, 0))
+            .collect();
+        drop(nodes);
+    }
+    for _ in 0..64 * 64 {
+        drop(epoch::pin());
+    }
+    let payload_headroom: Vec<TCell<u64>> = (0..16_384).map(TCell::new).collect();
+    drop(payload_headroom);
+
     let map: SkipHash<u64, u64> = SkipHash::new();
     for key in 0..1_024u64 {
         map.insert(key, key);
@@ -143,20 +175,32 @@ fn steady_state_hot_paths_do_not_touch_the_global_allocator() {
         map.insert(4_096, 1);
         map.remove(&4_096);
     };
-    for _ in 0..5_000 {
+    for _ in 0..8_000 {
         churn(&map);
     }
-    let pairs = 2_000u64;
-    let allocs = count_allocs(|| {
-        for _ in 0..pairs {
-            churn(&map);
-        }
-    });
-    let per_pair = allocs as f64 / pairs as f64;
+    let mut zero_windows = 0;
+    let mut measured = Vec::new();
+    for _ in 0..3 {
+        let allocs = count_allocs(|| {
+            for _ in 0..2_000 {
+                churn(&map);
+            }
+        });
+        measured.push(allocs);
+        zero_windows += u64::from(allocs == 0);
+    }
     assert!(
-        per_pair <= 16.0,
-        "steady-state insert/remove pair averaged {per_pair:.1} allocations \
-         ({allocs} over {pairs} pairs); the commit path must stay allocation-free \
-         with only node construction left"
+        zero_windows >= 2,
+        "steady-state skip-hash insert/remove churn must be allocation-free \
+         (allocations per 2k-pair window: {measured:?})"
+    );
+    let stats = map.stm_stats();
+    assert!(
+        stats.node_recycle_hits > 0,
+        "the arena must be serving node blocks from recycled memory"
+    );
+    assert!(
+        stats.chain_recycle_hits > 0,
+        "the arena must be serving hash-chain buffers from recycled memory"
     );
 }

@@ -41,6 +41,15 @@
 //! global epoch reaches `e + 2`, by which point every thread that was pinned
 //! when the garbage was still reachable has unpinned.
 //!
+//! Deferred destructors are executed **outside** the thread-local borrow
+//! (the cycle's seal step happens under the borrow; the advance/collect
+//! steps after it), so drop glue is allowed to re-enter the collector —
+//! pin, defer more garbage, drop nested guards.  Reference-counted
+//! structures rely on this: freeing a retired node may drop the last
+//! reference to a neighbour, whose retirement then defers *its* block from
+//! inside the running cycle.  Such nested pins are depth ≥ 2, so they never
+//! trigger a recursive collection cycle themselves.
+//!
 //! # Ordering rationale
 //!
 //! All atomics use `Relaxed`/`Acquire`/`Release` orderings except for the
@@ -331,15 +340,6 @@ impl Local {
             bag: Vec::new(),
         }
     }
-
-    /// One collection cycle: seal the local bag, try to advance the epoch,
-    /// free sufficiently old sealed bags.
-    fn collect(&mut self) {
-        let reg = registry();
-        seal_local(&mut self.bag);
-        let global_epoch = try_advance(reg);
-        collect_sealed(reg, global_epoch);
-    }
 }
 
 impl Drop for Local {
@@ -376,7 +376,7 @@ fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
 /// fence; no global mutex is acquired (the registry mutex is touched only
 /// the first time a thread ever pins, to claim a slot).
 pub fn pin() -> Guard {
-    with_local(|local| {
+    let run_collection = with_local(|local| {
         local.pin_depth += 1;
         if local.pin_depth == 1 {
             let reg = registry();
@@ -398,10 +398,25 @@ pub fn pin() -> Guard {
             }
             local.pins += 1;
             if local.pins % PINS_BETWEEN_COLLECT == 0 {
-                local.collect();
+                // Seal while the thread-local is borrowed (sealing runs no
+                // destructors), but run the collection cycle *after* the
+                // borrow is released: freeing a sealed bag executes
+                // arbitrary drop glue, and glue for reference-counted
+                // structures (the skip hash's node arena) may itself pin
+                // and defer further retirements.  Re-entering the
+                // thread-local here would panic the `RefCell`.
+                seal_local(&mut local.bag);
+                return true;
             }
         }
-    });
+        false
+    })
+    .unwrap_or(false);
+    if run_collection {
+        let reg = registry();
+        let global_epoch = try_advance(reg);
+        collect_sealed(reg, global_epoch);
+    }
     Guard { active: true }
 }
 
@@ -826,6 +841,45 @@ mod tests {
         let g2 = pin();
         drop(g1);
         drop(g2);
+    }
+
+    #[test]
+    fn drop_glue_may_pin_and_defer_recursively() {
+        // Reference-counted structures retire a neighbour's block from the
+        // drop glue of their own: the glue pins and defers while a collection
+        // cycle is executing it.  This must not dead-borrow the thread-local
+        // or lose the nested retirement.
+        static INNER_DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Inner;
+        impl Drop for Inner {
+            fn drop(&mut self) {
+                INNER_DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        struct Outer(*mut Inner);
+        unsafe impl Send for Outer {}
+        impl Drop for Outer {
+            fn drop(&mut self) {
+                // Re-enter the collector from inside a deferred destructor.
+                let g = pin();
+                unsafe { g.defer_destroy(Shared::from(self.0 as *const Inner)) };
+            }
+        }
+        let retired = 300;
+        for _ in 0..retired {
+            let g = pin();
+            let outer = Box::into_raw(Box::new(Outer(Box::into_raw(Box::new(Inner)))));
+            unsafe { g.defer_destroy(Shared::from(outer as *const Outer)) };
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while INNER_DROPS.load(Ordering::SeqCst) < retired && std::time::Instant::now() < deadline {
+            drop(pin());
+        }
+        assert_eq!(
+            INNER_DROPS.load(Ordering::SeqCst),
+            retired,
+            "nested retirements from drop glue must all be reclaimed"
+        );
     }
 
     #[test]
