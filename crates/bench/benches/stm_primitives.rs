@@ -234,7 +234,7 @@ fn bench_arena(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
 
     group.bench_function("node_alloc_retire", |b| {
-        b.iter(|| criterion::black_box(Node::<u64, u64>::new(1, 1, 4, 0)))
+        b.iter(|| criterion::black_box(Node::<u64, u64>::new(1, 1, 4, 0, 0)))
     });
 
     let stm = Stm::new();
@@ -248,6 +248,142 @@ fn bench_arena(c: &mut Criterion) {
             stm.run(|tx| map.remove(tx, &4096).map(|_| ()))
         })
     });
+    group.finish();
+}
+
+/// MVCC snapshot costs, the fourth CI-gated group (see docs/BENCHMARKS.md):
+/// the pin/unpin protocol, the pinned borrowed-hop scan, and the price
+/// writers pay for preservation while a snapshot is live.
+///
+/// * `create_drop` — `SkipHash::snapshot()` + drop: one pin-slot CAS, a
+///   clock read, and the release-side custody sweep (empty here).
+/// * `pinned_full_scan` / `live_full_scan` — a full scan of 1k keys through
+///   a long-lived snapshot vs the transactional `to_vec`: the pinned walk
+///   skips all transaction machinery but pays a history-table lookup for
+///   every cell a writer displaced since the pin, so the pair brackets the
+///   snapshot read path from both sides.
+/// * `scans_vs_writers` — one iteration = one snapshot scan audited for the
+///   transfer-conservation invariant while two writer threads commit
+///   transfers continuously: the end-to-end number the harness's
+///   `snapshot_scan` trial reports over longer horizons.
+/// * `scans_vs_writers_bundle` — the baseline arm: the bundled skip list's
+///   timestamped range scan under equivalent single-key writer churn.
+fn bench_snapshot(c: &mut Criterion) {
+    use skiphash::SkipHash;
+    use skiphash_harness::prefill_accounts;
+
+    let mut group = c.benchmark_group("snapshot");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+
+    let map: SkipHash<u64, u64> = SkipHash::new();
+    for key in 0..1024u64 {
+        map.insert(key, key);
+    }
+
+    group.bench_function("create_drop", |b| b.iter(|| map.snapshot()));
+
+    let snap = map.snapshot();
+    // Displace some payloads so the pinned scan exercises the history path,
+    // not just validated in-place reads.
+    for key in (0..1024u64).step_by(4) {
+        map.upsert(key, key + 1);
+    }
+    group.bench_function("pinned_full_scan", |b| {
+        b.iter(|| criterion::black_box(snap.to_vec().len()))
+    });
+    group.bench_function("live_full_scan", |b| {
+        b.iter(|| criterion::black_box(map.to_vec().len()))
+    });
+    drop(snap);
+
+    let shared: std::sync::Arc<SkipHash<u64, u64>> = std::sync::Arc::new(SkipHash::new());
+    const ACCOUNTS: u64 = 1024;
+    const INITIAL: u64 = 100;
+    prefill_accounts(&shared, ACCOUNTS, INITIAL);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..2)
+        .map(|t| {
+            let map = std::sync::Arc::clone(&shared);
+            let stop = std::sync::Arc::clone(&stop);
+            thread::spawn(move || {
+                use rand::rngs::SmallRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(0xBE4C ^ t);
+                while !stop.load(Ordering::Relaxed) {
+                    let from = rng.gen_range(0..ACCOUNTS);
+                    let to = rng.gen_range(0..ACCOUNTS);
+                    if from == to {
+                        continue;
+                    }
+                    map.transact(|v| {
+                        let balance = v.get(&from)?.unwrap_or(0);
+                        if balance == 0 {
+                            return Ok(());
+                        }
+                        let other = v.get(&to)?.unwrap_or(0);
+                        v.upsert(from, balance - 1)?;
+                        v.upsert(to, other + 1)?;
+                        Ok(())
+                    });
+                }
+            })
+        })
+        .collect();
+    group.bench_function("scans_vs_writers", |b| {
+        b.iter(|| {
+            let snap = shared.snapshot();
+            let pairs = snap.to_vec();
+            let total: u64 = pairs.iter().map(|(_, v)| v).sum();
+            assert_eq!(pairs.len() as u64, ACCOUNTS, "pinned scan lost a key");
+            assert_eq!(total, ACCOUNTS * INITIAL, "pinned scan tore a transfer");
+            criterion::black_box(total)
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    for handle in writers {
+        handle.join().unwrap();
+    }
+
+    // The baseline arm: the bundled skip list's timestamped range scan under
+    // the same writer pressure (single-key remove + reinsert churn — the
+    // strongest update the baseline can express; it has no multi-key
+    // transactions to tear in the first place).
+    let bundle: std::sync::Arc<skiphash_baselines::BundledSkipList<u64, u64>> = std::sync::Arc::new(
+        skiphash_baselines::BundledSkipList::new(16, skiphash_baselines::TimestampMode::Rdtscp),
+    );
+    for key in 0..ACCOUNTS {
+        bundle.insert(key, INITIAL);
+    }
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..2)
+        .map(|t| {
+            let list = std::sync::Arc::clone(&bundle);
+            let stop = std::sync::Arc::clone(&stop);
+            thread::spawn(move || {
+                use rand::rngs::SmallRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(0xD15C ^ t);
+                let mut version = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..ACCOUNTS);
+                    if list.remove(&key) {
+                        list.insert(key, version);
+                        version += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    group.bench_function("scans_vs_writers_bundle", |b| {
+        b.iter(|| criterion::black_box(bundle.range(&0, &(ACCOUNTS - 1)).len()))
+    });
+    stop.store(true, Ordering::Relaxed);
+    for handle in writers {
+        handle.join().unwrap();
+    }
     group.finish();
 }
 
@@ -276,6 +412,7 @@ criterion_group!(
     bench_epoch,
     bench_commit_path,
     bench_arena,
+    bench_snapshot,
     bench_uninstrumented_baseline
 );
 criterion_main!(benches);

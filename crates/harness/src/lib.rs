@@ -16,6 +16,9 @@
 //! * [`transfer`] — the multi-map composed-transaction scenario (atomic
 //!   cross-map transfers via `TxView`), which the single-map trait cannot
 //!   express;
+//! * [`snapshot_scan`] — the scans-vs-writers scenario: pinned MVCC snapshot
+//!   scans auditing a conservation invariant while transfer writers commit
+//!   concurrently;
 //! * [`report`] — plain-text and CSV emitters shaped like the paper's figures
 //!   and tables.
 
@@ -24,6 +27,7 @@
 pub mod adapters;
 pub mod driver;
 pub mod report;
+pub mod snapshot_scan;
 pub mod transfer;
 pub mod workload;
 
@@ -31,6 +35,9 @@ pub use adapters::{BenchMap, MapKind};
 pub use driver::{
     run_mixed_trial, run_split_trial, run_transfer_trial, MixedTrialResult, SplitTrialResult,
     TransferTrialResult,
+};
+pub use snapshot_scan::{
+    prefill_accounts, run_bundle_scan_trial, run_snapshot_scan_trial, SnapshotScanTrialResult,
 };
 pub use transfer::TransferPair;
 pub use workload::{TransferMix, TransferWorkload, Workload, WorkloadMix};

@@ -1,0 +1,294 @@
+//! The *scans-vs-writers* scenario: long-running pinned snapshot scans
+//! concurrent with transactional writers.
+//!
+//! The single-map [`BenchMap`](crate::BenchMap) interface measures point
+//! operations and transactional range queries, but it cannot express the
+//! workload MVCC snapshots exist for: an analytical full scan that must see
+//! **one** consistent version of the map while update transactions keep
+//! committing at full speed.  This module drives exactly that:
+//!
+//! * **writers** — transfer transactions moving one unit of value between two
+//!   random accounts (debit + credit in one atomic transaction), so the total
+//!   value across the map is invariant;
+//! * **scanners** — each iteration takes a [`Snapshot`](skiphash::Snapshot),
+//!   scans it end to end, and checks the conservation invariant (every pair
+//!   present, total value exact).  A torn scan — one that mixes the debit of
+//!   one transfer with the credit of another — breaks the sum and is counted
+//!   as a violation.
+//!
+//! Without snapshots the scan would need a transaction over the whole map
+//! (aborting against every concurrent writer) or a stop-the-world lock; the
+//! pinned scan instead reads at its frozen version while writers proceed, at
+//! the cost of the bounded history custody described in `docs/PERF.md`.
+//!
+//! [`run_bundle_scan_trial`] is the baseline arm of the comparison: the
+//! bundled skip list timestamps its links, so its range scans are also
+//! linearizable against concurrent writers — but it offers no multi-key
+//! atomicity, so its writers churn single keys (remove + reinsert) rather
+//! than transfer value, and the scan audit is correspondingly weaker (no
+//! duplicates, no stale values) rather than a conservation sum.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use skiphash::SkipHash;
+use skiphash_baselines::BundledSkipList;
+
+/// Result of one scans-vs-writers trial.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SnapshotScanTrialResult {
+    /// Full pinned scans completed by the scanner threads (one snapshot
+    /// taken and dropped per scan).
+    pub scans: u64,
+    /// Key/value pairs returned across all pinned scans.
+    pub scan_pairs: u64,
+    /// Transfer transactions committed by the writer threads.
+    pub writer_ops: u64,
+    /// Scans whose population or value total broke the conservation
+    /// invariant — must stay zero; a snapshot is a consistent cut.
+    pub tearing_violations: u64,
+    /// Wall-clock duration of the measured phase, in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl SnapshotScanTrialResult {
+    /// Scan throughput in millions of *pairs processed* per second (the
+    /// figure-6-style axis for the analytical side).
+    pub fn scan_pairs_mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.scan_pairs as f64 / self.elapsed_secs / 1e6
+        }
+    }
+
+    /// Writer throughput in millions of committed transfers per second.
+    pub fn writer_mops(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.writer_ops as f64 / self.elapsed_secs / 1e6
+        }
+    }
+}
+
+/// Pre-fill `map` with accounts `0..accounts`, each holding `initial` units,
+/// so every snapshot taken during the trial must total exactly
+/// `accounts * initial`.
+pub fn prefill_accounts(map: &SkipHash<u64, u64>, accounts: u64, initial: u64) {
+    for key in 0..accounts {
+        map.insert(key, initial);
+    }
+}
+
+/// Run a timed scans-vs-writers trial against a map pre-filled by
+/// [`prefill_accounts`]: `writer_threads` commit random transfers while
+/// `scan_threads` repeatedly snapshot the map and audit the full scan.
+pub fn run_snapshot_scan_trial(
+    map: &Arc<SkipHash<u64, u64>>,
+    accounts: u64,
+    initial: u64,
+    writer_threads: usize,
+    scan_threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> SnapshotScanTrialResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let expected_total = accounts
+        .checked_mul(initial)
+        .expect("account total overflows u64");
+    let started = Instant::now();
+
+    let writer_handles: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let map = Arc::clone(map);
+            let stop = Arc::clone(&stop);
+            let seed = seed ^ ((t as u64 + 1) * 0xC13F);
+            thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let from = rng.gen_range(0..accounts);
+                    let to = rng.gen_range(0..accounts);
+                    if from == to {
+                        continue;
+                    }
+                    let moved = map.transact(|v| {
+                        let balance = v.get(&from)?.expect("accounts are never removed");
+                        if balance == 0 {
+                            return Ok(false);
+                        }
+                        let other = v.get(&to)?.expect("accounts are never removed");
+                        v.upsert(from, balance - 1)?;
+                        v.upsert(to, other + 1)?;
+                        Ok(true)
+                    });
+                    if moved {
+                        committed += 1;
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+
+    let scan_handles: Vec<_> = (0..scan_threads)
+        .map(|_| {
+            let map = Arc::clone(map);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut partial = SnapshotScanTrialResult::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = map.snapshot();
+                    let pairs = snap.to_vec();
+                    let total: u64 = pairs.iter().map(|(_, v)| v).sum();
+                    if pairs.len() as u64 != accounts || total != expected_total {
+                        partial.tearing_violations += 1;
+                    }
+                    partial.scan_pairs += pairs.len() as u64;
+                    partial.scans += 1;
+                    drop(snap);
+                }
+                partial
+            })
+        })
+        .collect();
+
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = SnapshotScanTrialResult::default();
+    for handle in writer_handles {
+        total.writer_ops += handle.join().expect("writer thread panicked");
+    }
+    for handle in scan_handles {
+        let partial = handle.join().expect("scanner thread panicked");
+        total.scans += partial.scans;
+        total.scan_pairs += partial.scan_pairs;
+        total.tearing_violations += partial.tearing_violations;
+    }
+    total.elapsed_secs = started.elapsed().as_secs_f64();
+    total
+}
+
+/// Run the baseline arm: the same scans-vs-writers shape against the
+/// bundled skip list.  Writers churn single keys (remove + reinsert with a
+/// fresh value — the strongest update the baseline can express atomically);
+/// scanners run full timestamped range scans.  A scan that returns a
+/// duplicate key is counted as a tearing violation (a linearizable scan
+/// must never produce one); absent keys are legitimate (a writer may be
+/// between its remove and its reinsert).
+pub fn run_bundle_scan_trial(
+    list: &Arc<BundledSkipList<u64, u64>>,
+    accounts: u64,
+    writer_threads: usize,
+    scan_threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> SnapshotScanTrialResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    let writer_handles: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let list = Arc::clone(list);
+            let stop = Arc::clone(&stop);
+            let seed = seed ^ ((t as u64 + 1) * 0xC13F);
+            thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..accounts);
+                    if list.remove(&key) {
+                        list.insert(key, committed);
+                        committed += 1;
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+
+    let scan_handles: Vec<_> = (0..scan_threads)
+        .map(|_| {
+            let list = Arc::clone(list);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut partial = SnapshotScanTrialResult::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let pairs = list.range(&0, &(accounts - 1));
+                    let mut keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
+                    keys.dedup();
+                    if keys.len() != pairs.len() {
+                        partial.tearing_violations += 1;
+                    }
+                    partial.scan_pairs += pairs.len() as u64;
+                    partial.scans += 1;
+                }
+                partial
+            })
+        })
+        .collect();
+
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = SnapshotScanTrialResult::default();
+    for handle in writer_handles {
+        total.writer_ops += handle.join().expect("writer thread panicked");
+    }
+    for handle in scan_handles {
+        let partial = handle.join().expect("scanner thread panicked");
+        total.scans += partial.scans;
+        total.scan_pairs += partial.scan_pairs;
+        total.tearing_violations += partial.tearing_violations;
+    }
+    total.elapsed_secs = started.elapsed().as_secs_f64();
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_scan_trial_sees_no_tearing() {
+        let map: Arc<SkipHash<u64, u64>> = Arc::new(SkipHash::new());
+        prefill_accounts(&map, 256, 100);
+        let result = run_snapshot_scan_trial(&map, 256, 100, 2, 2, Duration::from_millis(150), 41);
+        assert!(result.scans > 0, "scanners made no progress");
+        assert!(result.writer_ops > 0, "writers made no progress");
+        assert_eq!(result.scan_pairs, result.scans * 256);
+        assert_eq!(
+            result.tearing_violations, 0,
+            "a pinned scan observed a torn transfer"
+        );
+        assert!(result.scan_pairs_mops() > 0.0);
+        assert!(result.writer_mops() > 0.0);
+        // The trial ends with no snapshot live, so custody has fully drained.
+        assert_eq!(skiphash_stm::snapshot::live_history_entries(), 0);
+        map.check_invariants().expect("invariants after trial");
+    }
+
+    #[test]
+    fn bundle_scan_trial_runs_and_scans_stay_duplicate_free() {
+        let list: Arc<BundledSkipList<u64, u64>> = Arc::new(BundledSkipList::new(
+            16,
+            skiphash_baselines::TimestampMode::Rdtscp,
+        ));
+        for key in 0..256u64 {
+            list.insert(key, 100);
+        }
+        let result = run_bundle_scan_trial(&list, 256, 2, 2, Duration::from_millis(150), 43);
+        assert!(result.scans > 0, "scanners made no progress");
+        assert!(result.writer_ops > 0, "writers made no progress");
+        assert_eq!(
+            result.tearing_violations, 0,
+            "a bundled scan returned a duplicate key"
+        );
+        assert!(result.scan_pairs_mops() > 0.0);
+    }
+}

@@ -78,6 +78,7 @@ pub mod node;
 pub mod range;
 pub mod rqc;
 pub mod skiplist;
+pub mod snapshot;
 pub mod thread_slots;
 pub mod view;
 
@@ -85,6 +86,7 @@ pub use config::{Config, RangePolicy, RemovalPolicy, SkipHashBuilder};
 pub use hashmap::TxHashMap;
 pub use map::{RangeStats, SkipHash};
 pub use range::Range;
+pub use snapshot::Snapshot;
 pub use view::{Compute, TxView};
 
 use std::hash::Hash;

@@ -18,6 +18,7 @@ use crate::hashmap::TxHashMap;
 use crate::node::NodeRef;
 use crate::rqc::{DeferralBuffer, Rqc};
 use crate::skiplist::SkipList;
+use crate::snapshot::Snapshot;
 use crate::thread_slots;
 use crate::view::{Compute, TxView};
 use crate::{MapKey, MapValue};
@@ -153,6 +154,19 @@ impl TxPopulation {
             total += shard.read(tx)?;
         }
         Ok(total)
+    }
+
+    /// The population as of `pin`'s version, in `O(shards)` pinned reads.
+    ///
+    /// Exact without a transaction: each shard resolves to its value at the
+    /// pinned version, and a commit stamps all its writes (shard bump
+    /// included) with one timestamp, so the sum reflects precisely the
+    /// updates committed at or before the pin.
+    pub(crate) fn sum_pinned(&self, pin: &skiphash_stm::SnapshotPin) -> i64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.read_pinned_with(pin, |v| *v))
+            .sum()
     }
 }
 
@@ -385,6 +399,30 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                 .slow_complete
                 .load(Ordering::Relaxed),
         }
+    }
+
+    /// Pin the map's current version and return a read-only [`Snapshot`]
+    /// frozen at it.
+    ///
+    /// The snapshot serves `get` / `range` / `to_vec` / `len` exactly as the
+    /// map stood at the pin, for as long as the handle lives, while writers
+    /// commit freely — an MVCC time-travel read.  Superseded payloads the
+    /// snapshot still needs are retained by the STM's snapshot registry and
+    /// released when the last snapshot covering them is dropped, so
+    /// retention is bounded by live snapshots (see `docs/PERF.md`).
+    ///
+    /// ```
+    /// use skiphash::SkipHash;
+    ///
+    /// let map: SkipHash<u64, u64> = SkipHash::new();
+    /// map.insert(1, 10);
+    /// let snap = map.snapshot();
+    /// map.insert(2, 20);
+    /// assert_eq!(snap.len(), 1, "later inserts are invisible");
+    /// assert_eq!(map.len(), 2);
+    /// ```
+    pub fn snapshot(&self) -> Snapshot<K, V> {
+        Snapshot::new(Arc::clone(&self.inner), self.inner.stm.pin_snapshot())
     }
 
     /// Open a transactional view of this map inside the caller-owned

@@ -117,10 +117,10 @@ pub struct Level<K, V> {
 }
 
 impl<K, V> Level<K, V> {
-    fn empty() -> Self {
+    fn empty_at(born: u64) -> Self {
         Self {
-            pred: TCell::new(None),
-            succ: TCell::new(None),
+            pred: TCell::new_at(None, born),
+            succ: TCell::new_at(None, born),
         }
     }
 }
@@ -398,6 +398,7 @@ fn alloc_node<K: MapKey, V: MapValue>(
     value: Option<V>,
     height: usize,
     i_time: u64,
+    born: u64,
 ) -> NodeRef<K, V> {
     assert!(height >= 1, "node height must be at least 1");
     let (layout, tower_offset) = block_layout::<K, V>(height);
@@ -411,16 +412,16 @@ fn alloc_node<K: MapKey, V: MapValue>(
     unsafe {
         let tower = raw.add(tower_offset).cast::<Level<K, V>>();
         for level in 0..height {
-            tower.add(level).write(Level::empty());
+            tower.add(level).write(Level::empty_at(born));
         }
         let block = raw.cast::<NodeBlock<K, V>>();
         addr_of_mut!((*block).refs).write(AtomicUsize::new(1));
         addr_of_mut!((*block).node).write(Node {
             bound,
             height,
-            value: TCell::new(value),
-            i_time: TCell::new(i_time),
-            r_time: TCell::new(None),
+            value: TCell::new_at(value, born),
+            i_time: TCell::new_at(i_time, born),
+            r_time: TCell::new_at(None, born),
             tower: NonNull::new_unchecked(tower),
         });
         NodeRef {
@@ -437,15 +438,19 @@ impl<K: MapKey, V: MapValue> Node<K, V> {
     /// the handle's epoch-deferred release keeps the block alive through a
     /// potential rollback (see the module docs), which is what
     /// `Txn::keep_alive` had to guarantee by hand for `Arc` nodes.
+    /// `born` stamps every cell's initial ownership-record version; pass the
+    /// creating attempt's [`read version`](skiphash_stm::Txn::read_version)
+    /// so MVCC snapshots pinned *before* the node existed never mistake its
+    /// cells for state they must preserve (see [`TCell::new_at`]).
     #[allow(clippy::new_ret_no_self)] // NodeRef is the Arc-style handle to a Node
-    pub fn new(key: K, value: V, height: usize, i_time: u64) -> NodeRef<K, V> {
-        alloc_node(Bound::Key(key), Some(value), height, i_time)
+    pub fn new(key: K, value: V, height: usize, i_time: u64, born: u64) -> NodeRef<K, V> {
+        alloc_node(Bound::Key(key), Some(value), height, i_time, born)
     }
 
     /// Create one of the two sentinel nodes with a full-height tower.
     pub fn sentinel(bound: Bound<K>, height: usize) -> NodeRef<K, V> {
         debug_assert!(matches!(bound, Bound::NegInf | Bound::PosInf));
-        alloc_node(bound, None, height, 0)
+        alloc_node(bound, None, height, 0, 0)
     }
 
     /// True for the head or tail sentinel.
@@ -542,7 +547,7 @@ mod tests {
 
     #[test]
     fn new_node_fields() {
-        let n = Node::<u64, String>::new(9, "x".into(), 3, 7);
+        let n = Node::<u64, String>::new(9, "x".into(), 3, 7, 0);
         assert_eq!(n.height, 3);
         assert_eq!(n.tower().len(), 3);
         assert_eq!(*n.key(), 9);
@@ -569,18 +574,18 @@ mod tests {
     #[test]
     fn read_value_inside_transaction() {
         let stm = Stm::new();
-        let n = Node::<u64, u64>::new(1, 10, 1, 0);
+        let n = Node::<u64, u64>::new(1, 10, 1, 0, 0);
         let v = stm.run(|tx| n.read_value(tx));
         assert_eq!(v, 10);
     }
 
     #[test]
     fn clone_and_ptr_eq_follow_arc_semantics() {
-        let a = Node::<u64, u64>::new(1, 1, 2, 0);
+        let a = Node::<u64, u64>::new(1, 1, 2, 0, 0);
         let b = a.clone();
         assert!(NodeRef::ptr_eq(&a, &b));
         assert_eq!(a.ref_count(), 2);
-        let other = Node::<u64, u64>::new(1, 1, 2, 0);
+        let other = Node::<u64, u64>::new(1, 1, 2, 0, 0);
         assert!(!NodeRef::ptr_eq(&a, &other));
         drop(b);
         assert_eq!(a.ref_count(), 1);
@@ -588,8 +593,8 @@ mod tests {
 
     #[test]
     fn sever_links_clears_every_level() {
-        let a = Node::<u64, u64>::new(1, 1, 2, 0);
-        let b = Node::<u64, u64>::new(2, 2, 2, 0);
+        let a = Node::<u64, u64>::new(1, 1, 2, 0, 0);
+        let b = Node::<u64, u64>::new(2, 2, 2, 0, 0);
         for l in 0..2 {
             a.level(l).succ.store_atomic(Some(b.clone()));
             b.level(l).pred.store_atomic(Some(a.clone()));
@@ -608,7 +613,7 @@ mod tests {
         // node from a recycled block (same height class).
         let before = arena::node_recycle_hits();
         for _ in 0..2_000u64 {
-            let n = Node::<u64, u64>::new(1, 1, 4, 0);
+            let n = Node::<u64, u64>::new(1, 1, 4, 0, 0);
             drop(n);
             drop(epoch::pin());
         }
@@ -624,7 +629,7 @@ mod tests {
         // header and tower; run enough cycles for blocks to recycle so a
         // leak or double free would trip ASan / the drop balance elsewhere.
         for i in 0..500u64 {
-            let n = Node::<String, String>::new(format!("k{i}"), format!("v{i}"), 3, 0);
+            let n = Node::<String, String>::new(format!("k{i}"), format!("v{i}"), 3, 0, 0);
             assert_eq!(*n.key(), format!("k{i}"));
             drop(n);
             drop(epoch::pin());

@@ -84,7 +84,7 @@ impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Range<K, V> {
 
 /// `Bound<&K> -> Bound<K>` (we hold owned bounds so retry loops can re-borrow
 /// them without lifetime gymnastics; `Bound::cloned` needs K: Clone anyway).
-fn clone_bound<K: Clone>(bound: StdBound<&K>) -> StdBound<K> {
+pub(crate) fn clone_bound<K: Clone>(bound: StdBound<&K>) -> StdBound<K> {
     match bound {
         StdBound::Included(k) => StdBound::Included(k.clone()),
         StdBound::Excluded(k) => StdBound::Excluded(k.clone()),
@@ -92,7 +92,7 @@ fn clone_bound<K: Clone>(bound: StdBound<&K>) -> StdBound<K> {
     }
 }
 
-fn bound_as_ref<K>(bound: &StdBound<K>) -> StdBound<&K> {
+pub(crate) fn bound_as_ref<K>(bound: &StdBound<K>) -> StdBound<&K> {
     match bound {
         StdBound::Included(k) => StdBound::Included(k),
         StdBound::Excluded(k) => StdBound::Excluded(k),
@@ -102,7 +102,7 @@ fn bound_as_ref<K>(bound: &StdBound<K>) -> StdBound<&K> {
 
 /// True when no key can satisfy the pair of bounds (start above end).
 /// `BTreeMap::range` panics here; a concurrent map yields emptiness instead.
-fn range_is_empty<K: Ord>(start: &StdBound<K>, end: &StdBound<K>) -> bool {
+pub(crate) fn range_is_empty<K: Ord>(start: &StdBound<K>, end: &StdBound<K>) -> bool {
     match (start, end) {
         (StdBound::Included(l), StdBound::Included(h)) => l > h,
         (StdBound::Included(l), StdBound::Excluded(h))
@@ -113,7 +113,7 @@ fn range_is_empty<K: Ord>(start: &StdBound<K>, end: &StdBound<K>) -> bool {
 }
 
 /// True when a node at `position` still lies at or below the end bound.
-fn end_allows<K: Ord>(position: &NodeBound<K>, end: StdBound<&K>) -> bool {
+pub(crate) fn end_allows<K: Ord>(position: &NodeBound<K>, end: StdBound<&K>) -> bool {
     match end {
         StdBound::Unbounded => true,
         StdBound::Included(h) => position.is_at_most(h),

@@ -276,7 +276,7 @@ mod tests {
     use skiphash_stm::Stm;
 
     fn node(key: u64, i_time: u64) -> NodeRef<u64, u64> {
-        Node::new(key, key, 1, i_time)
+        Node::new(key, key, 1, i_time, 0)
     }
 
     #[test]

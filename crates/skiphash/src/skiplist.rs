@@ -211,30 +211,100 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// First node (logically present *or* deleted) whose key is `>= key`,
     /// possibly the tail sentinel.
     pub fn ceil_raw(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
-        let (_, succs) = self.find_position(tx, key)?;
-        Ok(succs[0].clone())
+        let raw = self.ceil_raw_borrowed(tx, key)?;
+        // SAFETY: obtained under the still-running attempt `tx`.
+        Ok(unsafe { raw.upgrade() })
+    }
+
+    /// Borrowed-handle tower descent: the first node at level 0 whose key is
+    /// `>= key` (possibly the tail sentinel), with zero refcount traffic —
+    /// the point-query sibling of [`SkipList::find_position`]'s hop recipe.
+    ///
+    /// The returned handle obeys the [`RawNode`] validity contract (valid
+    /// within the attempt `tx`).
+    fn ceil_raw_borrowed(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<RawNode<K, V>> {
+        // SAFETY (for every `node()` below): each handle was read through a
+        // link cell inside this same attempt, whose epoch guard stays pinned
+        // for the whole call.
+        let mut pred = RawNode::from_ref(&self.head);
+        for level in (1..self.max_level).rev() {
+            loop {
+                let next = unsafe { pred.node() }
+                    .level(level)
+                    .succ
+                    .read_with(tx, RawNode::from_link)?
+                    .expect("levels are always terminated by the tail sentinel");
+                if unsafe { next.node() }.bound.is_before(key) {
+                    pred = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut curr = unsafe { pred.node() }
+            .level(0)
+            .succ
+            .read_with(tx, RawNode::from_link)?
+            .expect("levels are always terminated by the tail sentinel");
+        while unsafe { curr.node() }.bound.is_before(key) {
+            curr = unsafe { curr.node() }
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+        }
+        Ok(curr)
+    }
+
+    /// Hop forward (level 0) over logically deleted nodes, borrowed.
+    fn skip_deleted_forward(
+        &self,
+        tx: &mut Txn<'_>,
+        mut node: RawNode<K, V>,
+    ) -> TxResult<RawNode<K, V>> {
+        // SAFETY: as in `ceil_raw_borrowed` — same attempt, guard pinned.
+        while !unsafe { node.node() }.is_tail()
+            && unsafe { node.node() }
+                .r_time
+                .read_with(tx, Option::is_some)?
+        {
+            node = unsafe { node.node() }
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+        }
+        Ok(node)
     }
 
     /// First *logically present* node whose key is `>= key`, possibly the
     /// tail sentinel.
     pub fn ceil_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
-        let mut node = self.ceil_raw(tx, key)?;
-        while !node.is_tail() && node.is_logically_deleted(tx)? {
-            node = node.succ0(tx)?;
-        }
-        Ok(node)
+        let raw = self.ceil_raw_borrowed(tx, key)?;
+        let node = self.skip_deleted_forward(tx, raw)?;
+        // SAFETY: obtained under the still-running attempt `tx`.
+        Ok(unsafe { node.upgrade() })
     }
 
     /// First logically present node whose key is strictly `> key`, possibly
     /// the tail sentinel.
     pub fn succ_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
-        let mut node = self.ceil_raw(tx, key)?;
-        while !node.is_tail()
-            && (node.is_logically_deleted(tx)? || node.bound.cmp_key(key) == Ordering::Equal)
+        let mut node = self.ceil_raw_borrowed(tx, key)?;
+        // SAFETY: as in `ceil_raw_borrowed` — same attempt, guard pinned.
+        while !unsafe { node.node() }.is_tail()
+            && (unsafe { node.node() }
+                .r_time
+                .read_with(tx, Option::is_some)?
+                || unsafe { node.node() }.bound.cmp_key(key) == Ordering::Equal)
         {
-            node = node.succ0(tx)?;
+            node = unsafe { node.node() }
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
         }
-        Ok(node)
+        // SAFETY: obtained under the still-running attempt `tx`.
+        Ok(unsafe { node.upgrade() })
     }
 
     /// Last logically present node whose key is `<= key`, possibly the head
@@ -254,29 +324,40 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     /// Last logically present node whose key is strictly `< key`, possibly
     /// the head sentinel.
     pub fn pred_present(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<NodeRef<K, V>> {
-        let raw = self.ceil_raw(tx, key)?;
-        let mut node = raw
+        let raw = self.ceil_raw_borrowed(tx, key)?;
+        // SAFETY: as in `ceil_raw_borrowed` — same attempt, guard pinned.
+        let mut node = unsafe { raw.node() }
             .level(0)
             .pred
-            .read(tx)?
+            .read_with(tx, RawNode::from_link)?
             .expect("interior nodes always have a level-0 predecessor");
-        while !node.is_head() && node.is_logically_deleted(tx)? {
-            node = node
+        while !unsafe { node.node() }.is_head()
+            && unsafe { node.node() }
+                .r_time
+                .read_with(tx, Option::is_some)?
+        {
+            node = unsafe { node.node() }
                 .level(0)
                 .pred
-                .read(tx)?
+                .read_with(tx, RawNode::from_link)?
                 .expect("interior nodes always have a level-0 predecessor");
         }
-        Ok(node)
+        // SAFETY: obtained under the still-running attempt `tx`.
+        Ok(unsafe { node.upgrade() })
     }
 
     /// First logically present node in the list (possibly the tail sentinel).
     pub fn first_present(&self, tx: &mut Txn<'_>) -> TxResult<NodeRef<K, V>> {
-        let mut node = self.head.succ0(tx)?;
-        while !node.is_tail() && node.is_logically_deleted(tx)? {
-            node = node.succ0(tx)?;
-        }
-        Ok(node)
+        // SAFETY: as in `ceil_raw_borrowed` — same attempt, guard pinned.
+        let raw = RawNode::from_ref(&self.head);
+        let first = unsafe { raw.node() }
+            .level(0)
+            .succ
+            .read_with(tx, RawNode::from_link)?
+            .expect("levels are always terminated by the tail sentinel");
+        let node = self.skip_deleted_forward(tx, first)?;
+        // SAFETY: obtained under the still-running attempt `tx`.
+        Ok(unsafe { node.upgrade() })
     }
 
     /// Insert a new node for `key`.
@@ -320,14 +401,27 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         // block through the epoch *under this attempt's pin*, so the block
         // provably outlives the rollback that restores these cells — see the
         // lifetime rules in `crate::node`.
-        let node = Node::new(key, value, height, i_time);
+        // Born at this attempt's read version: cells stamped 0 would look
+        // older than every pinned snapshot, so the first overwrite of each
+        // would be preserved forever-growing custody; stamped at `rv`, a
+        // node born after a pin is provably outside its window.
+        let node = Node::new(key, value, height, i_time, tx.read_version());
         for level in 0..height {
+            // The fresh node is unreachable until the neighbour writes below
+            // commit, so its own links need no transactional instrumentation:
+            // `store_atomic` installs them at the birth version, outside the
+            // write set and undo log (an abort simply drops the node).
+            // Readers still see them initialized — the data swap here is
+            // ordered before the neighbour's commit-time orec release, which
+            // is what publishes the node.  This also keeps snapshot custody
+            // from preserving the `None` placeholders transactional writes
+            // would displace on every insert.
             node.level(level)
                 .pred
-                .write(tx, Some(preds[level].clone()))?;
+                .store_atomic(Some(preds[level].clone()));
             node.level(level)
                 .succ
-                .write(tx, Some(succs[level].clone()))?;
+                .store_atomic(Some(succs[level].clone()));
         }
         for level in 0..height {
             preds[level]
@@ -617,6 +711,79 @@ mod tests {
         // Present view only sees the fresh value.
         let pairs = stm.run(|tx| list.collect_present(tx));
         assert_eq!(pairs, vec![(5, 55)]);
+        assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
+    }
+
+    #[test]
+    fn borrowed_point_queries_match_slow_reference() {
+        // Regression for the borrowed-hop rewrite of the point queries:
+        // ceil/succ/floor/pred/first must agree with the reference answers
+        // computed from the full present-key set, including around lingering
+        // logically deleted nodes and re-inserted duplicates.
+        use std::collections::BTreeSet;
+        let stm = Stm::new();
+        let list: SkipList<u64, u64> = SkipList::new(8);
+        let mut rng = rand::thread_rng();
+        let mut present: BTreeSet<u64> = BTreeSet::new();
+        for k in [10u64, 3, 7, 15, 12, 9, 1, 20, 5, 17] {
+            let h = list.random_height(&mut rng);
+            stm.run(|tx| {
+                list.insert_after_logical_deletes(tx, k, k, h, 0)
+                    .map(|_| ())
+            });
+            present.insert(k);
+        }
+        // Logically delete a few nodes without unstitching them.
+        for k in [7u64, 15, 1] {
+            stm.run(|tx| {
+                let n = list.ceil_raw(tx, &k)?;
+                n.r_time.write(tx, Some(1))
+            });
+            present.remove(&k);
+        }
+        // Re-insert one key so a deleted duplicate precedes a present node.
+        let h = list.random_height(&mut rng);
+        stm.run(|tx| {
+            list.insert_after_logical_deletes(tx, 7, 70, h, 1)
+                .map(|_| ())
+        });
+        present.insert(7);
+
+        let key_of = |n: &NodeRef<u64, u64>| {
+            if n.is_sentinel() {
+                None
+            } else {
+                Some(*n.key())
+            }
+        };
+        for probe in 0..=22u64 {
+            let ceil = stm.run(|tx| Ok(key_of(&list.ceil_present(tx, &probe)?)));
+            assert_eq!(
+                ceil,
+                present.range(probe..).next().copied(),
+                "ceil({probe})"
+            );
+            let succ = stm.run(|tx| Ok(key_of(&list.succ_present(tx, &probe)?)));
+            assert_eq!(
+                succ,
+                present.range(probe + 1..).next().copied(),
+                "succ({probe})"
+            );
+            let floor = stm.run(|tx| Ok(key_of(&list.floor_present(tx, &probe)?)));
+            assert_eq!(
+                floor,
+                present.range(..=probe).next_back().copied(),
+                "floor({probe})"
+            );
+            let pred = stm.run(|tx| Ok(key_of(&list.pred_present(tx, &probe)?)));
+            assert_eq!(
+                pred,
+                present.range(..probe).next_back().copied(),
+                "pred({probe})"
+            );
+        }
+        let first = stm.run(|tx| Ok(key_of(&list.first_present(tx)?)));
+        assert_eq!(first, present.iter().next().copied());
         assert_eq!(stm.run(|tx| list.check_invariants(tx)), Ok(()));
     }
 

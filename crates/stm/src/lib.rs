@@ -95,12 +95,14 @@ pub mod error;
 pub mod orec;
 mod scratch;
 mod slab;
+pub mod snapshot;
 pub mod stats;
 pub mod tcell;
 pub mod txn;
 
 pub use clock::{ClockKind, ClockSource, CommitStamp};
 pub use error::{TxAbort, TxResult};
+pub use snapshot::SnapshotPin;
 pub use stats::{StatsSnapshot, StmStats};
 pub use tcell::TCell;
 pub use txn::{atomically, Stm, StmBuilder, Txn};

@@ -215,6 +215,9 @@ pub(crate) struct TxnScratch {
     pub(crate) retired: Bag,
     pub(crate) keepalive: Vec<Arc<dyn Any + Send + Sync>>,
     pub(crate) post_commit: Vec<PostCommit>,
+    /// Snapshot pin versions collected at commit time (only when pins are
+    /// live); reused so pin collection never allocates in steady state.
+    pub(crate) pins: Vec<u64>,
 }
 
 impl TxnScratch {
@@ -226,6 +229,7 @@ impl TxnScratch {
             retired: Bag::new(),
             keepalive: Vec::new(),
             post_commit: Vec::new(),
+            pins: Vec::new(),
         }
     }
 
@@ -240,6 +244,7 @@ impl TxnScratch {
         self.writes.clear();
         self.keepalive.clear();
         self.post_commit.clear();
+        self.pins.clear();
     }
 }
 

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::arena;
 use crate::error::TxAbort;
+use crate::snapshot;
 
 /// Shared, concurrently updated statistics for one [`crate::Stm`] instance.
 ///
@@ -20,7 +21,10 @@ use crate::error::TxAbort;
 /// structure belonged to), so the live counters live in [`crate::arena`] and
 /// this struct only keeps the *baseline* captured at construction / reset,
 /// letting [`StmStats::snapshot`] report per-trial deltas like every other
-/// counter.
+/// counter.  The snapshot-custody counters (`snapshot_preserved` /
+/// `snapshot_freed`) follow the same scheme: the history side table is
+/// process-global, so the live totals live in [`crate::snapshot`] and only
+/// the baselines are per-instance.
 #[derive(Debug, Default)]
 pub struct StmStats {
     commits: AtomicU64,
@@ -34,6 +38,8 @@ pub struct StmStats {
     slab_recycle_hits: AtomicU64,
     node_recycle_baseline: AtomicU64,
     chain_recycle_baseline: AtomicU64,
+    snapshot_preserved_baseline: AtomicU64,
+    snapshot_freed_baseline: AtomicU64,
 }
 
 impl StmStats {
@@ -50,6 +56,12 @@ impl StmStats {
         stats
             .chain_recycle_baseline
             .store(arena::chain_recycle_hits(), Ordering::Relaxed);
+        stats
+            .snapshot_preserved_baseline
+            .store(snapshot::preserved_total(), Ordering::Relaxed);
+        stats
+            .snapshot_freed_baseline
+            .store(snapshot::freed_total(), Ordering::Relaxed);
         stats
     }
 
@@ -105,6 +117,10 @@ impl StmStats {
                 .saturating_sub(self.node_recycle_baseline.load(Ordering::Relaxed)),
             chain_recycle_hits: arena::chain_recycle_hits()
                 .saturating_sub(self.chain_recycle_baseline.load(Ordering::Relaxed)),
+            snapshot_preserved: snapshot::preserved_total()
+                .saturating_sub(self.snapshot_preserved_baseline.load(Ordering::Relaxed)),
+            snapshot_freed: snapshot::freed_total()
+                .saturating_sub(self.snapshot_freed_baseline.load(Ordering::Relaxed)),
         }
     }
 
@@ -127,6 +143,10 @@ impl StmStats {
             .store(arena::node_recycle_hits(), Ordering::Relaxed);
         self.chain_recycle_baseline
             .store(arena::chain_recycle_hits(), Ordering::Relaxed);
+        self.snapshot_preserved_baseline
+            .store(snapshot::preserved_total(), Ordering::Relaxed);
+        self.snapshot_freed_baseline
+            .store(snapshot::freed_total(), Ordering::Relaxed);
     }
 }
 
@@ -161,6 +181,13 @@ pub struct StatsSnapshot {
     /// Hash-chain buffers served from recycled arena memory rather than the
     /// global allocator (same baseline semantics as `node_recycle_hits`).
     pub chain_recycle_hits: u64,
+    /// Displaced values preserved for live snapshot pins instead of being
+    /// retired (process-wide, relative to this instance's baseline — see
+    /// [`StmStats`]).
+    pub snapshot_preserved: u64,
+    /// Preserved values freed again after the pins needing them dropped
+    /// (same baseline semantics as `snapshot_preserved`).
+    pub snapshot_freed: u64,
 }
 
 impl StatsSnapshot {
@@ -196,6 +223,8 @@ impl StatsSnapshot {
             slab_recycle_hits: self.slab_recycle_hits - earlier.slab_recycle_hits,
             node_recycle_hits: self.node_recycle_hits - earlier.node_recycle_hits,
             chain_recycle_hits: self.chain_recycle_hits - earlier.chain_recycle_hits,
+            snapshot_preserved: self.snapshot_preserved - earlier.snapshot_preserved,
+            snapshot_freed: self.snapshot_freed - earlier.snapshot_freed,
         }
     }
 }
@@ -205,7 +234,7 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "commits={} (ro={}, noval={}) aborts={} [read={} write={} validation={} explicit={}] \
-             dedup={} slab={} node={} chain={}",
+             dedup={} slab={} node={} chain={} snap={}/{}",
             self.commits,
             self.read_only_commits,
             self.validation_skipped_commits,
@@ -218,6 +247,8 @@ impl fmt::Display for StatsSnapshot {
             self.slab_recycle_hits,
             self.node_recycle_hits,
             self.chain_recycle_hits,
+            self.snapshot_preserved,
+            self.snapshot_freed,
         )
     }
 }
@@ -243,12 +274,15 @@ mod tests {
         assert!((snap.abort_rate() - 1.5).abs() < 1e-9);
     }
 
-    /// Zero the process-global arena fields: concurrently running tests may
-    /// recycle blocks between a `reset` and the `snapshot` under assertion,
-    /// and those deltas are legitimate.
+    /// Zero the process-global fields (arena and snapshot custody):
+    /// concurrently running tests may recycle blocks or move history entries
+    /// between a `reset` and the `snapshot` under assertion, and those
+    /// deltas are legitimate.
     fn without_arena_counters(mut snap: StatsSnapshot) -> StatsSnapshot {
         snap.node_recycle_hits = 0;
         snap.chain_recycle_hits = 0;
+        snap.snapshot_preserved = 0;
+        snap.snapshot_freed = 0;
         snap
     }
 

@@ -8,6 +8,7 @@ use crossbeam_epoch::{self as epoch, Atomic, Shared};
 use crate::error::TxResult;
 use crate::orec::{Orec, OrecState};
 use crate::slab;
+use crate::snapshot::{self, CommitCtx, SnapshotPin};
 use crate::txn::Txn;
 
 /// A transactionally managed memory location holding a value of type `T`.
@@ -51,11 +52,37 @@ pub struct TCell<T> {
 impl<T> TCell<T> {
     /// Create a new cell holding `value`, with version 0.
     pub fn new(value: T) -> Self {
+        Self::new_at(value, 0)
+    }
+
+    /// Create a new cell holding `value`, with its ownership record already
+    /// at `version` — its *birth version*.
+    ///
+    /// For cells allocated at a runtime's birth, [`TCell::new`] (version 0)
+    /// is always right.  Cells allocated **mid-lifetime** — a fresh node
+    /// spliced into a long-lived structure — should instead be stamped with
+    /// the creating attempt's [`read version`](crate::Txn::read_version):
+    /// the snapshot registry decides whether a displaced payload is still
+    /// needed by comparing pinned versions against the payload's start
+    /// version, and a birth version of 0 makes every later-born cell look
+    /// old enough to matter to *every* live snapshot, turning bounded
+    /// custody into custody that grows with allocation churn.
+    ///
+    /// # Contract
+    ///
+    /// `version` must have been issued by the clock of the
+    /// [`Stm`](crate::Stm) runtime that will manage this cell (any value at
+    /// or below the clock's current reading, such as a transaction's read
+    /// version).  A made-up version breaks snapshot validation: readers
+    /// abort on any version above their read version, so a cell stamped
+    /// ahead of the clock conflicts with every transaction until the clock
+    /// catches up.
+    pub fn new_at(value: T, version: u64) -> Self {
         let (ptr, _) = slab::alloc_value(value);
         let data = Atomic::null();
         data.store(Shared::from(ptr as *const T), Ordering::Relaxed);
         Self {
-            orec: Orec::new(0),
+            orec: Orec::new(version),
             data,
         }
     }
@@ -157,6 +184,72 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
         }
     }
 
+    /// Resolve the cell at a pinned snapshot version, mapping the resolved
+    /// value through `f` by reference.
+    ///
+    /// Returns exactly the value that was committed at the pin's version:
+    /// the current payload when the cell has not been written since the pin,
+    /// otherwise the payload preserved for the pin by the displacing commit
+    /// (see the `snapshot` module docs for the custody protocol).  Never
+    /// aborts and never conflicts with writers — at worst it spins briefly
+    /// while the location is locked by an in-flight commit.
+    ///
+    /// `f` must be a pure function of its argument: on the current-value
+    /// path the orec is re-validated after `f` runs and a concurrent change
+    /// retries, so `f` may observe a value that is then discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` was created by a different [`crate::Stm`] runtime
+    /// than the one whose transactions version this cell — clock domains are
+    /// incomparable, and the history the pin relies on was never preserved.
+    /// (This is detectable only indirectly, as a missing history entry.)
+    pub fn read_pinned_with<R>(&self, pin: &SnapshotPin, f: impl Fn(&T) -> R) -> R {
+        let p = pin.version();
+        let backoff = crossbeam_utils::Backoff::new();
+        loop {
+            let o1 = self.orec.raw();
+            match Orec::decode_raw(o1) {
+                OrecState::Unlocked { version } if version <= p => {
+                    // Not written since the pin: the current payload *is* the
+                    // payload at version `p`.  Same validated optimistic read
+                    // as `load_atomic`, minus the clone.
+                    let guard = epoch::pin();
+                    let shared = self.data.load(Ordering::Acquire, &guard);
+                    // SAFETY: protected by the pinned guard; a concurrent
+                    // replacement defers reclamation past it, and the re-check
+                    // below discards the result.
+                    let result = f(unsafe { shared.deref() });
+                    if self.orec.raw() == o1 {
+                        return result;
+                    }
+                }
+                OrecState::Unlocked { .. } => {
+                    // Written after the pin: the payload at `p` was displaced
+                    // and — because the displacing commit either collected
+                    // this pin or its stamp precedes it — preserved in the
+                    // history table (push precedes the orec release we just
+                    // observed, so the entry is visible).
+                    // SAFETY: `self` is a live `TCell<T>`, so every history
+                    // entry keyed on its address holds a `T`.
+                    let resolved = unsafe {
+                        snapshot::read_history::<T, R>(self as *const Self as usize, p, &f)
+                    };
+                    match resolved {
+                        Some(result) => return result,
+                        None => panic!(
+                            "snapshot pin at version {p} found no history for a cell at \
+                             version {:?}; was the pin created by a different Stm runtime?",
+                            Orec::decode_raw(o1)
+                        ),
+                    }
+                }
+                OrecState::Locked { .. } => {}
+            }
+            backoff.snooze();
+        }
+    }
+
     /// Read the cell outside of any transaction.
     ///
     /// Spins until it observes the location unlocked with an unchanged
@@ -186,6 +279,13 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
 
 impl<T> Drop for TCell<T> {
     fn drop(&mut self) {
+        // Snapshot custody may still hold payloads this cell displaced; they
+        // are dead now (no pinned reader can reach a cell being torn down)
+        // and the chain must not survive the address being reused.  Gated so
+        // snapshot-free workloads never touch the table.
+        if snapshot::any_history() {
+            snapshot::purge_cell(self as *const Self as usize);
+        }
         // We have exclusive access; reclaim the current value immediately
         // (returning its block to the slab).
         // SAFETY: `&mut self` guarantees no concurrent access, and the
@@ -233,22 +333,39 @@ pub(crate) struct WriteEntry {
     cell: *const (),
     old_version: u64,
     old_data: *const (),
-    commit_fn: unsafe fn(*const (), *const (), &mut epoch::Bag, u64),
+    commit_fn: unsafe fn(*const (), *const (), u64, &mut epoch::Bag, u64, &CommitCtx<'_>),
     abort_fn: unsafe fn(*const (), *const (), u64, &epoch::Guard, &mut epoch::Bag),
 }
 
 unsafe fn commit_write<T: Send + Sync + 'static>(
     cell: *const (),
     old_data: *const (),
+    old_version: u64,
     retired: &mut epoch::Bag,
     version: u64,
+    ctx: &CommitCtx<'_>,
 ) {
     // SAFETY: forwarded from `WriteEntry::commit`'s contract; `old_data` was
     // displaced by this transaction's own write and is unreachable to new
     // readers.
     unsafe {
         if !old_data.is_null() {
-            retired.defer_with(old_data as *mut (), slab::drop_glue::<T>());
+            if ctx.covers(old_version, version) {
+                // A live snapshot pin resolves inside this payload's validity
+                // window `[old_version, version)`: preserve it in the history
+                // table instead of retiring it.  The push must precede the
+                // orec release below — a pinned reader that observes the new
+                // version must find the entry.
+                snapshot::push_history(
+                    cell as usize,
+                    ctx.tag,
+                    old_version,
+                    old_data as *mut (),
+                    slab::drop_glue::<T>(),
+                );
+            } else {
+                retired.defer_with(old_data as *mut (), slab::drop_glue::<T>());
+            }
         }
         (*(cell as *const TCell<T>)).orec.release(version);
     }
@@ -289,17 +406,32 @@ impl WriteEntry {
         }
     }
 
-    /// Park the pre-transaction value in `retired` and release the orec at
-    /// `version`.  Called on commit.
+    /// Park the pre-transaction value in `retired` (or preserve it for a
+    /// live snapshot pin per `ctx`) and release the orec at `version`.
+    /// Called on commit.
     ///
     /// # Safety
     ///
     /// Must only be called by the owning transaction, exactly once, with the
     /// transaction's epoch guard still pinned; `retired` must be flushed
     /// through that guard before it is unpinned.
-    pub(crate) unsafe fn commit(&self, retired: &mut epoch::Bag, version: u64) {
+    pub(crate) unsafe fn commit(
+        &self,
+        retired: &mut epoch::Bag,
+        version: u64,
+        ctx: &CommitCtx<'_>,
+    ) {
         // SAFETY: forwarded to the monomorphic glue under the same contract.
-        unsafe { (self.commit_fn)(self.cell, self.old_data, retired, version) }
+        unsafe {
+            (self.commit_fn)(
+                self.cell,
+                self.old_data,
+                self.old_version,
+                retired,
+                version,
+                ctx,
+            )
+        }
     }
 
     /// Restore the pre-transaction value, release the orec at its old

@@ -1,7 +1,7 @@
 //! Transactions and the STM runtime.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 use crossbeam_utils::Backoff;
@@ -9,8 +9,9 @@ use crossbeam_utils::Backoff;
 use crate::clock::{ClockKind, ClockSource};
 use crate::error::{SingleAttemptFailed, TxAbort, TxResult};
 use crate::orec::{Orec, OrecState};
-use crate::scratch::{self, PostCommit, ReadEntry, ScratchLease};
+use crate::scratch::{self, PostCommit, ReadEntry, ScratchLease, TxnScratch};
 use crate::slab;
+use crate::snapshot::{CommitCtx, SnapshotPin, SnapshotRegistry};
 use crate::stats::{StatsSnapshot, StmStats};
 use crate::tcell::{TCell, WriteEntry};
 
@@ -73,6 +74,7 @@ impl StmBuilder {
             clock_kind: kind,
             stats: StmStats::new(),
             attempt_ids: AtomicU64::new(1),
+            snapshots: SnapshotRegistry::new(),
         }
     }
 }
@@ -88,6 +90,7 @@ pub struct Stm {
     clock_kind: ClockKind,
     stats: StmStats,
     attempt_ids: AtomicU64,
+    snapshots: SnapshotRegistry,
 }
 
 impl fmt::Debug for Stm {
@@ -222,6 +225,29 @@ impl Stm {
     /// symmetry with `run`/`try_once`.
     pub fn read_atomic<T: Clone + Send + Sync + 'static>(&self, cell: &TCell<T>) -> T {
         cell.load_atomic()
+    }
+
+    /// Pin the clock's current version for MVCC time-travel reads.
+    ///
+    /// While the returned [`SnapshotPin`] is live, any value displaced by a
+    /// later commit whose validity window contains the pinned version is
+    /// preserved, and [`TCell::read_pinned_with`] resolves every cell of
+    /// this runtime at exactly that version — arbitrarily long after the
+    /// pin, while writers commit freely.  Dropping the pin releases custody;
+    /// retention is bounded by live pins (at most one preserved payload per
+    /// pin per cell), never leaked.  See the [`crate::snapshot`] module docs
+    /// for the full protocol.
+    pub fn pin_snapshot(self: &std::sync::Arc<Self>) -> SnapshotPin {
+        SnapshotPin::new(std::sync::Arc::clone(self))
+    }
+
+    pub(crate) fn snapshot_registry(&self) -> &SnapshotRegistry {
+        &self.snapshots
+    }
+
+    /// The clock's current version (used by snapshot pinning).
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.now()
     }
 }
 
@@ -499,11 +525,33 @@ impl<'stm> Txn<'stm> {
                 }
             }
         }
-        let scratch = &mut *self.scratch;
-        for write in scratch.writes.drain(..) {
+        let TxnScratch {
+            writes,
+            retired,
+            pins,
+            ..
+        } = &mut *self.scratch;
+        // Snapshot custody: collect the pinned versions *after* the tick (a
+        // pin missed here necessarily sampled the clock after our stamp, so
+        // it sits outside every window this commit displaces — see the
+        // `snapshot` module docs).  The `live` gate keeps the snapshot-free
+        // commit path at one load.
+        pins.clear();
+        let ctx = if self.stm.snapshots.live() > 0 {
+            fence(Ordering::SeqCst);
+            let pending = self.stm.snapshots.collect_into(pins);
+            CommitCtx {
+                pins,
+                pending,
+                tag: self.stm as *const Stm as usize,
+            }
+        } else {
+            CommitCtx::NONE
+        };
+        for write in writes.drain(..) {
             // SAFETY: we are the owning transaction and call commit exactly
             // once per entry, with our guard pinned.
-            unsafe { write.commit(&mut scratch.retired, stamp.wv) };
+            unsafe { write.commit(retired, stamp.wv, &ctx) };
         }
         // One batched hand-off to the epoch for the whole commit.
         let guard = self

@@ -157,7 +157,7 @@ fn steady_state_hot_paths_do_not_touch_the_global_allocator() {
     //   minting.
     for height in 1..=20 {
         let nodes: Vec<_> = (0..32)
-            .map(|i| skiphash::node::Node::<u64, u64>::new(i, 0, height, 0))
+            .map(|i| skiphash::node::Node::<u64, u64>::new(i, 0, height, 0, 0))
             .collect();
         drop(nodes);
     }
@@ -203,4 +203,47 @@ fn steady_state_hot_paths_do_not_touch_the_global_allocator() {
         stats.chain_recycle_hits > 0,
         "the arena must be serving hash-chain buffers from recycled memory"
     );
+
+    // ---- 4. Pinned snapshot reads: ZERO allocations.
+    //
+    // A pinned read resolves each cell either against its current payload
+    // (a validated in-place borrow) or against the history side table (a
+    // lookup under a shard lock) — neither path clones into fresh heap
+    // memory for `Copy` values, and no transaction machinery is involved at
+    // all.  Churn *between* the measured windows keeps displacing payloads
+    // the snapshot needs, so the windows exercise the history path (the
+    // commit side pays the preservation cost, outside the windows), and the
+    // population sum below always resolves post-pin shard bumps through it.
+    let snap = map.snapshot();
+    for _ in 0..500 {
+        churn(&map);
+    }
+    let pinned_reads = |snap: &skiphash::Snapshot<u64, u64>| {
+        assert_eq!(snap.get(&7), Some(7));
+        assert_eq!(snap.get(&4_096), None);
+        assert_eq!(snap.len(), 1_024);
+    };
+    for _ in 0..4_000 {
+        pinned_reads(&snap);
+    }
+    let mut zero_windows = 0;
+    let mut measured = Vec::new();
+    for _ in 0..3 {
+        let allocs = count_allocs(|| {
+            for _ in 0..2_000 {
+                pinned_reads(&snap);
+            }
+        });
+        measured.push(allocs);
+        zero_windows += u64::from(allocs == 0);
+        for _ in 0..200 {
+            churn(&map);
+        }
+    }
+    assert!(
+        zero_windows >= 2,
+        "pinned snapshot reads must be allocation-free \
+         (allocations per 2k-read window: {measured:?})"
+    );
+    drop(snap);
 }

@@ -160,6 +160,172 @@ fn disjoint_concurrent_inserts_land_exactly_once() {
     }
 }
 
+/// Snapshots pin exact states: a controller thread mutates its own keyspace,
+/// checkpoints a `BTreeMap` reference, and takes a snapshot after every
+/// batch — while four writer threads storm a disjoint keyspace the whole
+/// time.  Every snapshot, verified both mid-storm and long after later
+/// batches have overwritten everything, must equal its reference model
+/// replayed to the pinned version: same gets, same ranges, same full scan.
+#[test]
+fn snapshots_equal_the_reference_model_replayed_to_their_version() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use skiphash_repro::skiphash::Snapshot;
+    use std::collections::BTreeMap;
+
+    const MODEL_KEYS: u64 = 128; // controller's keyspace: 0..MODEL_KEYS
+    const STORM_BASE: u64 = 1_000_000; // writers churn STORM_BASE..
+    const BATCHES: usize = 40;
+
+    let map = build(
+        RangePolicy::TwoPath { tries: 3 },
+        RemovalPolicy::Buffered(32),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for w in 0..4u64 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        writers.push(thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = STORM_BASE + w * 100_000 + (i % 512);
+                if !map.insert(key, i) {
+                    map.remove(&key);
+                }
+                i = i.wrapping_add(1);
+            }
+        }));
+    }
+
+    let mut rng = SmallRng::seed_from_u64(0x5AA9_0001);
+    let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut pinned: Vec<(Snapshot<u64, u64>, BTreeMap<u64, u64>)> = Vec::new();
+    for batch in 0..BATCHES {
+        for _ in 0..24 {
+            let key = rng.gen_range(0..MODEL_KEYS);
+            if rng.gen::<bool>() {
+                let value = rng.gen::<u32>() as u64;
+                map.upsert(key, value);
+                reference.insert(key, value);
+            } else {
+                assert_eq!(map.remove(&key), reference.remove(&key).is_some());
+            }
+        }
+        let snap = map.snapshot();
+        // Mid-storm spot check: a probe right away, while writers race.
+        let probe = rng.gen_range(0..MODEL_KEYS);
+        assert_eq!(
+            snap.get(&probe),
+            reference.get(&probe).copied(),
+            "batch {batch} probe {probe}"
+        );
+        pinned.push((snap, reference.clone()));
+    }
+
+    // Every snapshot — including the earliest, pinned dozens of committed
+    // batches ago — must still replay exactly to its checkpoint.
+    for (i, (snap, model)) in pinned.iter().enumerate() {
+        let expected: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(
+            snap.range(0..MODEL_KEYS).collect::<Vec<_>>(),
+            expected,
+            "snapshot {i} diverged from its checkpoint"
+        );
+        for key in 0..MODEL_KEYS {
+            assert_eq!(snap.get(&key), model.get(&key).copied(), "snapshot {i}");
+        }
+        // Version order matches checkpoint order.
+        if i > 0 {
+            assert!(pinned[i - 1].0.version() <= snap.version());
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    drop(pinned);
+    map.check_invariants().expect("invariants after stress");
+}
+
+/// No tearing: four writer threads shuffle value between 64 accounts with
+/// atomic two-key transfers, so *every* committed state sums to exactly the
+/// initial total.  Any snapshot — however it interleaves with the transfer
+/// storm — must observe one such state: the full scan sums to the total, the
+/// population never changes, and re-reading a key through `get` agrees with
+/// what the scan reported.
+#[test]
+fn snapshot_reads_never_tear_under_atomic_transfers() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const ACCOUNTS: u64 = 64;
+    const INITIAL: u64 = 1_000;
+
+    let map = build(
+        RangePolicy::TwoPath { tries: 3 },
+        RemovalPolicy::Buffered(32),
+    );
+    for key in 0..ACCOUNTS {
+        assert!(map.insert(key, INITIAL));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for w in 0..4u64 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        writers.push(thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0xBA1A_0000 + w);
+            while !stop.load(Ordering::Relaxed) {
+                let from = rng.gen_range(0..ACCOUNTS);
+                let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
+                let amount = rng.gen_range(1..50u64);
+                map.transact(|v| {
+                    let balance = v.get(&from)?.expect("accounts are never removed");
+                    if balance >= amount {
+                        v.upsert(from, balance - amount)?;
+                        let target = v.get(&to)?.expect("accounts are never removed");
+                        v.upsert(to, target + amount)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_millis(600);
+    let mut audited = 0u64;
+    let mut previous_version = 0u64;
+    while std::time::Instant::now() < deadline {
+        let snap = map.snapshot();
+        assert!(snap.version() >= previous_version, "clock went backwards");
+        previous_version = snap.version();
+        let scan = snap.to_vec();
+        assert_eq!(scan.len() as u64, ACCOUNTS);
+        assert_eq!(snap.len() as u64, ACCOUNTS);
+        let total: u64 = scan.iter().map(|(_, v)| v).sum();
+        assert_eq!(
+            total,
+            ACCOUNTS * INITIAL,
+            "snapshot at version {} observed a torn transfer",
+            snap.version()
+        );
+        // Re-reads through a different access path must agree with the scan.
+        for (key, value) in scan.iter().step_by(7) {
+            assert_eq!(snap.get(key), Some(*value), "tearing within one snapshot");
+        }
+        audited += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    assert!(audited > 0);
+    let final_total: u64 = map.to_vec().iter().map(|(_, v)| v).sum();
+    assert_eq!(final_total, ACCOUNTS * INITIAL);
+    map.check_invariants().expect("invariants after stress");
+}
+
 /// Removals racing with lookups: a lookup must never return a value for a key
 /// that was removed before the lookup began (monotonic reads through the
 /// hash-map invariant).

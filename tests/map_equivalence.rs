@@ -30,10 +30,18 @@ enum Op {
     Floor(u16),
     Succ(u16),
     Pred(u16),
+    /// Pin a snapshot and checkpoint the reference model alongside it.
+    Snapshot,
+    /// `get` on every live snapshot, checked against its checkpoint.
+    SnapshotGet(u16),
+    /// `range` on every live snapshot, checked against its checkpoint.
+    SnapshotRange(u16, u16),
+    /// Drop the oldest live snapshot (releasing its version custody).
+    DropSnapshot,
 }
 
 fn random_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..12u32) {
         0 => Op::Insert(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>()),
         1 => Op::Remove(rng.gen::<u32>() as u16 % 512),
         2 => Op::Get(rng.gen::<u32>() as u16 % 512),
@@ -41,7 +49,11 @@ fn random_op(rng: &mut SmallRng) -> Op {
         4 => Op::Ceil(rng.gen::<u32>() as u16 % 512),
         5 => Op::Floor(rng.gen::<u32>() as u16 % 512),
         6 => Op::Succ(rng.gen::<u32>() as u16 % 512),
-        _ => Op::Pred(rng.gen::<u32>() as u16 % 512),
+        7 => Op::Pred(rng.gen::<u32>() as u16 % 512),
+        8 => Op::Snapshot,
+        9 => Op::SnapshotGet(rng.gen::<u32>() as u16 % 512),
+        10 => Op::SnapshotRange(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
+        _ => Op::DropSnapshot,
     }
 }
 
@@ -72,6 +84,14 @@ fn skiphash_with(policy: RangePolicy) -> SkipHash<u64, u64> {
 fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
     let map = skiphash_with(policy);
     let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+    // The versioned reference model: each live snapshot paired with the
+    // checkpoint of the reference taken at its pin.  Every snapshot query
+    // must replay to its checkpoint no matter how far the live map has
+    // moved on since.
+    let mut snapshots: Vec<(
+        skiphash_repro::skiphash::Snapshot<u64, u64>,
+        BTreeMap<u64, u64>,
+    )> = Vec::new();
     for op in ops {
         match *op {
             Op::Insert(k, v) => {
@@ -123,8 +143,49 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
                 let expected = reference.range(..k).next_back().map(|(k, _)| *k);
                 assert_eq!(map.pred(&k), expected, "pred({k})");
             }
+            Op::Snapshot => {
+                let snap = map.snapshot();
+                assert_eq!(snap.len(), reference.len(), "len at the pin");
+                snapshots.push((snap, reference.clone()));
+            }
+            Op::SnapshotGet(k) => {
+                let k = k as u64;
+                for (i, (snap, model)) in snapshots.iter().enumerate() {
+                    assert_eq!(
+                        snap.get(&k),
+                        model.get(&k).copied(),
+                        "snapshot {i} get({k})"
+                    );
+                }
+            }
+            Op::SnapshotRange(low, len) => {
+                let low = low as u64;
+                let high = low + len as u64;
+                for (i, (snap, model)) in snapshots.iter().enumerate() {
+                    let expected: Vec<(u64, u64)> =
+                        model.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                    assert_eq!(
+                        snap.range(low..=high).collect::<Vec<_>>(),
+                        expected,
+                        "snapshot {i} range({low},{high})"
+                    );
+                }
+            }
+            Op::DropSnapshot => {
+                if !snapshots.is_empty() {
+                    snapshots.remove(0);
+                }
+            }
         }
     }
+    // Surviving snapshots replay to their checkpoints in full before they
+    // release custody.
+    for (i, (snap, model)) in snapshots.iter().enumerate() {
+        assert_eq!(snap.len(), model.len(), "snapshot {i} final len");
+        let all: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(snap.to_vec(), all, "snapshot {i} final scan");
+    }
+    drop(snapshots);
     assert_eq!(map.len(), reference.len());
     let all: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
     assert_eq!(map.to_vec(), all);

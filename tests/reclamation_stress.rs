@@ -394,6 +394,145 @@ fn skiphash_churn_under_concurrent_range_queries() {
     map.check_invariants().expect("invariants after churn");
 }
 
+/// Bounded custody: churn the map while N snapshots are live and watch the
+/// history backlog.  The registry preserves at most one displaced payload
+/// per cell per pin window — so the backlog must *plateau* well below the
+/// number of displacements the churn performs — and dropping the last
+/// snapshot must drain it entirely, rebalance every drop counter, and let
+/// the node/chain arenas resume recycling.  A designated ASan target: the
+/// snapshot reads resolve payloads out of the history table while the
+/// writers that displaced them keep committing.
+#[test]
+fn snapshot_custody_plateaus_and_drains_after_last_drop() {
+    const WRITERS: u64 = 4;
+    const KEYS_PER_WRITER: u64 = 64;
+    const OPS_PER_WRITER: u64 = 2_000;
+    const SNAPSHOTS: usize = 4;
+
+    let live = Arc::new(AtomicIsize::new(0));
+    let map: Arc<SkipHash<u64, Balanced>> = Arc::new(SkipHash::new());
+    let universe = WRITERS * KEYS_PER_WRITER;
+    for key in 0..universe {
+        assert!(map.insert(key, Balanced::new(&live, key)));
+    }
+
+    let backlog_baseline = skiphash_stm::snapshot::live_history_entries();
+    let snaps: Vec<_> = (0..SNAPSHOTS).map(|_| map.snapshot()).collect();
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let live = Arc::clone(&live);
+            thread::spawn(move || {
+                // Each writer owns a disjoint key slice, so every take and
+                // reinsert succeeds and keeps displacing payloads the
+                // snapshots still need.
+                let base = t * KEYS_PER_WRITER;
+                for i in 0..OPS_PER_WRITER {
+                    let key = base + (i % KEYS_PER_WRITER);
+                    assert!(map.take(&key).is_some());
+                    assert!(map.insert(key, Balanced::new(&live, i + 1_000_000)));
+                }
+            })
+        })
+        .collect();
+
+    // Audit the pinned state while the storm runs: original values resolve
+    // out of the history table, and the population is frozen at the pin.
+    let mut max_backlog = 0usize;
+    for round in 0..50u64 {
+        let snap = &snaps[(round as usize) % SNAPSHOTS];
+        let key = (round * 13) % universe;
+        let value = snap.get(&key).expect("prefilled key visible at the pin");
+        assert_eq!(value.value, key, "snapshot must see the pre-churn value");
+        assert_eq!(snap.len() as u64, universe);
+        max_backlog = max_backlog.max(skiphash_stm::snapshot::live_history_entries());
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    max_backlog = max_backlog.max(skiphash_stm::snapshot::live_history_entries());
+
+    // Boundedness: the churn displaced payloads across ~8000 take+insert
+    // pairs (each touching several cells), but custody holds at most one
+    // entry per cell per pin window — nodes created after the pins
+    // contribute nothing.  A leaky keep-everything policy would push the
+    // backlog toward the displacement count; the plateau stays an order of
+    // magnitude under it.
+    let displacement_floor = (WRITERS * OPS_PER_WRITER * 2) as usize;
+    assert!(
+        max_backlog - backlog_baseline < displacement_floor / 2,
+        "custody backlog {max_backlog} (baseline {backlog_baseline}) is not \
+         bounded by the pin windows"
+    );
+    assert!(
+        skiphash_stm::snapshot::live_history_entries() > backlog_baseline,
+        "the churn must actually route displaced payloads into custody"
+    );
+
+    // Snapshots still replay their pinned state after the storm.
+    for snap in &snaps {
+        assert_eq!(snap.len() as u64, universe);
+    }
+
+    // Dropping the last snapshot releases custody synchronously: the
+    // backlog gauge returns to baseline (writers are joined, so no racing
+    // commit can repopulate it).
+    drop(snaps);
+    assert_eq!(
+        skiphash_stm::snapshot::live_history_entries(),
+        backlog_baseline,
+        "history backlog must drain when the last snapshot drops"
+    );
+
+    // With custody released, continued churn recycles node and chain blocks
+    // again (the freed history payloads returned their node references).
+    let stats_mid = map.stm_stats();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let live = Arc::clone(&live);
+            thread::spawn(move || {
+                let base = t * KEYS_PER_WRITER;
+                for i in 0..OPS_PER_WRITER {
+                    let key = base + (i % KEYS_PER_WRITER);
+                    assert!(map.take(&key).is_some());
+                    assert!(map.insert(key, Balanced::new(&live, i + 2_000_000)));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let resumed = map.stm_stats().since(&stats_mid);
+    assert!(
+        resumed.node_recycle_hits > 0,
+        "node recycling must resume once custody is released (saw {resumed})"
+    );
+    assert!(
+        resumed.chain_recycle_hits > 0,
+        "chain recycling must resume once custody is released (saw {resumed})"
+    );
+
+    map.check_invariants()
+        .expect("invariants after custody churn");
+
+    // Teardown rebalances every drop counter: nothing the snapshots kept
+    // alive may leak, and nothing may be freed twice.
+    drop(map);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+        drop(epoch::pin());
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "drop imbalance after snapshot custody churn (positive = leak, \
+         negative = double free)"
+    );
+}
+
 /// Cross-thread structural churn through the node/chain arena: every node
 /// block, inline tower, and hash-chain buffer retired by one thread may be
 /// recycled by another (whoever drives epoch collection).  Drop-counting
