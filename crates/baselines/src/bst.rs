@@ -13,8 +13,8 @@
 //! instead of the original's CAS helping protocol (see the crate-level
 //! documentation for the substitution rationale).
 
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -220,7 +220,7 @@ where
             let _guard = match parent_internal.lock.try_lock() {
                 Some(guard) => guard,
                 None => {
-                    std::thread::yield_now();
+                    skiphash_stm::sync::yield_now();
                     continue;
                 }
             };
@@ -269,7 +269,7 @@ where
                     let _guard = match self.root.lock.try_lock() {
                         Some(guard) => guard,
                         None => {
-                            std::thread::yield_now();
+                            skiphash_stm::sync::yield_now();
                             continue;
                         }
                     };
@@ -289,7 +289,7 @@ where
                     let gp_guard = match grandparent_internal.lock.try_lock() {
                         Some(guard) => guard,
                         None => {
-                            std::thread::yield_now();
+                            skiphash_stm::sync::yield_now();
                             continue;
                         }
                     };
@@ -297,7 +297,7 @@ where
                         Some(guard) => guard,
                         None => {
                             drop(gp_guard);
-                            std::thread::yield_now();
+                            skiphash_stm::sync::yield_now();
                             continue;
                         }
                     };

@@ -12,8 +12,8 @@
 //! [`VersionedLink`] so that a range query can read the list as of its
 //! snapshot timestamp without blocking updates.
 
+use skiphash_stm::sync::{AtomicBool, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -298,7 +298,7 @@ where
                     // Wait until it is fully linked so our failed insert
                     // linearizes after the competing successful one.
                     while !existing.fully_linked.load(Ordering::Acquire) {
-                        std::thread::yield_now();
+                        skiphash_stm::sync::yield_now();
                     }
                     return false;
                 }

@@ -7,8 +7,8 @@
 //! the `rdtscp`-enhanced variants because they are strictly faster.  Both
 //! modes are provided here so the ablation can be reproduced.
 
+use skiphash_stm::sync::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which timestamp mechanism a baseline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

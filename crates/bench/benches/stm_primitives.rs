@@ -14,7 +14,7 @@
 //! hot path the allocation-free redesign targets (see `docs/PERF.md` and
 //! docs/BENCHMARKS.md for the gate wiring).
 
-use std::sync::atomic::Ordering;
+use skiphash_stm::sync::Ordering;
 use std::thread;
 use std::time::Duration;
 
@@ -303,7 +303,7 @@ fn bench_snapshot(c: &mut Criterion) {
     const ACCOUNTS: u64 = 1024;
     const INITIAL: u64 = 100;
     prefill_accounts(&shared, ACCOUNTS, INITIAL);
-    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = std::sync::Arc::new(skiphash_stm::sync::AtomicBool::new(false));
     let writers: Vec<_> = (0..2)
         .map(|t| {
             let map = std::sync::Arc::clone(&shared);
@@ -357,7 +357,7 @@ fn bench_snapshot(c: &mut Criterion) {
     for key in 0..ACCOUNTS {
         bundle.insert(key, INITIAL);
     }
-    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = std::sync::Arc::new(skiphash_stm::sync::AtomicBool::new(false));
     let writers: Vec<_> = (0..2)
         .map(|t| {
             let list = std::sync::Arc::clone(&bundle);

@@ -18,7 +18,7 @@
 //! `--min-exp N`, `--max-exp N`, `--duration-ms N`, `--max-attempts N`,
 //! `--paper`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use skiphash_stm::sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;

@@ -1,6 +1,6 @@
 //! Trial execution: pre-fill, thread spawning, timing, and aggregation.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};

@@ -28,7 +28,7 @@
 //! than transfer value, and the scan audit is correspondingly weaker (no
 //! duplicates, no stale values) rather than a conservation sum.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};

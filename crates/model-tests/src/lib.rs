@@ -1,0 +1,19 @@
+//! Shared helpers for the model-checked protocol suites in `tests/`.
+//!
+//! This crate is **not** a default workspace member: it enables the `model`
+//! feature of `skiphash_stm`, which swaps the `stm::sync` facade onto the
+//! instrumented atomics from `skiphash-model`.  Run it explicitly:
+//!
+//! ```text
+//! cargo test -p skiphash-model-tests              # clean suite
+//! RUSTFLAGS="--cfg model_mutation" \
+//!     cargo test -p skiphash-model-tests          # seeded-bug suite
+//! ```
+//!
+//! The protocols modeled here (and the memory-ordering arguments they
+//! check) are documented in `docs/VERIFICATION.md`.
+
+/// Named model bodies shared between exploration tests and the replay
+/// corpus, so a token checked into `corpus/` can name the model it replays
+/// against.
+pub mod registry;

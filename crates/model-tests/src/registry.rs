@@ -1,0 +1,180 @@
+//! Named model bodies.
+//!
+//! Each entry is a self-contained closure suitable for
+//! `skiphash_model::{explore, replay}`.  The replay-corpus test looks
+//! bodies up by name, so a token found during development can be committed
+//! as `corpus/<anything>.token` with the model's name on the same line.
+
+use skiphash_model as model;
+use skiphash_model::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which SeqCst fences of the epoch-reclamation protocol are present in an
+/// [`ebr_body`] instance.  The clean protocol has all three; deleting any
+/// one must yield a use-after-free counterexample (see the fence numbering
+/// in `vendor/crossbeam-epoch/src/lib.rs` and `docs/VERIFICATION.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct EbrFences {
+    /// Fence (1): in `pin()`, between the slot-active store and the epoch
+    /// re-load.  Publishes the slot so the collector's scan must see it.
+    pub pin: bool,
+    /// Fence (2): in `seal_local`, between the retirement store and the
+    /// epoch-tag load.  Floors the tag so garbage is never tagged with an
+    /// epoch older than the one in which it was still reachable.
+    pub seal: bool,
+    /// The collector-side fence in `try_advance`, between the epoch load
+    /// and the slot scan; pairs with fence (1).
+    pub scan: bool,
+}
+
+impl EbrFences {
+    /// All fences present — the protocol as shipped.
+    pub const CLEAN: EbrFences = EbrFences {
+        pin: true,
+        seal: true,
+        scan: true,
+    };
+}
+
+/// A faithful transcription of the vendored epoch shim's reclamation
+/// protocol onto fully-instrumented atomics, with each SeqCst fence made
+/// deletable.
+///
+/// The shim itself cannot sit below the `stm::sync` facade (the facade
+/// lives above it in the dependency order), and more importantly its slot
+/// registry / bag machinery would drown the schedule space; this
+/// transcription keeps exactly the ordering skeleton the shim's safety
+/// argument rests on:
+///
+/// * one reader slot (`0` = inactive, `(e << 1) | 1` = active at `e`),
+/// * a global epoch counter advanced by `compare_exchange` after a scan,
+/// * a single protected pointer (an index into a `freed` table standing in
+///   for the heap), unlinked by a `Release` store and retired with the
+///   post-fence epoch as its tag,
+/// * garbage freed once `tag + 2 <= global_epoch`.
+///
+/// Crucially the three roles run on three *different* threads, as they do
+/// in the real shim under load: the **reader** pins (store slot, fence
+/// (1), re-check epoch), reads the pointer with `Acquire`, and asserts the
+/// object it read has not been freed; the **writer** unlinks and seals
+/// (fence (2), then tag); the **collector** scans and advances (scan
+/// fence) and frees expired garbage.  Collapsing writer and collector into
+/// one thread would let that thread's own fences/RMWs keep its view fresh
+/// and mask the seal/scan fence deletions.
+pub fn ebr_body(fences: EbrFences) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let epoch = Arc::new(AtomicUsize::new(0));
+        let slot = Arc::new(AtomicUsize::new(0));
+        let data_ptr = Arc::new(AtomicUsize::new(0));
+        // Plain state mutated only while holding the scheduler token; the
+        // Mutexes keep it honest for the real OS threads underneath (they
+        // are never contended, so they add no schedule points).
+        let freed = Arc::new(Mutex::new([false; 2]));
+        let retired = Arc::new(Mutex::new(Vec::<(usize, usize)>::new()));
+
+        let reader = {
+            let (epoch, slot, data_ptr, freed) = (
+                Arc::clone(&epoch),
+                Arc::clone(&slot),
+                Arc::clone(&data_ptr),
+                Arc::clone(&freed),
+            );
+            model::thread::spawn(move || {
+                // pin(): advertise an epoch, fence (1), re-check.
+                loop {
+                    let e = epoch.load(Ordering::Relaxed);
+                    slot.store((e << 1) | 1, Ordering::Relaxed);
+                    if fences.pin {
+                        fence(Ordering::SeqCst);
+                    }
+                    if epoch.load(Ordering::Relaxed) == e {
+                        break;
+                    }
+                }
+                // Guarded read of the protected pointer.
+                let v = data_ptr.load(Ordering::Acquire);
+                assert!(
+                    !freed.lock().unwrap()[v],
+                    "use-after-free: reader dereferenced object {v} after reclamation"
+                );
+                // unpin()
+                slot.store(0, Ordering::Release);
+            })
+        };
+
+        let writer = {
+            let (epoch, data_ptr, retired) = (
+                Arc::clone(&epoch),
+                Arc::clone(&data_ptr),
+                Arc::clone(&retired),
+            );
+            model::thread::spawn(move || {
+                // Unlink object 0, install object 1 (`seal_local`'s
+                // retirement path: fence (2), then read the epoch tag).
+                data_ptr.store(1, Ordering::Release);
+                if fences.seal {
+                    fence(Ordering::SeqCst);
+                }
+                let tag = epoch.load(Ordering::Relaxed);
+                retired.lock().unwrap().push((0, tag));
+            })
+        };
+
+        let collector = {
+            let (epoch, slot, freed, retired) = (
+                Arc::clone(&epoch),
+                Arc::clone(&slot),
+                Arc::clone(&freed),
+                Arc::clone(&retired),
+            );
+            model::thread::spawn(move || {
+                // try_advance() twice (enough to cross the tag + 2 horizon),
+                // freeing anything two epochs old.
+                for _ in 0..2 {
+                    let e = epoch.load(Ordering::Relaxed);
+                    if fences.scan {
+                        fence(Ordering::SeqCst);
+                    }
+                    let s = slot.load(Ordering::Relaxed);
+                    if s & 1 == 0 || (s >> 1) == e {
+                        let _ =
+                            epoch.compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Acquire);
+                    }
+                    let cur = epoch.load(Ordering::Relaxed);
+                    retired.lock().unwrap().retain(|&(obj, tag)| {
+                        if tag + 2 <= cur {
+                            freed.lock().unwrap()[obj] = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            })
+        };
+
+        reader.join().unwrap();
+        writer.join().unwrap();
+        collector.join().unwrap();
+    }
+}
+
+/// Look up a model body by the name used in the replay corpus.
+pub fn by_name(name: &str) -> Option<Box<dyn Fn() + Send + Sync>> {
+    match name {
+        "ebr-clean" => Some(Box::new(ebr_body(EbrFences::CLEAN))),
+        "ebr-no-pin-fence" => Some(Box::new(ebr_body(EbrFences {
+            pin: false,
+            ..EbrFences::CLEAN
+        }))),
+        "ebr-no-seal-fence" => Some(Box::new(ebr_body(EbrFences {
+            seal: false,
+            ..EbrFences::CLEAN
+        }))),
+        "ebr-no-scan-fence" => Some(Box::new(ebr_body(EbrFences {
+            scan: false,
+            ..EbrFences::CLEAN
+        }))),
+        _ => None,
+    }
+}

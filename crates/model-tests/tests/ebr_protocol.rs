@@ -1,0 +1,110 @@
+//! Model checks for the epoch-reclamation fence protocol.
+//!
+//! The vendored `crossbeam-epoch` shim's safety argument rests on SeqCst
+//! fences at three sites (see the fence numbering in
+//! `vendor/crossbeam-epoch/src/lib.rs`): pin-side (1), seal-side (2), and
+//! the collector's scan fence pairing with (1).  The transcription in
+//! `registry::ebr_body` models exactly that skeleton; these tests prove
+//! both directions:
+//!
+//! * with all fences the checker finds **no** use-after-free (bounded
+//!   exhaustively, with stale-load exploration on), and
+//! * deleting any single fence yields a use-after-free counterexample —
+//!   including the two *load→load* reorderings (pin/scan) that no amount
+//!   of sequentially-consistent interleaving exploration could exhibit.
+//!
+//! The `model_mutation` build runs the seeded-bug halves only (the clean
+//! halves assert the opposite of what a mutated build is for).
+
+use skiphash_model::{explore, Options};
+use skiphash_model_tests::registry::{ebr_body, EbrFences};
+
+fn opts() -> Options {
+    Options::dfs().iterations(400_000).preemptions(Some(3))
+}
+
+#[cfg(not(model_mutation))]
+#[test]
+fn ebr_all_fences_clean() {
+    let report = explore(&opts(), ebr_body(EbrFences::CLEAN));
+    assert!(
+        report.failure.is_none(),
+        "clean EBR protocol must admit no use-after-free: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "expected bounded-exhaustive coverage, ran {} iterations",
+        report.iterations
+    );
+}
+
+fn expect_uaf(fences: EbrFences, what: &str) {
+    let report = explore(&opts(), ebr_body(fences));
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("deleting {what} must produce a use-after-free counterexample"));
+    assert!(
+        failure.message.contains("use-after-free"),
+        "unexpected failure kind for {what}: {failure:?}"
+    );
+    // Every counterexample must be a deterministic regression test.
+    let replayed = skiphash_model::replay(&failure.token, ebr_body(fences));
+    assert!(
+        replayed
+            .failure
+            .as_ref()
+            .is_some_and(|f| f.message.contains("use-after-free")),
+        "token must replay to the same use-after-free: {replayed:?}"
+    );
+}
+
+#[test]
+fn ebr_missing_pin_fence_found() {
+    expect_uaf(
+        EbrFences {
+            pin: false,
+            ..EbrFences::CLEAN
+        },
+        "fence (1) in pin()",
+    );
+}
+
+#[test]
+fn ebr_missing_seal_fence_found() {
+    expect_uaf(
+        EbrFences {
+            seal: false,
+            ..EbrFences::CLEAN
+        },
+        "fence (2) in seal_local()",
+    );
+}
+
+/// The collector-side scan fence is the one fence whose deletion is NOT
+/// observable at the model's x86 strength, and the checker must agree:
+/// every RMW is a `lock`-prefixed full barrier on x86, so the advance CAS
+/// between two scans floors the collector's view and the second scan is
+/// guaranteed to see any pinned reader the first one missed (one advance
+/// is always safe — `tag + 2` keeps garbage across it).  On x86 the fence
+/// accordingly compiles to nothing; it exists for the C11 memory model /
+/// weaker architectures, where the CAS provides no such floor.  This
+/// pins down that model semantics (and documents the limitation — see
+/// docs/VERIFICATION.md).
+#[cfg(not(model_mutation))]
+#[test]
+fn ebr_missing_scan_fence_unobservable_at_x86_strength() {
+    let report = explore(
+        &opts(),
+        ebr_body(EbrFences {
+            scan: false,
+            ..EbrFences::CLEAN
+        }),
+    );
+    assert!(
+        report.failure.is_none(),
+        "scan-fence deletion should be masked by RMW full-barrier strength: {:?}",
+        report.failure
+    );
+    assert!(report.exhausted, "ran {} iterations", report.iterations);
+}

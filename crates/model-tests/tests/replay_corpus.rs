@@ -1,0 +1,90 @@
+//! Replay-corpus regression test.
+//!
+//! Every counterexample the checker ever finds can be committed to
+//! `crates/model-tests/corpus/` and is then re-executed verbatim on every
+//! test run — a failing schedule is a permanent regression test, not a
+//! one-off log line.
+//!
+//! Corpus format: any number of `*.token` files, each holding lines of
+//! `<model-name> <replay-token>` (blank lines and `#` comments ignored).
+//! Model names resolve through [`skiphash_model_tests::registry::by_name`].
+//! An empty (or absent) corpus passes vacuously.
+//!
+//! To mint new entries after finding a counterexample, run the ignored
+//! generator below and paste its output:
+//!
+//! ```text
+//! cargo test -p skiphash-model-tests --test replay_corpus -- --ignored --nocapture
+//! ```
+
+use skiphash_model_tests::registry;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_tokens_still_reproduce_their_counterexamples() {
+    let dir = corpus_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // no corpus directory: vacuously green
+    };
+    let mut checked = 0usize;
+    for entry in entries {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().is_none_or(|e| e != "token") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("unreadable corpus file {}: {e}", path.display()));
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at = || format!("{}:{}", path.display(), lineno + 1);
+            let (name, token) = line
+                .split_once(char::is_whitespace)
+                .unwrap_or_else(|| panic!("{}: expected `<model-name> <token>`", at()));
+            let token = token.trim();
+            let body = registry::by_name(name)
+                .unwrap_or_else(|| panic!("{}: unknown model `{name}`", at()));
+            let report = skiphash_model::replay(token, body);
+            let failure = report.failure.unwrap_or_else(|| {
+                panic!(
+                    "{}: corpus token for `{name}` no longer reproduces a failure — \
+                     if the protocol was intentionally fixed, delete the entry",
+                    at()
+                )
+            });
+            assert!(
+                !failure.message.contains("divergence") && !failure.message.contains("malformed"),
+                "{}: corpus token for `{name}` no longer matches the model: {}",
+                at(),
+                failure.message
+            );
+            checked += 1;
+        }
+    }
+    println!("replayed {checked} corpus counterexample(s)");
+}
+
+/// Mint fresh corpus lines for the known-bad registry models.  Ignored by
+/// default; run with `--ignored --nocapture` and paste the output into a
+/// `corpus/*.token` file.
+#[test]
+#[ignore = "generator: emits corpus lines, run with --nocapture"]
+fn regenerate_corpus_tokens() {
+    for name in ["ebr-no-pin-fence", "ebr-no-seal-fence"] {
+        let body = registry::by_name(name).expect("registered model");
+        let opts = skiphash_model::Options::dfs()
+            .iterations(400_000)
+            .preemptions(Some(3));
+        let report = skiphash_model::explore(&opts, body);
+        match report.failure {
+            Some(f) => println!("{name} {}", f.token),
+            None => println!("# {name}: no counterexample found (nothing to mint)"),
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Instrumented atomic types.
+//!
+//! Each type wraps the corresponding `std::sync::atomic` type.  Outside a
+//! model execution every operation forwards to the real atomic verbatim, so
+//! code built with the `model` feature but running normally (unit tests,
+//! setup code) behaves exactly like std.  Inside a model execution (under
+//! [`crate::explore`]) every operation becomes a schedule point against the
+//! engine's weak-memory state, and the real atomic is kept write-through
+//! coherent with the modification-order head so mixed instrumented /
+//! uninstrumented code agrees on "latest".
+//!
+//! Values are tracked as `u64` bit patterns; each wrapper converts at the
+//! boundary.  `AtomicPtr` is intentionally *not* modeled — pointer-valued
+//! protocol state in the modeled paths is either protected by the orec
+//! protocol itself or exercised via the epoch-shim transcription in
+//! `crates/model-tests`.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec;
+
+/// Trait mapping a primitive to/from the engine's `u64` bit representation.
+trait Bits: Copy {
+    fn to_bits(self) -> u64;
+    fn from_bits(b: u64) -> Self;
+}
+
+impl Bits for u64 {
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(b: u64) -> Self {
+        b
+    }
+}
+impl Bits for usize {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(b: u64) -> Self {
+        b as usize
+    }
+}
+impl Bits for u32 {
+    fn to_bits(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_bits(b: u64) -> Self {
+        b as u32
+    }
+}
+impl Bits for i64 {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(b: u64) -> Self {
+        b as i64
+    }
+}
+impl Bits for bool {
+    fn to_bits(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_bits(b: u64) -> Self {
+        b != 0
+    }
+}
+
+/// An atomic fence.  A schedule point + SC publish/floor under the model;
+/// `std::sync::atomic::fence` otherwise.
+pub fn fence(order: Ordering) {
+    match exec::ctx() {
+        Some(ctx) => ctx.shared.op_fence(ctx.task, order),
+        None => std::sync::atomic::fence(order),
+    }
+}
+
+macro_rules! model_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            real: $std,
+            /// Packed `(exec_id << 32) | (loc + 1)` location cache; 0 = unset.
+            /// Stale entries from earlier executions self-invalidate because
+            /// the exec id no longer matches.
+            cache: std::sync::atomic::AtomicU64,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    real: <$std>::new(v),
+                    cache: std::sync::atomic::AtomicU64::new(0),
+                }
+            }
+
+            /// Resolve (registering on first touch) this atomic's location in
+            /// the current model execution.
+            fn loc(&self, ctx: &exec::TaskCtx) -> usize {
+                let c = self.cache.load(Ordering::Relaxed);
+                if c != 0 && (c >> 32) == (ctx.shared.exec_id & 0xffff_ffff) {
+                    return (c & 0xffff_ffff) as usize - 1;
+                }
+                let initial = Bits::to_bits(self.real.load(Ordering::Relaxed));
+                let loc = ctx.shared.register_loc(initial);
+                self.cache.store(
+                    ((ctx.shared.exec_id & 0xffff_ffff) << 32) | (loc as u64 + 1),
+                    Ordering::Relaxed,
+                );
+                loc
+            }
+
+            /// Loads a value from the atomic.
+            pub fn load(&self, order: Ordering) -> $prim {
+                match exec::ctx() {
+                    Some(ctx) => {
+                        let loc = self.loc(&ctx);
+                        Bits::from_bits(ctx.shared.op_load(ctx.task, loc, order))
+                    }
+                    None => self.real.load(order),
+                }
+            }
+
+            /// Stores a value into the atomic.
+            pub fn store(&self, val: $prim, order: Ordering) {
+                match exec::ctx() {
+                    Some(ctx) => {
+                        let loc = self.loc(&ctx);
+                        ctx.shared.op_store(ctx.task, loc, Bits::to_bits(val), order);
+                        self.real.store(val, Ordering::SeqCst);
+                    }
+                    None => self.real.store(val, order),
+                }
+            }
+
+            /// Stores a value, returning the previous value.
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                match exec::ctx() {
+                    Some(ctx) => {
+                        let loc = self.loc(&ctx);
+                        let (read, _, latest) = ctx
+                            .shared
+                            .op_rmw(ctx.task, loc, |_| Some(Bits::to_bits(val)));
+                        self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
+                        Bits::from_bits(read)
+                    }
+                    None => self.real.swap(val, order),
+                }
+            }
+
+            /// Compare-and-exchange; on success returns `Ok(previous)`, on
+            /// failure `Err(actual)`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match exec::ctx() {
+                    Some(ctx) => {
+                        let loc = self.loc(&ctx);
+                        let cur_bits = Bits::to_bits(current);
+                        let (read, applied, latest) =
+                            ctx.shared.op_rmw(ctx.task, loc, |v| {
+                                (v == cur_bits).then_some(Bits::to_bits(new))
+                            });
+                        self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
+                        if applied {
+                            Ok(Bits::from_bits(read))
+                        } else {
+                            Err(Bits::from_bits(read))
+                        }
+                    }
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Weak compare-and-exchange.  Modeled as strong (no spurious
+            /// failures): strictly fewer behaviors, never a false positive.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match exec::ctx() {
+                    Some(_) => self.compare_exchange(current, new, success, failure),
+                    None => self
+                        .real
+                        .compare_exchange_weak(current, new, success, failure),
+                }
+            }
+
+            /// Returns a mutable reference to the underlying value.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.real.get_mut()
+            }
+
+            /// Consumes the atomic and returns the contained value.
+            pub fn into_inner(self) -> $prim {
+                self.real.into_inner()
+            }
+
+            fn model_fetch(
+                &self,
+                f: impl Fn($prim) -> $prim,
+            ) -> Option<$prim> {
+                let ctx = exec::ctx()?;
+                let loc = self.loc(&ctx);
+                let (read, _, latest) = ctx.shared.op_rmw(ctx.task, loc, |v| {
+                    Some(Bits::to_bits(f(Bits::from_bits(v))))
+                });
+                self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
+                Some(Bits::from_bits(read))
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Reads the backing atomic (write-through coherent) without a
+                // schedule point — Debug must not perturb the exploration.
+                f.debug_tuple(stringify!($name))
+                    .field(&self.real.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $std:ty, $prim:ty) => {
+        impl $name {
+            /// Adds to the current value, returning the previous value
+            /// (wrapping on overflow).
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v.wrapping_add(val))
+                    .unwrap_or_else(|| self.real.fetch_add(val, order))
+            }
+
+            /// Subtracts from the current value, returning the previous value
+            /// (wrapping on overflow).
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v.wrapping_sub(val))
+                    .unwrap_or_else(|| self.real.fetch_sub(val, order))
+            }
+
+            /// Bitwise AND, returning the previous value.
+            pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v & val)
+                    .unwrap_or_else(|| self.real.fetch_and(val, order))
+            }
+
+            /// Bitwise OR, returning the previous value.
+            pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v | val)
+                    .unwrap_or_else(|| self.real.fetch_or(val, order))
+            }
+
+            /// Bitwise XOR, returning the previous value.
+            pub fn fetch_xor(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v ^ val)
+                    .unwrap_or_else(|| self.real.fetch_xor(val, order))
+            }
+
+            /// Maximum of the current and given value, returning the previous
+            /// value.
+            pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v.max(val))
+                    .unwrap_or_else(|| self.real.fetch_max(val, order))
+            }
+
+            /// Minimum of the current and given value, returning the previous
+            /// value.
+            pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                self.model_fetch(|v| v.min(val))
+                    .unwrap_or_else(|| self.real.fetch_min(val, order))
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+model_atomic!(
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+model_atomic!(
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+model_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+model_atomic!(
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicI64`].
+    AtomicI64,
+    std::sync::atomic::AtomicI64,
+    i64
+);
+model_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+model_atomic!(
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+
+impl AtomicBool {
+    /// Logical AND, returning the previous value.
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        self.model_fetch(|v| v & val)
+            .unwrap_or_else(|| self.real.fetch_and(val, order))
+    }
+
+    /// Logical OR, returning the previous value.
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        self.model_fetch(|v| v | val)
+            .unwrap_or_else(|| self.real.fetch_or(val, order))
+    }
+}

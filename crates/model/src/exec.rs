@@ -1,0 +1,1118 @@
+//! Execution engine: cooperative scheduler + operational weak-memory model.
+//!
+//! # Scheduling
+//!
+//! Model threads are real OS threads, but exactly one holds the *token* at
+//! any time; every instrumented atomic operation (and `thread::yield_now`,
+//! spawn-join edges, …) is a **schedule point** where the engine may hand
+//! the token to any runnable task.  The decision stream — one index per
+//! schedule point with more than one option — fully determines an
+//! execution, which is what makes replay tokens possible.
+//!
+//! # Memory model
+//!
+//! Per location the engine keeps the full modification order (append-only
+//! store list).  Each task carries a *view*: per-location floors of the
+//! oldest store it may still observe.  The rules are a C11-flavoured
+//! operational model deliberately strengthened to x86 where that keeps the
+//! engine simple and sound for bug-hunting on our reference hardware:
+//!
+//! * `Relaxed`/`Acquire` loads may read **any** store at or above the
+//!   task's floor (each such choice is a decision, bounded to the last
+//!   [`STALE_WINDOW`] stores); `Acquire` additionally joins the release
+//!   view attached to the store it read.
+//! * `Release` stores append to the modification order and attach a
+//!   snapshot of the writer's view (so later acquirers synchronize).
+//! * `SeqCst` loads/stores and **all RMWs** act as full fences (publish
+//!   own view to the global SC frontier, then floor from it) and read the
+//!   latest store — RMWs are `lock`-prefixed full barriers on x86, which
+//!   is the strength the vendored epoch shim and the STM fast paths were
+//!   written against.  Bugs that only manifest with genuinely weaker RMWs
+//!   (e.g. on AArch64) are out of scope; see `docs/VERIFICATION.md`.
+//! * `fence(SeqCst)` publishes + floors.  Weaker fences are modeled at
+//!   `SeqCst` strength (strictly fewer behaviors: never a false positive,
+//!   may miss a bug that needs the distinction — none of the modeled
+//!   protocols do).
+//!
+//! The important consequence: *deleting* an SC fence from a protocol that
+//! needs one re-introduces stale-read behaviors the checker can find, even
+//! when the racing accesses are on different locations (load-load
+//! reordering), which plain sequentially-consistent interleaving
+//! exploration cannot express.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+use std::time::Duration;
+
+use crate::rng::{SplitMix64, GOLDEN};
+use crate::token;
+
+/// Stale loads may reach back at most this many stores behind the latest.
+/// Bounding the window keeps DFS branching factors tractable; it only
+/// removes behaviors (sound for "no false positives").
+pub(crate) const STALE_WINDOW: usize = 4;
+
+/// Sentinel panic payload used to unwind model tasks when an execution is
+/// being torn down (truncation, failure elsewhere, replay divergence).
+/// Never observable outside the engine.
+pub(crate) struct ModelAbort;
+
+pub(crate) fn panic_abort() -> ! {
+    panic::panic_any(ModelAbort)
+}
+
+// ---------------------------------------------------------------------------
+// Public configuration & results
+// ---------------------------------------------------------------------------
+
+/// Exploration strategy for [`explore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bounded exhaustive depth-first enumeration of the decision tree.
+    /// Complete for small models (subject to the iteration cap).
+    Dfs,
+    /// PCT-style randomized priority scheduling: each task gets a random
+    /// priority, and `depth` random *priority change points* demote the
+    /// running task mid-execution.  Good bug-finding probability on models
+    /// too large to enumerate.
+    Pct {
+        /// Number of priority change points injected per execution.
+        depth: usize,
+    },
+}
+
+/// Configuration for a model-checking run.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Exploration strategy.
+    pub strategy: Strategy,
+    /// Maximum number of executions to explore.
+    pub max_iterations: usize,
+    /// Per-execution schedule-point cap; executions exceeding it count as
+    /// truncated (inconclusive), not failing.
+    pub max_steps: usize,
+    /// Base seed for randomized strategies.
+    pub seed: u64,
+    /// When `false`, all loads read the latest store (pure interleaving
+    /// exploration, sequentially consistent memory).  Use this for models
+    /// that mix instrumented and *uninstrumented* shared state (e.g. full
+    /// `Stm::run` transactions, whose TCell data words are real atomics):
+    /// the hybrid would otherwise miss the synchronization those real
+    /// accesses provide and report spurious stale reads.
+    pub value_staleness: bool,
+    /// CHESS-style preemption bound for DFS: at most this many *involuntary*
+    /// context switches per execution (switches at blocking points are
+    /// free).  Keeps exhaustive enumeration polynomial instead of
+    /// exponential; empirically almost all concurrency bugs need very few
+    /// preemptions.  `None` = unbounded.  Ignored by PCT (priorities
+    /// already control switching).
+    pub preemption_bound: Option<usize>,
+}
+
+impl Options {
+    /// Exhaustive DFS with a generous default iteration cap.
+    pub fn dfs() -> Self {
+        Options {
+            strategy: Strategy::Dfs,
+            max_iterations: 100_000,
+            max_steps: 20_000,
+            seed: 0,
+            value_staleness: true,
+            preemption_bound: Some(3),
+        }
+    }
+
+    /// Seeded PCT-style randomized search.
+    pub fn pct(seed: u64) -> Self {
+        Options {
+            strategy: Strategy::Pct { depth: 3 },
+            max_iterations: 2_000,
+            max_steps: 50_000,
+            seed,
+            value_staleness: true,
+            preemption_bound: None,
+        }
+    }
+
+    /// Set the execution cap.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Set the per-execution schedule-point cap.
+    pub fn steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enable/disable stale-load exploration (see [`Options::value_staleness`]).
+    pub fn staleness(mut self, on: bool) -> Self {
+        self.value_staleness = on;
+        self
+    }
+
+    /// Set (or lift, with `None`) the DFS preemption bound.
+    pub fn preemptions(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+}
+
+/// A counterexample produced by the checker.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Replay token reproducing the failing schedule via [`replay`].
+    pub token: String,
+    /// Iteration index at which the failure was found.
+    pub iteration: usize,
+    /// Human-readable failure message (assertion text, deadlock, …).
+    pub message: String,
+}
+
+/// Summary of an exploration run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub iterations: usize,
+    /// Executions cut short by the step cap (inconclusive).
+    pub truncated: usize,
+    /// `true` when DFS exhausted the whole decision tree within the caps.
+    pub exhausted: bool,
+    /// First counterexample found, if any.
+    pub failure: Option<Failure>,
+}
+
+// ---------------------------------------------------------------------------
+// Engine state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    Runnable,
+    /// Blocked joining the given task.
+    Blocked(usize),
+    Finished,
+}
+
+struct Task {
+    run: RunState,
+    /// Per-location floor: oldest store index this task may still read.
+    seen: Vec<usize>,
+    /// PCT priority (higher runs first); unused by DFS/replay.
+    priority: i64,
+}
+
+struct Store {
+    value: u64,
+    /// Release view attached by the writer (None for relaxed stores).
+    view: Option<Arc<Vec<usize>>>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+}
+
+/// One DFS decision-tree node: the branch taken and the branching factor.
+#[derive(Clone, Copy, Debug)]
+struct DfsNode {
+    chosen: u32,
+    options: u32,
+}
+
+enum Chooser {
+    Dfs {
+        path: Vec<DfsNode>,
+        cursor: usize,
+    },
+    Rand {
+        rng: SplitMix64,
+        change_points: Vec<usize>,
+        next_cp: usize,
+        min_priority: i64,
+    },
+    Replay {
+        choices: Vec<u32>,
+        cursor: usize,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Aborting,
+}
+
+pub(crate) struct State {
+    phase: Phase,
+    truncated: bool,
+    failure: Option<String>,
+    tasks: Vec<Task>,
+    current: usize,
+    locs: Vec<Location>,
+    /// Per-location SC frontier: highest store index published by an SC
+    /// fence / SC access / RMW.
+    sc_visible: Vec<usize>,
+    steps: usize,
+    max_steps: usize,
+    staleness: bool,
+    preemptions: usize,
+    preemption_bound: usize,
+    chooser: Chooser,
+    /// Every decision taken this execution, in order (the replay token).
+    record: Vec<u32>,
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Distinguishes executions so per-atomic location caches self-invalidate.
+    pub(crate) exec_id: u64,
+    /// OS handles of spawned model threads, joined at execution teardown.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+static EXEC_IDS: StdAtomicU64 = StdAtomicU64::new(1);
+
+impl Shared {
+    fn new(opts: &Options, chooser: Chooser) -> Self {
+        let mut chooser = chooser;
+        let priority = match &mut chooser {
+            Chooser::Rand { rng, .. } => (rng.next_u64() >> 2) as i64,
+            _ => 0,
+        };
+        Shared {
+            state: Mutex::new(State {
+                phase: Phase::Running,
+                truncated: false,
+                failure: None,
+                tasks: vec![Task {
+                    run: RunState::Runnable,
+                    seen: Vec::new(),
+                    priority,
+                }],
+                current: 0,
+                locs: Vec::new(),
+                sc_visible: Vec::new(),
+                steps: 0,
+                max_steps: opts.max_steps,
+                staleness: opts.value_staleness,
+                preemptions: 0,
+                preemption_bound: opts.preemption_bound.unwrap_or(usize::MAX),
+                chooser,
+                record: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            exec_id: EXEC_IDS.fetch_add(1, StdOrdering::Relaxed),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Park until this task holds the token again (or the execution aborts).
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        let mut stalls = 0u32;
+        loop {
+            if st.phase != Phase::Running {
+                drop(st);
+                panic_abort();
+            }
+            if st.current == me {
+                return st;
+            }
+            let (g, to) = self
+                .cv
+                .wait_timeout(st, Duration::from_secs(10))
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+            if to.timed_out() {
+                stalls += 1;
+                if stalls >= 6 {
+                    st.fail("internal: scheduler stall (lost wakeup?)".into());
+                    self.notify();
+                    drop(st);
+                    panic_abort();
+                }
+            }
+        }
+    }
+
+    /// One schedule point: bump the step counter and (maybe) hand the token
+    /// to another runnable task.  Every instrumented operation calls this
+    /// first; the operation itself executes once the token returns.
+    pub(crate) fn schedule(&self, me: usize) {
+        let mut st = self.lock();
+        if st.phase != Phase::Running {
+            drop(st);
+            panic_abort();
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.truncated = true;
+            st.phase = Phase::Aborting;
+            self.notify();
+            drop(st);
+            panic_abort();
+        }
+        // PCT: a change point demotes whoever is running when it fires.
+        let steps = st.steps;
+        if let Chooser::Rand {
+            change_points,
+            next_cp,
+            min_priority,
+            ..
+        } = &mut st.chooser
+        {
+            // At most one change point fires per schedule call; any others
+            // already due fire on subsequent steps (keeps demotion gradual).
+            if *next_cp < change_points.len() && change_points[*next_cp] <= steps {
+                *next_cp += 1;
+                *min_priority -= 1;
+                let p = *min_priority;
+                st.tasks[me].priority = p;
+            }
+        }
+        let runnable = st.runnable();
+        debug_assert!(runnable.contains(&me));
+        // CHESS-style preemption bound: once exhausted, the running task
+        // keeps the token at its own schedule points (switches at blocking
+        // points — join, finish — stay free).  The restriction is a pure
+        // function of the decision prefix, so DFS and replay agree on it.
+        if runnable.len() > 1 && st.preemptions < st.preemption_bound {
+            let k = st.decide_thread(&runnable);
+            let next = runnable[k];
+            if next != me {
+                st.preemptions += 1;
+                st.current = next;
+                self.notify();
+                let st = self.wait_for_token(st, me);
+                drop(st);
+            }
+        }
+    }
+
+    /// Register (or re-register after a stale cache) a memory location.
+    pub(crate) fn register_loc(&self, initial: u64) -> usize {
+        let mut st = self.lock();
+        st.locs.push(Location {
+            stores: vec![Store {
+                value: initial,
+                view: None,
+            }],
+        });
+        st.sc_visible.push(0);
+        st.locs.len() - 1
+    }
+
+    pub(crate) fn op_load(&self, me: usize, loc: usize, ord: StdOrdering) -> u64 {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        let val = st.load(me, loc, ord);
+        drop(st);
+        val
+    }
+
+    /// Returns the stored value (for the caller's real-atomic write-through).
+    pub(crate) fn op_store(&self, me: usize, loc: usize, val: u64, ord: StdOrdering) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        st.store(me, loc, val, ord);
+    }
+
+    /// Generic RMW.  `f` maps the read value to `Some(new)` (apply) or
+    /// `None` (CAS failure).  Returns `(read_value, applied, latest)` where
+    /// `latest` is the location's new modification-order head, for the
+    /// caller's write-through into the backing real atomic.
+    pub(crate) fn op_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> (u64, bool, u64) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        st.rmw(me, loc, f)
+    }
+
+    pub(crate) fn op_fence(&self, me: usize, _ord: StdOrdering) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        st.sc_publish(me);
+        st.sc_floor(me);
+    }
+
+    /// Explicit yield: a pure schedule point.
+    pub(crate) fn op_yield(&self, me: usize) {
+        self.schedule(me);
+    }
+
+    /// Register a new model task; returns its id.  Called by `thread::spawn`
+    /// while the parent holds the token, so it is not itself a schedule
+    /// point — the child simply becomes runnable.
+    pub(crate) fn add_task(&self) -> usize {
+        let mut st = self.lock();
+        let priority = match &mut st.chooser {
+            Chooser::Rand { rng, .. } => (rng.next_u64() >> 2) as i64,
+            _ => 0,
+        };
+        st.tasks.push(Task {
+            run: RunState::Runnable,
+            seen: Vec::new(),
+            priority,
+        });
+        st.tasks.len() - 1
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Entry point for a freshly spawned model task's OS thread: wait until
+    /// first scheduled.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let st = self.lock();
+        let st = self.wait_for_token(st, me);
+        drop(st);
+    }
+
+    /// Mark `me` finished, wake joiners, and pass the token on.
+    pub(crate) fn finish_task(&self, me: usize) {
+        let mut st = self.lock();
+        st.tasks[me].run = RunState::Finished;
+        for t in &mut st.tasks {
+            if t.run == RunState::Blocked(me) {
+                t.run = RunState::Runnable;
+            }
+        }
+        if st.phase == Phase::Running {
+            let runnable = st.runnable();
+            if runnable.is_empty() {
+                if st
+                    .tasks
+                    .iter()
+                    .any(|t| matches!(t.run, RunState::Blocked(_)))
+                {
+                    st.fail("deadlock: all live tasks blocked on join".into());
+                }
+                // else: every task finished; nothing left to run.
+            } else {
+                let k = if runnable.len() > 1 {
+                    st.decide_thread(&runnable)
+                } else {
+                    0
+                };
+                st.current = runnable[k];
+            }
+        }
+        self.notify();
+    }
+
+    /// Record a real (non-sentinel) panic from a model task as the
+    /// execution's failure and begin teardown.
+    pub(crate) fn fail_from_panic(&self, msg: String) {
+        let mut st = self.lock();
+        st.fail(msg);
+        self.notify();
+    }
+
+    /// Block `me` until `target` finishes.  Returns normally once the join
+    /// can proceed; unwinds with `ModelAbort` if the execution aborts.
+    pub(crate) fn join_task(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.phase != Phase::Running {
+            drop(st);
+            panic_abort();
+        }
+        if st.tasks[target].run == RunState::Finished {
+            return;
+        }
+        st.tasks[me].run = RunState::Blocked(target);
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            st.fail("deadlock: all live tasks blocked on join".into());
+            self.notify();
+            drop(st);
+            panic_abort();
+        }
+        let k = if runnable.len() > 1 {
+            st.decide_thread(&runnable)
+        } else {
+            0
+        };
+        st.current = runnable[k];
+        self.notify();
+        let st = self.wait_for_token(st, me);
+        drop(st);
+    }
+}
+
+impl State {
+    fn check_running(&self) {
+        if self.phase != Phase::Running {
+            panic_abort();
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.phase = Phase::Aborting;
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == RunState::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Decide which runnable task runs next; records the decision.
+    fn decide_thread(&mut self, runnable: &[usize]) -> usize {
+        debug_assert!(runnable.len() > 1);
+        let k = match &mut self.chooser {
+            Chooser::Dfs { path, cursor } => {
+                let k = if *cursor < path.len() {
+                    let node = path[*cursor];
+                    if node.options != runnable.len() as u32 {
+                        // The replayed prefix diverged (nondeterminism in the
+                        // model body, e.g. address-dependent hashing).  Clamp
+                        // and keep going; DFS completeness is best-effort in
+                        // that case.
+                        (node.chosen as usize).min(runnable.len() - 1)
+                    } else {
+                        node.chosen as usize
+                    }
+                } else {
+                    path.push(DfsNode {
+                        chosen: 0,
+                        options: runnable.len() as u32,
+                    });
+                    0
+                };
+                *cursor += 1;
+                k
+            }
+            Chooser::Rand { .. } => {
+                // Highest priority runs; ties broken by task id.
+                let mut best = 0usize;
+                for (i, &t) in runnable.iter().enumerate() {
+                    if self.tasks[t].priority > self.tasks[runnable[best]].priority {
+                        best = i;
+                    }
+                }
+                best
+            }
+            Chooser::Replay { choices, cursor } => {
+                if *cursor >= choices.len() || choices[*cursor] as usize >= runnable.len() {
+                    let msg = format!(
+                        "replay divergence: token does not match this model \
+                         (thread decision {} of {}, {} runnable{})",
+                        *cursor,
+                        choices.len(),
+                        runnable.len(),
+                        if *cursor < choices.len() {
+                            format!(", recorded choice {}", choices[*cursor])
+                        } else {
+                            String::new()
+                        },
+                    );
+                    self.fail(msg);
+                    panic_abort();
+                }
+                let k = choices[*cursor] as usize;
+                *cursor += 1;
+                k
+            }
+        };
+        self.record.push(k as u32);
+        k
+    }
+
+    /// Decide which of `options` readable stores a stale-capable load
+    /// observes (0 = newest); records the decision.
+    fn decide_value(&mut self, options: usize) -> usize {
+        debug_assert!(options > 1);
+        let k = match &mut self.chooser {
+            Chooser::Dfs { path, cursor } => {
+                let k = if *cursor < path.len() {
+                    let node = path[*cursor];
+                    (node.chosen as usize).min(options - 1)
+                } else {
+                    path.push(DfsNode {
+                        chosen: 0,
+                        options: options as u32,
+                    });
+                    0
+                };
+                *cursor += 1;
+                k
+            }
+            Chooser::Rand { rng, .. } => {
+                // Bias toward the newest store; occasionally reach back.
+                if rng.next_u64() % 4 != 0 {
+                    0
+                } else {
+                    1 + rng.next_below(options - 1)
+                }
+            }
+            Chooser::Replay { choices, cursor } => {
+                if *cursor >= choices.len() || choices[*cursor] as usize >= options {
+                    let msg = format!(
+                        "replay divergence: token does not match this model \
+                         (value decision {} of {}, {} options)",
+                        *cursor,
+                        choices.len(),
+                        options,
+                    );
+                    self.fail(msg);
+                    panic_abort();
+                }
+                let k = choices[*cursor] as usize;
+                *cursor += 1;
+                k
+            }
+        };
+        self.record.push(k as u32);
+        k
+    }
+
+    fn seen_floor(&mut self, task: usize, loc: usize) -> usize {
+        let seen = &mut self.tasks[task].seen;
+        if seen.len() <= loc {
+            seen.resize(loc + 1, 0);
+        }
+        seen[loc]
+    }
+
+    fn raise_floor(&mut self, task: usize, loc: usize, idx: usize) {
+        let seen = &mut self.tasks[task].seen;
+        if seen.len() <= loc {
+            seen.resize(loc + 1, 0);
+        }
+        if seen[loc] < idx {
+            seen[loc] = idx;
+        }
+    }
+
+    fn join_view(&mut self, task: usize, view: &[usize]) {
+        let seen = &mut self.tasks[task].seen;
+        if seen.len() < view.len() {
+            seen.resize(view.len(), 0);
+        }
+        for (s, &v) in seen.iter_mut().zip(view.iter()) {
+            if *s < v {
+                *s = v;
+            }
+        }
+    }
+
+    fn snapshot_view(&self, task: usize) -> Arc<Vec<usize>> {
+        Arc::new(self.tasks[task].seen.clone())
+    }
+
+    /// Publish this task's view into the global SC frontier.
+    fn sc_publish(&mut self, task: usize) {
+        let seen = &self.tasks[task].seen;
+        for (loc, &s) in seen.iter().enumerate() {
+            if self.sc_visible[loc] < s {
+                self.sc_visible[loc] = s;
+            }
+        }
+    }
+
+    /// Floor this task's view from the global SC frontier.
+    fn sc_floor(&mut self, task: usize) {
+        let sc = &self.sc_visible;
+        let seen = &mut self.tasks[task].seen;
+        if seen.len() < sc.len() {
+            seen.resize(sc.len(), 0);
+        }
+        for (s, &v) in seen.iter_mut().zip(sc.iter()) {
+            if *s < v {
+                *s = v;
+            }
+        }
+    }
+
+    fn load(&mut self, task: usize, loc: usize, ord: StdOrdering) -> u64 {
+        let sc = matches!(ord, StdOrdering::SeqCst);
+        if sc {
+            self.sc_publish(task);
+            self.sc_floor(task);
+        }
+        let n = self.locs[loc].stores.len();
+        let floor = self
+            .seen_floor(task, loc)
+            .max(n.saturating_sub(STALE_WINDOW));
+        let idx = if sc || !self.staleness || n - floor == 1 {
+            n - 1
+        } else {
+            let k = self.decide_value(n - floor);
+            n - 1 - k
+        };
+        self.raise_floor(task, loc, idx);
+        let acquire = matches!(
+            ord,
+            StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+        );
+        let (value, view) = {
+            let store = &self.locs[loc].stores[idx];
+            (store.value, store.view.clone())
+        };
+        if acquire {
+            if let Some(view) = view {
+                self.join_view(task, &view);
+            }
+        }
+        value
+    }
+
+    fn store(&mut self, task: usize, loc: usize, val: u64, ord: StdOrdering) {
+        let release = matches!(
+            ord,
+            StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+        );
+        let view = if release {
+            Some(self.snapshot_view(task))
+        } else {
+            None
+        };
+        self.locs[loc].stores.push(Store { value: val, view });
+        let idx = self.locs[loc].stores.len() - 1;
+        self.raise_floor(task, loc, idx);
+        if matches!(ord, StdOrdering::SeqCst) {
+            // x86 strength: an SC store is a full barrier.
+            self.sc_publish(task);
+            self.sc_floor(task);
+        }
+    }
+
+    fn rmw(
+        &mut self,
+        task: usize,
+        loc: usize,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> (u64, bool, u64) {
+        // All RMWs are modeled at full x86 `lock` strength: full fence,
+        // read the modification-order head, full fence on the new store.
+        self.sc_publish(task);
+        self.sc_floor(task);
+        let idx = self.locs[loc].stores.len() - 1;
+        let (cur, view) = {
+            let store = &self.locs[loc].stores[idx];
+            (store.value, store.view.clone())
+        };
+        self.raise_floor(task, loc, idx);
+        if let Some(view) = view {
+            self.join_view(task, &view);
+        }
+        match f(cur) {
+            Some(new) => {
+                let view = Some(self.snapshot_view(task));
+                self.locs[loc].stores.push(Store { value: new, view });
+                let nidx = self.locs[loc].stores.len() - 1;
+                self.raise_floor(task, loc, nidx);
+                self.sc_publish(task);
+                (cur, true, new)
+            }
+            None => (cur, false, cur),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local task context
+// ---------------------------------------------------------------------------
+
+/// Identifies the model task running on the current OS thread.
+#[derive(Clone)]
+pub(crate) struct TaskCtx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) task: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<TaskCtx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Clone the current task context out of TLS (cheap: one Arc bump).
+pub(crate) fn ctx() -> Option<TaskCtx> {
+    // While unwinding (including the `ModelAbort` teardown of an execution)
+    // destructors may touch instrumented atomics; dispatching them to the
+    // engine would panic again inside the unwind and abort the process.
+    // Degrade to the real atomics instead — write-through keeps them
+    // coherent with the model's modification-order head, and an aborting
+    // execution records no further decisions anyway.
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+pub(crate) fn set_ctx(v: Option<TaskCtx>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+fn in_model_ctx() -> bool {
+    CTX.try_with(|c| c.borrow().is_some()).unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Panic-hook plumbing
+// ---------------------------------------------------------------------------
+
+/// Silence panic output for (a) the `ModelAbort` sentinel and (b) expected
+/// assertion failures inside model executions — the engine captures the
+/// message and reports it (with a replay token) instead.  Panics outside
+/// model executions keep the previous hook's behavior.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_some() || in_model_ctx() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model task panicked (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+struct IterationOutcome {
+    failure: Option<String>,
+    truncated: bool,
+    record: Vec<u32>,
+    /// Schedule points this execution consumed (PCT change-point sizing).
+    steps: usize,
+    /// DFS decision path actually taken (for the odometer).
+    dfs_path: Option<Vec<DfsNode>>,
+}
+
+fn run_iteration<F: Fn()>(opts: &Options, chooser: Chooser, body: &F) -> IterationOutcome {
+    let shared = Arc::new(Shared::new(opts, chooser));
+    set_ctx(Some(TaskCtx {
+        shared: Arc::clone(&shared),
+        task: 0,
+    }));
+    let res = panic::catch_unwind(AssertUnwindSafe(body));
+    set_ctx(None);
+    {
+        let mut st = shared.lock();
+        st.tasks[0].run = RunState::Finished;
+        match res {
+            Ok(()) => {
+                if st.phase == Phase::Running
+                    && st.tasks.iter().any(|t| t.run != RunState::Finished)
+                {
+                    st.fail(
+                        "model body returned with live model threads (join every \
+                         handle before returning)"
+                            .into(),
+                    );
+                }
+            }
+            Err(p) => {
+                if p.downcast_ref::<ModelAbort>().is_none() {
+                    st.fail(panic_message(&*p));
+                }
+            }
+        }
+        shared.notify();
+    }
+    // Tear down worker OS threads; under abort they wake, unwind with the
+    // sentinel, and exit their closure.
+    let handles = std::mem::take(&mut *shared.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = shared.lock();
+    IterationOutcome {
+        failure: st.failure.take(),
+        truncated: st.truncated,
+        record: std::mem::take(&mut st.record),
+        steps: st.steps,
+        dfs_path: match &mut st.chooser {
+            Chooser::Dfs { path, .. } => Some(std::mem::take(path)),
+            _ => None,
+        },
+    }
+}
+
+/// Advance the DFS odometer to the next unexplored path.  Returns `false`
+/// when the tree is exhausted.
+fn advance_dfs(path: &mut Vec<DfsNode>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explore interleavings of `body` under the given options.
+///
+/// `body` is executed once per iteration on the calling thread (task 0); it
+/// may spawn model threads via [`crate::thread::spawn`] and must join them
+/// before returning.  Exploration stops at the first counterexample.
+pub fn explore<F: Fn()>(opts: &Options, body: F) -> Report {
+    install_panic_hook();
+    assert!(
+        !in_model_ctx(),
+        "nested model executions are not supported (explore inside explore)"
+    );
+    let mut report = Report {
+        iterations: 0,
+        truncated: 0,
+        exhausted: false,
+        failure: None,
+    };
+    let mut dfs_path: Vec<DfsNode> = Vec::new();
+    // PCT change points only matter if they land inside the execution, so
+    // sample them over the previous iteration's observed length (CHESS/PCT
+    // both learn the length the same way) rather than the step *cap*.
+    let mut est_len: usize = 32;
+    for iter in 0..opts.max_iterations {
+        let chooser = match opts.strategy {
+            Strategy::Dfs => Chooser::Dfs {
+                path: std::mem::take(&mut dfs_path),
+                cursor: 0,
+            },
+            Strategy::Pct { depth } => {
+                let mut rng =
+                    SplitMix64::new(opts.seed ^ (iter as u64).wrapping_mul(GOLDEN) ^ 0x5eed);
+                let mut cps: Vec<usize> = (0..depth).map(|_| 1 + rng.next_below(est_len)).collect();
+                cps.sort_unstable();
+                Chooser::Rand {
+                    rng,
+                    change_points: cps,
+                    next_cp: 0,
+                    min_priority: 0,
+                }
+            }
+        };
+        let out = run_iteration(opts, chooser, &body);
+        est_len = out.steps.clamp(8, opts.max_steps);
+        report.iterations = iter + 1;
+        if out.truncated {
+            report.truncated += 1;
+        }
+        if let Some(message) = out.failure {
+            report.failure = Some(Failure {
+                token: token::encode(
+                    &out.record,
+                    token::TokenHeader {
+                        preemption_bound: opts.preemption_bound,
+                        value_staleness: opts.value_staleness,
+                    },
+                ),
+                iteration: iter,
+                message,
+            });
+            return report;
+        }
+        if let Some(mut path) = out.dfs_path {
+            if !advance_dfs(&mut path) {
+                report.exhausted = true;
+                return report;
+            }
+            dfs_path = path;
+        }
+    }
+    report
+}
+
+/// Re-execute a single schedule from a replay token.  The body must be the
+/// same model the token was produced from; divergence is reported as a
+/// failure rather than silently exploring something else.
+pub fn replay<F: Fn()>(token_str: &str, body: F) -> Report {
+    install_panic_hook();
+    assert!(!in_model_ctx(), "nested model executions are not supported");
+    let (header, choices) = match token::decode(token_str) {
+        Some(c) => c,
+        None => {
+            return Report {
+                iterations: 0,
+                truncated: 0,
+                exhausted: false,
+                failure: Some(Failure {
+                    token: token_str.to_string(),
+                    iteration: 0,
+                    message: "malformed replay token".into(),
+                }),
+            }
+        }
+    };
+    let opts = Options {
+        strategy: Strategy::Dfs, // unused by the Replay chooser
+        max_iterations: 1,
+        max_steps: usize::MAX / 2,
+        seed: 0,
+        // Both travel in the token: they decide which operations consume a
+        // decision, so replay must mirror the original run exactly.
+        value_staleness: header.value_staleness,
+        preemption_bound: header.preemption_bound,
+    };
+    let out = run_iteration(&opts, Chooser::Replay { choices, cursor: 0 }, &body);
+    Report {
+        iterations: 1,
+        truncated: if out.truncated { 1 } else { 0 },
+        exhausted: false,
+        failure: out.failure.map(|message| Failure {
+            token: token_str.to_string(),
+            iteration: 0,
+            message,
+        }),
+    }
+}
+
+/// [`explore`], but panic with a diagnostic (including the replay token)
+/// when a counterexample is found.  The usual entry point for clean-suite
+/// model tests.
+pub fn check<F: Fn()>(opts: &Options, body: F) -> Report {
+    let report = explore(opts, body);
+    if let Some(f) = &report.failure {
+        panic!(
+            "model check failed at iteration {}: {}\n  replay token: {}",
+            f.iteration, f.message, f.token
+        );
+    }
+    report
+}

@@ -1,0 +1,303 @@
+//! `skiphash-model` — a loom-lite deterministic concurrency model checker.
+//!
+//! This crate is the engine behind the repo's model-checking story (see
+//! `docs/VERIFICATION.md`).  It provides:
+//!
+//! * [`atomic`] — drop-in instrumented atomic types + [`atomic::fence`]
+//!   that behave exactly like `std::sync::atomic` outside a model
+//!   execution, and become schedule points against an operational
+//!   weak-memory model inside one.  `stm::sync` re-exports these when the
+//!   `model` feature of `skiphash_stm` is enabled.
+//! * [`thread`] — model-aware `spawn` / `join` / `yield_now`.
+//! * [`explore`] / [`check`] — drive a closure through many interleavings
+//!   using either bounded-exhaustive DFS ([`Options::dfs`]) or seeded
+//!   PCT-style randomized priority scheduling ([`Options::pct`]).
+//! * [`replay`] — re-execute one exact interleaving from a serialized
+//!   **replay token**, turning any counterexample into a deterministic
+//!   regression test (the corpus test in `crates/model-tests` consumes
+//!   these).
+//!
+//! # Example
+//!
+//! ```
+//! use skiphash_model as model;
+//! use model::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // Two racing unsynchronized increments CAN lose an update; DFS finds
+//! // the interleaving and hands back a replay token.
+//! let report = model::explore(&model::Options::dfs(), || {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let t: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&c);
+//!             model::thread::spawn(move || {
+//!                 let v = c.load(Ordering::SeqCst);
+//!                 c.store(v + 1, Ordering::SeqCst);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in t {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+//! });
+//! assert!(report.failure.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod thread;
+
+mod exec;
+mod rng;
+mod token;
+
+pub use exec::{check, explore, replay, Failure, Options, Report, Strategy};
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{fence, AtomicU64, Ordering};
+    use super::{explore, replay, Options};
+    use std::sync::Arc;
+
+    fn two<F1, F2>(a: F1, b: F2)
+    where
+        F1: FnOnce() + Send + 'static,
+        F2: FnOnce() + Send + 'static,
+    {
+        let t1 = crate::thread::spawn(a);
+        let t2 = crate::thread::spawn(b);
+        t1.join().unwrap();
+        t2.join().unwrap();
+    }
+
+    /// Unsynchronized read-modify-write: the classic lost update must be
+    /// found by exhaustive DFS, and its token must replay to the same
+    /// failure.
+    #[test]
+    fn dfs_finds_lost_update_and_token_replays() {
+        let body = || {
+            let c = Arc::new(AtomicU64::new(0));
+            let (c1, c2) = (Arc::clone(&c), Arc::clone(&c));
+            two(
+                move || {
+                    let v = c1.load(Ordering::SeqCst);
+                    c1.store(v + 1, Ordering::SeqCst);
+                },
+                move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                },
+            );
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let report = explore(&Options::dfs(), body);
+        let failure = report.failure.expect("DFS must find the lost update");
+        let re = replay(&failure.token, body);
+        let re_failure = re.failure.expect("token must reproduce the failure");
+        assert!(re_failure.message.contains("lost update"), "{re_failure:?}");
+    }
+
+    /// CAS-based increments never lose updates; the exhaustive search must
+    /// come back clean AND exhaust the (small) tree.
+    #[test]
+    fn dfs_exhausts_clean_cas_counter() {
+        let report = explore(&Options::dfs(), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let (c1, c2) = (Arc::clone(&c), Arc::clone(&c));
+            let bump = |c: Arc<AtomicU64>| loop {
+                let v = c.load(Ordering::SeqCst);
+                if c.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+            };
+            two(move || bump(c1), move || bump(c2));
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted, "small model should be fully enumerated");
+    }
+
+    /// Store-buffering litmus (SB): with SC fences between the store and the
+    /// opposite load, `r1 == 0 && r2 == 0` is forbidden and the checker must
+    /// agree.
+    #[test]
+    fn sb_litmus_forbidden_with_fences() {
+        let report = explore(&Options::dfs(), || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let r1 = Arc::new(AtomicU64::new(u64::MAX));
+            let r2 = Arc::new(AtomicU64::new(u64::MAX));
+            {
+                let (x, y, r1) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+                let (x2, y2, r2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r2));
+                two(
+                    move || {
+                        x.store(1, Ordering::Relaxed);
+                        fence(Ordering::SeqCst);
+                        let v = y.load(Ordering::Relaxed);
+                        r1.store(v, Ordering::Relaxed);
+                    },
+                    move || {
+                        y2.store(1, Ordering::Relaxed);
+                        fence(Ordering::SeqCst);
+                        let v = x2.load(Ordering::Relaxed);
+                        r2.store(v, Ordering::Relaxed);
+                    },
+                );
+            }
+            let (a, b) = (r1.load(Ordering::SeqCst), r2.load(Ordering::SeqCst));
+            assert!(
+                !(a == 0 && b == 0),
+                "SB: both threads read 0 despite fences"
+            );
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    /// SB without the fences: relaxed stores may still be unpublished when
+    /// the opposite load runs, so `r1 == r2 == 0` IS observable — exactly
+    /// the load-load/store-load reordering a fence-deletion bug exposes.
+    #[test]
+    fn sb_litmus_observable_without_fences() {
+        let report = explore(&Options::dfs(), || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let r1 = Arc::new(AtomicU64::new(u64::MAX));
+            let r2 = Arc::new(AtomicU64::new(u64::MAX));
+            {
+                let (x, y, r1) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+                let (x2, y2, r2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r2));
+                two(
+                    move || {
+                        x.store(1, Ordering::Relaxed);
+                        let v = y.load(Ordering::Relaxed);
+                        r1.store(v, Ordering::Relaxed);
+                    },
+                    move || {
+                        y2.store(1, Ordering::Relaxed);
+                        let v = x2.load(Ordering::Relaxed);
+                        r2.store(v, Ordering::Relaxed);
+                    },
+                );
+            }
+            let (a, b) = (r1.load(Ordering::SeqCst), r2.load(Ordering::SeqCst));
+            assert!(
+                !(a == 0 && b == 0),
+                "SB relaxed: both zeros (expected reachable)"
+            );
+        });
+        assert!(
+            report.failure.is_some(),
+            "relaxed SB must admit the both-zeros outcome"
+        );
+    }
+
+    /// Message passing: release store / acquire load synchronize, so the
+    /// payload read after seeing the flag must be fresh.
+    #[test]
+    fn message_passing_release_acquire_clean() {
+        let report = explore(&Options::dfs(), || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            two(
+                move || {
+                    d1.store(42, Ordering::Relaxed);
+                    f1.store(1, Ordering::Release);
+                },
+                move || {
+                    if f2.load(Ordering::Acquire) == 1 {
+                        assert_eq!(d2.load(Ordering::Relaxed), 42, "stale payload");
+                    }
+                },
+            );
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    /// Message passing with relaxed flag: the stale payload is observable.
+    #[test]
+    fn message_passing_relaxed_flag_fails() {
+        let report = explore(&Options::dfs(), || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            two(
+                move || {
+                    d1.store(42, Ordering::Relaxed);
+                    f1.store(1, Ordering::Relaxed);
+                },
+                move || {
+                    if f2.load(Ordering::Relaxed) == 1 {
+                        assert_eq!(d2.load(Ordering::Relaxed), 42, "stale payload");
+                    }
+                },
+            );
+        });
+        assert!(report.failure.is_some(), "relaxed MP must admit stale read");
+    }
+
+    /// PCT finds the same lost update that DFS does.
+    #[test]
+    fn pct_finds_lost_update() {
+        let report = explore(&Options::pct(0xfeed_beef).iterations(500), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let (c1, c2) = (Arc::clone(&c), Arc::clone(&c));
+            two(
+                move || {
+                    let v = c1.load(Ordering::SeqCst);
+                    c1.store(v + 1, Ordering::SeqCst);
+                },
+                move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                },
+            );
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(report.failure.is_some(), "PCT should find the lost update");
+    }
+
+    /// A body that returns while a model thread is still running is a bug
+    /// in the model (the schedule space would be ill-defined); the engine
+    /// reports it instead of hanging.
+    #[test]
+    fn leaked_model_thread_is_reported() {
+        let report = explore(&Options::dfs().iterations(10), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c1 = Arc::clone(&c);
+            let _h = crate::thread::spawn(move || {
+                c1.store(1, Ordering::SeqCst);
+            });
+            // no join
+        });
+        let f = report.failure.expect("leak must be reported");
+        assert!(f.message.contains("live model threads"), "{f:?}");
+    }
+
+    /// Outside any model execution the instrumented types are plain std
+    /// atomics (the fallback path the `model` feature relies on).
+    #[test]
+    fn fallback_behaves_like_std() {
+        let a = AtomicU64::new(7);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 7);
+        assert_eq!(a.swap(100, Ordering::SeqCst), 8);
+        assert_eq!(
+            a.compare_exchange(100, 5, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(100)
+        );
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+        fence(Ordering::SeqCst);
+        let h = crate::thread::spawn(|| 3u32);
+        assert_eq!(h.join().unwrap(), 3);
+    }
+}

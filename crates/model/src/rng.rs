@@ -1,0 +1,31 @@
+//! Tiny deterministic PRNG for the randomized (PCT-style) scheduler.
+//!
+//! SplitMix64: a fixed, dependency-free generator whose entire state is one
+//! `u64`, so per-iteration reseeding (`seed ^ iteration * GOLDEN`) is cheap
+//! and reproducible across platforms.
+
+/// SplitMix64 generator (public-domain constants from Steele et al.).
+pub(crate) struct SplitMix64(u64);
+
+/// Odd constant used to derive per-iteration seeds from the base seed.
+pub(crate) const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(GOLDEN);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n must be non-zero). Modulo bias is
+    /// irrelevant for scheduling purposes.
+    pub(crate) fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}

@@ -1,0 +1,110 @@
+//! Model-aware thread spawning and yielding.
+//!
+//! Outside a model execution these forward to `std::thread`.  Inside one,
+//! [`spawn`] registers a new *model task* backed by a real OS thread that
+//! only runs while it holds the scheduler token, and [`JoinHandle::join`]
+//! is a blocking edge the scheduler understands (join cycles are reported
+//! as deadlock counterexamples, not hangs).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{self, panic_message, ModelAbort};
+
+type ResultSlot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        shared: Arc<exec::Shared>,
+        task: usize,
+        result: ResultSlot<T>,
+    },
+}
+
+/// Handle to a spawned (model or OS) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.  Mirrors
+    /// [`std::thread::JoinHandle::join`]: a panicking child yields `Err`.
+    /// Under the model a child's panic is additionally recorded as the
+    /// execution's counterexample.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model {
+                shared,
+                task,
+                result,
+            } => {
+                let ctx = exec::ctx()
+                    .expect("model JoinHandle joined outside the model execution that created it");
+                ctx.shared.join_task(ctx.task, task);
+                drop(shared);
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model task finished without storing a result")
+            }
+        }
+    }
+}
+
+/// Spawn a thread.  A model task inside a model execution; a plain
+/// `std::thread` otherwise.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match exec::ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some(ctx) => {
+            let shared = Arc::clone(&ctx.shared);
+            let task = shared.add_task();
+            let result: ResultSlot<T> = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let worker_shared = Arc::clone(&shared);
+            let os = std::thread::Builder::new()
+                .name(format!("model-task-{task}"))
+                .spawn(move || {
+                    exec::set_ctx(Some(exec::TaskCtx {
+                        shared: Arc::clone(&worker_shared),
+                        task,
+                    }));
+                    worker_shared.wait_first_schedule(task);
+                    let res = panic::catch_unwind(AssertUnwindSafe(f));
+                    match &res {
+                        Err(p) if p.downcast_ref::<ModelAbort>().is_some() => {
+                            // Teardown sentinel: exit quietly.
+                        }
+                        Err(p) => {
+                            worker_shared.fail_from_panic(panic_message(&**p));
+                        }
+                        Ok(_) => {}
+                    }
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+                    exec::set_ctx(None);
+                    worker_shared.finish_task(task);
+                })
+                .expect("failed to spawn model task OS thread");
+            shared.push_os_handle(os);
+            JoinHandle(Inner::Model {
+                shared,
+                task,
+                result,
+            })
+        }
+    }
+}
+
+/// Yield: a pure schedule point under the model, `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match exec::ctx() {
+        Some(ctx) => ctx.shared.op_yield(ctx.task),
+        None => std::thread::yield_now(),
+    }
+}

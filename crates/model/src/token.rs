@@ -1,0 +1,149 @@
+//! Replay-token serialization.
+//!
+//! A failing schedule is fully determined by the sequence of scheduler
+//! decisions (each an index into that step's option list).  Tokens encode
+//! that sequence as LEB128 varints rendered in hex, prefixed with a format
+//! version, so a counterexample found once can be re-executed verbatim as a
+//! regression test (see `replay` in the crate root and the corpus test in
+//! `crates/model-tests`).
+
+/// Format prefix; bump if the decision-stream semantics ever change.
+const PREFIX: &str = "shm1.";
+
+/// Flag bit: stale-load exploration was enabled when the token was found.
+const FLAG_STALENESS: u32 = 1;
+
+/// Exploration options a replay must reproduce for the decision stream to
+/// line up: both fields change *which* operations consume a decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TokenHeader {
+    /// The preemption bound in force when the schedule was found.
+    pub preemption_bound: Option<usize>,
+    /// Whether stale-load exploration was on (loads of multi-store
+    /// locations consume a value decision).
+    pub value_staleness: bool,
+}
+
+/// Encode a decision stream into a printable replay token.
+///
+/// The header travels with the decisions (first varint the preemption
+/// bound, `0` = unbounded else `bound + 1`; second varint a flag word):
+/// both determine which operations consume a decision, so replay must
+/// reproduce them exactly.
+pub(crate) fn encode(choices: &[u32], header: TokenHeader) -> String {
+    let bound = match header.preemption_bound {
+        None => 0u32,
+        Some(b) => u32::try_from(b.saturating_add(1)).unwrap_or(u32::MAX),
+    };
+    let flags = if header.value_staleness {
+        FLAG_STALENESS
+    } else {
+        0
+    };
+    let mut bytes = Vec::with_capacity(choices.len() + 2);
+    for &c in [bound, flags].iter().chain(choices) {
+        let mut v = c;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                bytes.push(byte);
+                break;
+            }
+            bytes.push(byte | 0x80);
+        }
+    }
+    let mut out = String::with_capacity(PREFIX.len() + bytes.len() * 2);
+    out.push_str(PREFIX);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode a replay token back into its header and decision stream.
+/// Returns `None` on any malformed input (wrong prefix, odd hex, truncated
+/// varint, missing header, unknown flags).
+pub(crate) fn decode(token: &str) -> Option<(TokenHeader, Vec<u32>)> {
+    let hex = token.strip_prefix(PREFIX)?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    let raw = hex.as_bytes();
+    for pair in raw.chunks(2) {
+        let s = std::str::from_utf8(pair).ok()?;
+        bytes.push(u8::from_str_radix(s, 16).ok()?);
+    }
+    let mut out: Vec<u32> = Vec::new();
+    let mut cur: u32 = 0;
+    let mut shift = 0u32;
+    for b in bytes {
+        cur |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            out.push(cur);
+            cur = 0;
+            shift = 0;
+        } else {
+            shift += 7;
+            if shift > 28 {
+                return None;
+            }
+        }
+    }
+    if shift != 0 {
+        return None; // truncated trailing varint
+    }
+    if out.len() < 2 {
+        return None; // missing header varints
+    }
+    let bound = out.remove(0);
+    let flags = out.remove(0);
+    if flags & !FLAG_STALENESS != 0 {
+        return None; // flags from a future format revision
+    }
+    let header = TokenHeader {
+        preemption_bound: if bound == 0 {
+            None
+        } else {
+            Some(bound as usize - 1)
+        },
+        value_staleness: flags & FLAG_STALENESS != 0,
+    };
+    Some((header, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cases: &[&[u32]] = &[&[], &[0], &[1, 2, 3], &[127, 128, 300, 70000]];
+        let bounds = [None, Some(0), Some(3), Some(1000)];
+        for c in cases {
+            for b in bounds {
+                for staleness in [false, true] {
+                    let h = TokenHeader {
+                        preemption_bound: b,
+                        value_staleness: staleness,
+                    };
+                    let t = encode(c, h);
+                    let (dh, dc) = decode(&t).expect("token must decode");
+                    assert_eq!((dh, dc.as_slice()), (h, *c), "token {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode("nope").is_none());
+        assert!(decode("shm1.").is_none()); // missing header
+        assert!(decode("shm1.00").is_none()); // missing flags varint
+        assert!(decode("shm1.0").is_none()); // odd hex
+        assert!(decode("shm1.zz").is_none()); // not hex
+        assert!(decode("shm1.80").is_none()); // truncated varint
+        assert!(decode("shm1.0004").is_none()); // unknown flag bit
+    }
+}

@@ -276,7 +276,7 @@ mod tests {
 
     #[test]
     fn drop_releases_heap_pairs_exactly_once() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use skiphash_stm::sync::{AtomicUsize, Ordering};
         use std::sync::Arc;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         #[derive(Clone)]

@@ -6,8 +6,8 @@
 //! `stm.run(|tx| self.view(tx).op(..))`, so the sealed and composable tiers
 //! can never drift apart.
 
+use skiphash_stm::sync::{AtomicI64, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -622,7 +622,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
                 if walked == counted {
                     break;
                 }
-                std::thread::yield_now();
+                skiphash_stm::sync::yield_now();
                 walked = self
                     .inner
                     .stm
@@ -719,7 +719,7 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
             if walked == counted {
                 return Ok(());
             }
-            std::thread::yield_now();
+            skiphash_stm::sync::yield_now();
             walked = inner.stm.run(|tx| inner.skiplist.count_present(tx));
             counted = inner.population.total();
         }

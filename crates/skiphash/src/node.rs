@@ -60,12 +60,12 @@
 //! execute outside its thread-local borrow); nesting stays depth-one because
 //! the neighbour is *deferred*, never freed recursively.
 
+use skiphash_stm::sync::{fence, AtomicUsize, Ordering as AtomicOrdering};
 use std::alloc::Layout;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Deref;
 use std::ptr::{self, addr_of_mut, NonNull};
-use std::sync::atomic::{fence, AtomicUsize, Ordering as AtomicOrdering};
 
 use crossbeam_epoch as epoch;
 use skiphash_stm::{arena, TCell, TxResult, Txn};

@@ -14,12 +14,12 @@
 //! `BTreeMap::range` — a concurrent map should not turn a stale bound pair
 //! into a crash.
 
+use skiphash_stm::sync::Ordering;
 use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::iter::FusedIterator;
 use std::ops::Bound as StdBound;
 use std::ops::RangeBounds;
-use std::sync::atomic::Ordering;
 
 use skiphash_stm::{TxResult, Txn};
 

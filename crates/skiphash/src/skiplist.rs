@@ -183,13 +183,16 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
 
         let mut pred = RawNode::from_ref(&self.head);
         for level in (0..self.max_level).rev() {
+            // SAFETY: handle read under this attempt; guard pinned (blanket note above).
             let mut curr = unsafe { pred.node() }
                 .level(level)
                 .succ
                 .read_with(tx, RawNode::from_link)?
                 .expect("levels are always terminated by the tail sentinel");
+            // SAFETY: same contract — read under this attempt.
             while unsafe { curr.node() }.bound.is_before(key) {
                 pred = curr;
+                // SAFETY: same contract — read under this attempt.
                 curr = unsafe { curr.node() }
                     .level(level)
                     .succ
@@ -229,11 +232,13 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         let mut pred = RawNode::from_ref(&self.head);
         for level in (1..self.max_level).rev() {
             loop {
+                // SAFETY: handle read under this attempt; guard pinned (blanket note above).
                 let next = unsafe { pred.node() }
                     .level(level)
                     .succ
                     .read_with(tx, RawNode::from_link)?
                     .expect("levels are always terminated by the tail sentinel");
+                // SAFETY: same contract — read under this attempt.
                 if unsafe { next.node() }.bound.is_before(key) {
                     pred = next;
                 } else {
@@ -241,12 +246,15 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                 }
             }
         }
+        // SAFETY: same contract — read under this attempt.
         let mut curr = unsafe { pred.node() }
             .level(0)
             .succ
             .read_with(tx, RawNode::from_link)?
             .expect("levels are always terminated by the tail sentinel");
+        // SAFETY: same contract — read under this attempt.
         while unsafe { curr.node() }.bound.is_before(key) {
+            // SAFETY: same contract — read under this attempt.
             curr = unsafe { curr.node() }
                 .level(0)
                 .succ
@@ -268,6 +276,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                 .r_time
                 .read_with(tx, Option::is_some)?
         {
+            // SAFETY: same contract — read under this attempt.
             node = unsafe { node.node() }
                 .level(0)
                 .succ
@@ -295,8 +304,10 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
             && (unsafe { node.node() }
                 .r_time
                 .read_with(tx, Option::is_some)?
+                // SAFETY: same contract — read under this attempt.
                 || unsafe { node.node() }.bound.cmp_key(key) == Ordering::Equal)
         {
+            // SAFETY: same contract — read under this attempt.
             node = unsafe { node.node() }
                 .level(0)
                 .succ
@@ -331,11 +342,14 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
             .pred
             .read_with(tx, RawNode::from_link)?
             .expect("interior nodes always have a level-0 predecessor");
+        // SAFETY: handle read under this attempt; guard pinned (note above).
         while !unsafe { node.node() }.is_head()
+            // SAFETY: same contract — read under this attempt.
             && unsafe { node.node() }
                 .r_time
                 .read_with(tx, Option::is_some)?
         {
+            // SAFETY: same contract — read under this attempt.
             node = unsafe { node.node() }
                 .level(0)
                 .pred
@@ -350,6 +364,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     pub fn first_present(&self, tx: &mut Txn<'_>) -> TxResult<NodeRef<K, V>> {
         // SAFETY: as in `ceil_raw_borrowed` — same attempt, guard pinned.
         let raw = RawNode::from_ref(&self.head);
+        // SAFETY: head handle; the attempt's guard is pinned (note above).
         let first = unsafe { raw.node() }
             .level(0)
             .succ

@@ -313,6 +313,7 @@ impl<K: MapKey, V: MapValue> Snapshot<K, V> {
                 return None;
             }
             if self.present_at(node) {
+                // SAFETY: handle read under the pinned guard of this scan.
                 return Some(unsafe { node.upgrade() });
             }
             node = self.hop(node, 0);

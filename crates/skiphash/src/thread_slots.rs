@@ -25,8 +25,8 @@
 //! tests spawn.  The free-list mutex is touched once per thread lifetime
 //! (claim + return), never on per-operation paths.
 
+use skiphash_stm::sync::{AtomicUsize, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 

@@ -310,7 +310,10 @@ mod tests {
         assert!(!pooled(4097, 8), "oversized blocks fall back");
         assert!(!pooled(0, 8), "zero-size requests fall back");
         assert!(!pooled(64, 64), "over-aligned blocks fall back");
-        for size in 1..=4096usize {
+        // Exhaustive on native runs; Miri strides to keep the interpreted
+        // run fast while still probing every class boundary region.
+        let step = if cfg!(miri) { 7 } else { 1 };
+        for size in (1..=4096usize).step_by(step) {
             let class = class_of_size(size).expect("covered");
             assert!(CLASS_SIZES[class] >= size);
             if class > 0 {
@@ -327,8 +330,9 @@ mod tests {
         assert_eq!(recommended_size(5000, 8), 5000, "oversize is unchanged");
         assert_eq!(recommended_size(48, 64), 48, "over-aligned is unchanged");
         // The round-trip invariant chains rely on: a recommended size maps to
-        // the class whose full size it is.
-        for size in 1..=4096usize {
+        // the class whose full size it is.  (Strided under Miri, as above.)
+        let step = if cfg!(miri) { 7 } else { 1 };
+        for size in (1..=4096usize).step_by(step) {
             let rounded = recommended_size(size, 8);
             assert_eq!(class_of_size(rounded), class_of_size(size));
             assert_eq!(recommended_size(rounded, 8), rounded);
@@ -339,10 +343,12 @@ mod tests {
     fn freed_blocks_are_recycled_lifo() {
         // A distinctive size class to avoid interference from other tests.
         let (first, _) = alloc_raw(3000, 16);
+        // SAFETY: `first` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(first, 3000, 16) };
         let (second, recycled) = alloc_raw(3000, 16);
         assert!(recycled, "the freed block must come from the magazine");
         assert_eq!(first, second, "LIFO magazine returns the same block");
+        // SAFETY: `second` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(second, 3000, 16) };
     }
 
@@ -351,10 +357,12 @@ mod tests {
         // 400 and 500 both live in the 512 class; the free/alloc pair must
         // agree through the size alone.
         let (a, _) = alloc_raw(400, 8);
+        // SAFETY: `a` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(a, 400, 8) };
         let (b, recycled) = alloc_raw(500, 8);
         assert!(recycled);
         assert_eq!(a, b);
+        // SAFETY: `b` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(b, 500, 8) };
     }
 
@@ -362,10 +370,12 @@ mod tests {
     fn fallback_blocks_round_trip() {
         let (big, recycled) = alloc_raw(8192, 8);
         assert!(!recycled);
+        // SAFETY: `big` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(big, 8192, 8) };
         let (aligned, recycled) = alloc_raw(128, 64);
         assert!(!recycled);
         assert_eq!(aligned as usize % 64, 0);
+        // SAFETY: `aligned` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(aligned, 128, 64) };
     }
 
@@ -385,6 +395,7 @@ mod tests {
         for &size in &[32usize, 100, 777, 4096] {
             let (ptr, _) = alloc_raw(size, 16);
             assert_eq!(ptr as usize % BLOCK_ALIGN, 0);
+            // SAFETY: `ptr` came from `alloc_raw` with the same size/align and is not used again.
             unsafe { free_raw(ptr, size, 16) };
         }
     }

@@ -43,8 +43,8 @@
 //! reports `quiescent` only when that claim succeeded; on failure it falls
 //! back to a unique `fetch_add` tick, exactly like `gv1`.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A writer's commit timestamp plus the clock's quiescence verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,10 +253,26 @@ impl ClockSource for SampledClock {
         // winner's value would let a concurrent reader admit our writes
         // mid-flight and tear its snapshot).  Never quiescent: the failed
         // CAS already proved a commit intervened since `rv`.
-        let prev = self.counter.fetch_add(1, Ordering::SeqCst);
-        CommitStamp {
-            wv: prev + 1,
-            quiescent: false,
+        //
+        // `model_mutation` builds re-seed the original bug — adopting the
+        // winner's value instead of taking a fresh tick — so the model
+        // checker can demonstrate the resulting snapshot tear (see
+        // docs/VERIFICATION.md).
+        #[cfg(model_mutation)]
+        {
+            let cur = self.counter.load(Ordering::SeqCst);
+            return CommitStamp {
+                wv: cur,
+                quiescent: false,
+            };
+        }
+        #[cfg(not(model_mutation))]
+        {
+            let prev = self.counter.fetch_add(1, Ordering::SeqCst);
+            CommitStamp {
+                wv: prev + 1,
+                quiescent: false,
+            }
         }
     }
 

@@ -88,6 +88,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod clock;
@@ -97,6 +98,7 @@ mod scratch;
 mod slab;
 pub mod snapshot;
 pub mod stats;
+pub mod sync;
 pub mod tcell;
 pub mod txn;
 

@@ -12,8 +12,8 @@
 //! The low bit is the lock flag; the remaining 63 bits hold the version or
 //! the owner id.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Decoded view of an orec word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -141,23 +141,27 @@ pub(crate) struct PostCommit {
     drop_fn: unsafe fn(*mut u8),
 }
 
+// SAFETY: contract — `slot` must hold a live inline `F`; called at most once.
 unsafe fn call_inline<F: FnOnce()>(slot: *mut u8) {
     // SAFETY: the slot holds a live `F`, consumed exactly once.
     let action = unsafe { slot.cast::<F>().read() };
     action();
 }
 
+// SAFETY: contract — `slot` must hold a live inline `F`; called at most once.
 unsafe fn drop_inline<F>(slot: *mut u8) {
     // SAFETY: the slot holds a live `F` that is never used again.
     unsafe { slot.cast::<F>().drop_in_place() }
 }
 
+// SAFETY: contract — `slot` must hold a live `Box<F>`; called at most once.
 unsafe fn call_boxed<F: FnOnce()>(slot: *mut u8) {
     // SAFETY: the slot holds a live `Box<F>`, consumed exactly once.
     let action = unsafe { slot.cast::<Box<F>>().read() };
     (*action)();
 }
 
+// SAFETY: contract — `slot` must hold a live `Box<F>`; called at most once.
 unsafe fn drop_boxed<F>(slot: *mut u8) {
     // SAFETY: the slot holds a live `Box<F>` that is never used again.
     drop(unsafe { slot.cast::<Box<F>>().read() });
@@ -200,6 +204,8 @@ impl Drop for PostCommit {
     fn drop(&mut self) {
         // An unrun action (aborted attempt, or unwinding) drops its closure
         // without calling it.
+        // SAFETY: the slot still holds the closure (`invoke` suppresses this
+        // drop via ManuallyDrop), so `drop_fn` consumes it exactly once.
         unsafe { (self.drop_fn)(self.data.as_mut_ptr().cast()) }
     }
 }
@@ -324,11 +330,14 @@ mod tests {
 
     #[test]
     fn filter_grows_past_initial_capacity() {
+        // Miri runs a scaled-down count (interpretation is ~1000x slower);
+        // 2048 still forces several capacity doublings.
+        let n: usize = if cfg!(miri) { 2048 } else { 10_000 };
         let mut filter = ReadFilter::new();
-        for i in 0..10_000usize {
+        for i in 0..n {
             assert!(filter.insert(0x8000 + i * 8));
         }
-        for i in 0..10_000usize {
+        for i in 0..n {
             assert!(!filter.insert(0x8000 + i * 8));
         }
     }

@@ -248,6 +248,7 @@ pub(crate) unsafe fn free_value_now<T>(ptr: *mut T) {
 /// shim's `defer_with`: drops the value and returns its block to the slab
 /// (or frees the `Box` for ineligible types).
 pub(crate) fn drop_glue<T>() -> unsafe fn(*mut ()) {
+    // SAFETY: contract — forwarded verbatim from `free_value_now`.
     unsafe fn glue<T>(ptr: *mut ()) {
         // SAFETY: forwarded from `free_value_now`'s contract via the epoch
         // retirement protocol (called exactly once, after unreachability).
@@ -289,10 +290,12 @@ mod tests {
         // of the test process.
         type Block = [u64; 24]; // 192-byte class
         let (first, _) = alloc_value::<Block>([7; 24]);
+        // SAFETY: `first` came from `alloc_value::<Block>` and is not reused.
         unsafe { free_value_now(first) };
         let (second, recycled) = alloc_value::<Block>([9; 24]);
         assert!(recycled, "the freed block must be served from the magazine");
         assert_eq!(first, second, "LIFO magazine returns the same block");
+        // SAFETY: `second` came from `alloc_value::<Block>` and is not reused.
         unsafe { free_value_now(second) };
     }
 
@@ -307,6 +310,7 @@ mod tests {
             }
         }
         let (ptr, _) = alloc_value(Counted(1));
+        // SAFETY: `ptr` came from `alloc_value::<Counted>`; freed exactly once.
         unsafe { drop_glue::<Counted>()(ptr.cast()) };
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
@@ -315,6 +319,7 @@ mod tests {
     fn ineligible_values_round_trip_through_boxes() {
         let (ptr, recycled) = alloc_value([0u8; 1024]);
         assert!(!recycled);
+        // SAFETY: `ptr` came from `alloc_value` with the same type; not reused.
         unsafe { free_value_now(ptr) };
     }
 }

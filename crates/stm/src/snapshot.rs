@@ -64,9 +64,9 @@
 //! single-threaded code that moves an exclusively-owned cell while a pin
 //! holds its history could violate it.
 
+use crate::sync::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crossbeam_epoch as epoch;
@@ -239,12 +239,18 @@ fn lock_shard(shard: &Shard) -> std::sync::MutexGuard<'_, HashMap<usize, Chain>>
 
 /// Total history entries alive in the process (gates the `TCell::drop`
 /// purge so teardown of snapshot-free maps never touches the table).
-static LIVE_ENTRIES: AtomicUsize = AtomicUsize::new(0);
+///
+/// These three are deliberately plain `std` atomics, not `crate::sync` ones:
+/// they are process-global bookkeeping whose values survive across model
+/// executions (an aborted execution can leak entries), so instrumenting them
+/// would make the checker's schedule-point sequence depend on cross-run
+/// state and break replay determinism.  They synchronize nothing.
+static LIVE_ENTRIES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 /// Displaced payloads preserved for snapshots (process-wide counter; see the
 /// baseline note in `stm::stats`).
-static PRESERVED: AtomicU64 = AtomicU64::new(0);
+static PRESERVED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 /// Preserved payloads freed back (trim, drain, or cell teardown).
-static FREED: AtomicU64 = AtomicU64::new(0);
+static FREED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Process-wide count of payloads preserved for snapshots.
 pub(crate) fn preserved_total() -> u64 {
@@ -401,12 +407,20 @@ impl SnapshotPin {
     pub(crate) fn new(stm: Arc<Stm>) -> Self {
         let registry = stm.snapshot_registry();
         let slot = registry.acquire_slot();
+        #[cfg(not(model_mutation))]
         registry.live.fetch_add(1, Ordering::SeqCst);
         // Order the slot claim and live-count raise before the clock sample:
         // a committer that misses this pin must have ticked after the sample
         // below, putting its windows entirely above our version.
         fence(Ordering::SeqCst);
         let version = stm.clock_now();
+        // `model_mutation` builds re-seed the publish/tick race by raising
+        // the live count only after the clock sample: a committer can now
+        // tick between our sample and the raise, see `live() == 0`, and skip
+        // preserving a payload whose window contains our version (see
+        // docs/VERIFICATION.md).
+        #[cfg(model_mutation)]
+        registry.live.fetch_add(1, Ordering::SeqCst);
         registry.slots[slot].store(version, Ordering::SeqCst);
         Self { stm, slot, version }
     }

@@ -5,6 +5,13 @@
 //! those numbers the STM keeps cheap, always-on counters of commits and
 //! aborts, broken down by abort cause.  Counters are updated with relaxed
 //! atomics; they are for reporting only and never synchronize anything.
+//!
+//! Deliberately *not* routed through the `crate::sync` facade: these
+//! counters synchronize nothing, and some updates are conditional on
+//! process-global allocator state (e.g. `record_hot_path` skips the RMW
+//! when no slab block was recycled).  Instrumenting them would make the
+//! model checker's schedule-point sequence depend on cross-execution slab /
+//! epoch state, breaking replay-token determinism.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

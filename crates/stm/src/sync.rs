@@ -1,0 +1,48 @@
+//! Atomics / fence / thread facade for the whole skiphash stack.
+//!
+//! Every crate in the workspace imports its atomic primitives from here (or
+//! re-exports of here) instead of `std::sync::atomic`:
+//!
+//! * **Normal builds** (`model` feature off — the default, and what every
+//!   tier-1 build uses): straight re-exports of `std::sync::atomic`,
+//!   `std::sync::atomic::fence`, and `std::thread::yield_now`.  Zero cost,
+//!   zero behavior change.
+//! * **Model builds** (`--features model`, used only by
+//!   `crates/model-tests`): the same names resolve to the instrumented
+//!   types from `skiphash-model`, whose every load/store/RMW/fence is a
+//!   schedule point for the deterministic concurrency checker.  Outside a
+//!   model execution the instrumented types forward to std, so ordinary
+//!   code keeps working even in model builds.
+//!
+//! Deliberately **not** routed through the facade: `stm::slab`,
+//! `stm::arena`, and `stm::scratch`.  Their atomics guard allocator
+//! internals that run *inside* real `Mutex` critical sections and epoch
+//! callbacks; instrumenting them would (a) blow up the schedule space with
+//! uninteresting allocator interleavings and (b) risk scheduler deadlock if
+//! a model task parks while holding a real lock another task needs.  The
+//! ordering protocols the model checker targets (orec, clock, snapshot,
+//! epoch) never span those modules.  `AtomicPtr` is likewise re-exported
+//! from std unconditionally — pointer-valued state is exercised through the
+//! epoch-shim transcription in `crates/model-tests` instead.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::yield_now;
+
+#[cfg(feature = "model")]
+pub use skiphash_model::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
+
+#[cfg(feature = "model")]
+pub use skiphash_model::thread::yield_now;
+
+pub use std::sync::atomic::AtomicPtr;
+
+// Not part of any modeled protocol (harness/test bookkeeping only); always
+// the std type, like `AtomicPtr`.
+pub use std::sync::atomic::AtomicIsize;

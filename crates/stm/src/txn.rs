@@ -1,7 +1,7 @@
 //! Transactions and the STM runtime.
 
+use crate::sync::{fence, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 use crossbeam_utils::Backoff;
@@ -182,7 +182,7 @@ impl Stm {
                     self.stats.record_abort(cause);
                     drop(tx);
                     if backoff.is_completed() {
-                        std::thread::yield_now();
+                        crate::sync::yield_now();
                     } else {
                         backoff.snooze();
                     }
@@ -476,7 +476,9 @@ impl<'stm> Txn<'stm> {
         // TL2 acquire rule: a location written since this attempt's read
         // version cannot be acquired — commit-time validation skips orecs we
         // own, so admitting it here would let a concurrent update be lost.
-        if old_version > self.rv {
+        // `model_mutation` builds revert this guard so the model checker can
+        // prove it re-finds the lost update (see docs/VERIFICATION.md).
+        if cfg!(not(model_mutation)) && old_version > self.rv {
             return Err(TxAbort::WriteConflict);
         }
         if !cell.orec.try_acquire(old_version, self.id) {

@@ -17,7 +17,7 @@
 //! asserts every tracked order is in exactly one of them — never both, never
 //! neither.  Run with `cargo run --example order_book`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 

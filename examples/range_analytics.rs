@@ -16,7 +16,7 @@
 //!
 //! Run with `cargo run --example range_analytics`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 

@@ -6,7 +6,7 @@
 //! consistent view of a contiguous key window.  Run with
 //! `cargo run --example time_series`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;

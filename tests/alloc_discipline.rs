@@ -10,8 +10,8 @@
 //! Everything runs in ONE `#[test]` so no concurrent test thread can
 //! attribute its allocations to the measured windows.
 
+use skiphash_stm::sync::{AtomicU64, Ordering};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_epoch as epoch;
 use skiphash::SkipHash;

@@ -7,7 +7,7 @@
 //! claim is that building on STM makes cross-structure composition *correct
 //! by construction*, and this suite is where that claim is allowed to fail.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -44,7 +44,7 @@ fn transfers_between_maps_are_invisible_in_flight() {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let moves = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let moves = Arc::new(skiphash_stm::sync::AtomicU64::new(0));
     let movers: Vec<_> = (0..2u64)
         .map(|m| {
             let stm = Arc::clone(&stm);

@@ -3,7 +3,7 @@
 //! hash and the baselines under identical concurrent histories where the
 //! outcome is deterministic.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use skiphash_stm::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;

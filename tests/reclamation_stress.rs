@@ -8,7 +8,7 @@
 //! exactly once on drop plus a flag that panics on a second drop — and are
 //! the designated targets for the AddressSanitizer CI job.
 
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use skiphash_stm::sync::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};

@@ -78,6 +78,8 @@
 //! STM layer to retire an entire transaction's garbage with a single
 //! thread-local access per commit.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
@@ -196,14 +198,17 @@ struct Deferred {
     drop_fn: unsafe fn(*mut ()),
 }
 
-// Garbage may be freed by a different thread than the one that retired it
-// (via the sealed-bag stack).  The `defer_destroy` contract makes the caller
-// responsible for this being sound, exactly as in the real crate.
+// SAFETY: garbage may be freed by a different thread than the one that
+// retired it (via the sealed-bag stack); the `defer_destroy` contract makes
+// the caller responsible for this being sound, exactly as in the real crate.
 unsafe impl Send for Deferred {}
 
 impl Deferred {
     fn new<T>(ptr: *const T) -> Self {
+        // SAFETY: contract — `ptr` came from `Box::into_raw::<T>` and is
+        // dropped exactly once.
         unsafe fn drop_box<T>(ptr: *mut ()) {
+            // SAFETY: per the contract above.
             drop(unsafe { Box::from_raw(ptr as *mut T) });
         }
         Self {
@@ -305,8 +310,10 @@ fn collect_sealed(reg: &Registry, global_epoch: usize) {
     while !cursor.is_null() {
         // SAFETY: the swap gave us exclusive ownership of the detached list.
         let next = unsafe { (*cursor).next.load(Ordering::Relaxed) };
+        // SAFETY: same exclusive ownership of the detached list.
         let expired = unsafe { (*cursor).epoch + 2 <= global_epoch };
         if expired {
+            // SAFETY: sealed bags are `Box`-allocated and, detached, ours alone.
             let mut bag = unsafe { Box::from_raw(cursor) };
             for deferred in bag.garbage.drain(..) {
                 deferred.call();
@@ -537,7 +544,8 @@ impl Guard {
             return;
         }
         if !self.active {
-            // Unprotected guard: caller asserts exclusive access.
+            // SAFETY: unprotected guard — the caller asserts exclusive access
+            // to a `Box`-allocated pointee (the `defer_destroy` contract).
             unsafe { drop(Box::from_raw(ptr.as_raw() as *mut T)) };
             return;
         }
@@ -567,7 +575,8 @@ impl Guard {
             return;
         }
         if !self.active {
-            // Unprotected guard: caller asserts exclusive access.
+            // SAFETY: unprotected guard — the caller asserts exclusive access,
+            // and `drop_fn` is safe to call once (the `defer_with` contract).
             unsafe { drop_fn(ptr) };
             return;
         }
@@ -694,6 +703,7 @@ impl<'g, T> Shared<'g, T> {
     /// The pointer must be non-null and protected by a pinned guard (or by
     /// exclusive access).
     pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: non-null and protected, per this method's contract.
         unsafe { &*self.ptr }
     }
 
@@ -705,6 +715,8 @@ impl<'g, T> Shared<'g, T> {
     /// been allocated by [`Owned::new`].
     pub unsafe fn into_owned(self) -> Owned<T> {
         Owned {
+            // SAFETY: exclusively owned and `Owned::new`-allocated, per this
+            // method's contract.
             inner: unsafe { Box::from_raw(self.ptr as *mut T) },
         }
     }
@@ -742,6 +754,9 @@ pub struct Atomic<T> {
     ptr: AtomicPtr<T>,
 }
 
+// SAFETY: `Atomic<T>` is a shared handle to a `T` reachable from several
+// threads at once, so both impls require `T: Send + Sync` — the same bounds
+// the real crate uses.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
@@ -807,6 +822,7 @@ mod tests {
         for _ in 0..1_000 {
             let g = pin();
             let old = a.swap(Owned::new(Counted), Ordering::SeqCst, &g);
+            // SAFETY: `old` was just unlinked and `g` is pinned.
             unsafe { g.defer_destroy(old) };
         }
         // Drive enough collection cycles that early garbage must be freed.
@@ -815,6 +831,7 @@ mod tests {
         }
         assert!(DROPS.load(Ordering::SeqCst) > 0, "garbage was never freed");
         // Clean up the final value.
+        // SAFETY: the test is single-threaded here; exclusive access.
         unsafe {
             let g = unprotected();
             let last = a.load(Ordering::SeqCst, g);
@@ -825,6 +842,7 @@ mod tests {
     #[test]
     fn unprotected_defer_drops_immediately() {
         let a = Atomic::new(7u64);
+        // SAFETY: single-threaded test — exclusive access throughout.
         unsafe {
             let g = unprotected();
             let old = a.swap(Owned::new(8u64), Ordering::SeqCst, g);
@@ -857,11 +875,13 @@ mod tests {
             }
         }
         struct Outer(*mut Inner);
+        // SAFETY: the raw pointer is exclusively owned by its `Outer`.
         unsafe impl Send for Outer {}
         impl Drop for Outer {
             fn drop(&mut self) {
                 // Re-enter the collector from inside a deferred destructor.
                 let g = pin();
+                // SAFETY: `self.0` is exclusively owned and `g` is pinned.
                 unsafe { g.defer_destroy(Shared::from(self.0 as *const Inner)) };
             }
         }
@@ -869,6 +889,7 @@ mod tests {
         for _ in 0..retired {
             let g = pin();
             let outer = Box::into_raw(Box::new(Outer(Box::into_raw(Box::new(Inner)))));
+            // SAFETY: `outer` was never shared and `g` is pinned.
             unsafe { g.defer_destroy(Shared::from(outer as *const Outer)) };
         }
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
@@ -904,6 +925,7 @@ mod tests {
                     Ordering::AcqRel,
                     &g,
                 );
+                // SAFETY: `old` was just unlinked and `g` is pinned.
                 unsafe { bag.defer_destroy(old) };
             }
             assert_eq!(bag.len(), cells.len());
@@ -915,6 +937,7 @@ mod tests {
             drop(pin());
         }
         assert_eq!(drops.load(Ordering::SeqCst), retired);
+        // SAFETY: all worker loops are done; exclusive access for teardown.
         unsafe {
             let g = unprotected();
             for cell in &cells {
@@ -927,6 +950,7 @@ mod tests {
     #[test]
     fn flush_batch_through_unprotected_frees_immediately() {
         let a = Atomic::new(1u64);
+        // SAFETY: single-threaded test — exclusive access throughout.
         unsafe {
             let g = unprotected();
             let mut bag = Bag::new();
@@ -963,8 +987,10 @@ mod tests {
                             Ordering::AcqRel,
                             &g,
                         );
+                        // SAFETY: `old` was just unlinked and `g` is pinned.
                         unsafe { g.defer_destroy(old) };
                     }
+                    // SAFETY: this thread owns `a`; exclusive teardown.
                     unsafe {
                         let g = unprotected();
                         drop(a.load(Ordering::Relaxed, g).into_owned());
