@@ -66,11 +66,14 @@ impl TimestampOracle {
     /// Timestamp for an update (insertion or removal).
     pub fn update_timestamp(&self) -> u64 {
         match self.mode {
+            // SC: the shared counter *is* the paper's total-order baseline;
+            // stamps must be globally unique and totally ordered.
             TimestampMode::SharedCounter => self.counter.fetch_add(1, Ordering::SeqCst) + 1,
             TimestampMode::Rdtscp => {
                 if cfg!(target_arch = "x86_64") {
                     Self::tsc()
                 } else {
+                    // SC: non-x86 fallback takes the same totally ordered tick.
                     self.counter.fetch_add(1, Ordering::SeqCst) + 1
                 }
             }
@@ -82,11 +85,14 @@ impl TimestampOracle {
     /// `rdtscp` mode it just reads the TSC.
     pub fn snapshot_timestamp(&self) -> u64 {
         match self.mode {
+            // SC: snapshot stamps join the same total order as updates.
             TimestampMode::SharedCounter => self.counter.fetch_add(1, Ordering::SeqCst) + 1,
             TimestampMode::Rdtscp => {
                 if cfg!(target_arch = "x86_64") {
                     Self::tsc()
                 } else {
+                    // SC: read of the update counter must not pass any stamp
+                    // an update thread already published.
                     self.counter.load(Ordering::SeqCst)
                 }
             }

@@ -16,11 +16,15 @@
 //! The `model_mutation` build runs the seeded-bug halves only (the clean
 //! halves assert the opposite of what a mutated build is for).
 
-use skiphash_model::{explore, Options};
+use skiphash_model::{explore, token_meta, MemoryModel, Options};
 use skiphash_model_tests::registry::{ebr_body, EbrFences};
 
 fn opts() -> Options {
     Options::dfs().iterations(400_000).preemptions(Some(3))
+}
+
+fn arm_opts() -> Options {
+    opts().memory(MemoryModel::Arm)
 }
 
 #[cfg(not(model_mutation))]
@@ -104,6 +108,54 @@ fn ebr_missing_scan_fence_unobservable_at_x86_strength() {
     assert!(
         report.failure.is_none(),
         "scan-fence deletion should be masked by RMW full-barrier strength: {:?}",
+        report.failure
+    );
+    assert!(report.exhausted, "ran {} iterations", report.iterations);
+}
+
+/// At AArch64 strength the negative result above **flips**: the advance
+/// CAS is only `AcqRel`, which no longer floors the collector's next slot
+/// scan, so with the scan fence deleted the second scan can still miss a
+/// pinned reader, advance twice, and free garbage the reader holds.  The
+/// checker must find that use-after-free under `MemoryModel::Arm` — the
+/// scan fence is load-bearing exactly where the x86 model said it wasn't —
+/// and its token must carry the Arm header so it replays at Arm strength.
+#[test]
+fn ebr_missing_scan_fence_found_under_arm() {
+    let fences = EbrFences {
+        scan: false,
+        ..EbrFences::CLEAN
+    };
+    let report = explore(&arm_opts(), ebr_body(fences));
+    let failure = report
+        .failure
+        .expect("scan-fence deletion must be observable once RMWs stop being full barriers");
+    assert!(
+        failure.message.contains("use-after-free"),
+        "unexpected failure kind: {failure:?}"
+    );
+    let meta = token_meta(&failure.token).expect("token must carry a header");
+    assert_eq!(meta.memory_model, MemoryModel::Arm);
+    let replayed = skiphash_model::replay(&failure.token, ebr_body(fences));
+    assert!(
+        replayed
+            .failure
+            .as_ref()
+            .is_some_and(|f| f.message.contains("use-after-free")),
+        "Arm token must replay to the same use-after-free: {replayed:?}"
+    );
+}
+
+/// The full fence protocol stays clean under Arm too: SC fences keep their
+/// full-barrier strength in both memory modes, so weakening only the RMWs
+/// must not open any hole the fences were placed to close.
+#[cfg(not(model_mutation))]
+#[test]
+fn ebr_all_fences_clean_under_arm() {
+    let report = explore(&arm_opts(), ebr_body(EbrFences::CLEAN));
+    assert!(
+        report.failure.is_none(),
+        "clean EBR protocol must stay safe at Arm strength: {:?}",
         report.failure
     );
     assert!(report.exhausted, "ran {} iterations", report.iterations);

@@ -17,6 +17,7 @@
 //! cargo test -p skiphash-model-tests --test replay_corpus -- --ignored --nocapture
 //! ```
 
+use skiphash_model::MemoryModel;
 use skiphash_model_tests::registry;
 use std::path::PathBuf;
 
@@ -31,6 +32,7 @@ fn corpus_tokens_still_reproduce_their_counterexamples() {
         return; // no corpus directory: vacuously green
     };
     let mut checked = 0usize;
+    let mut arm_entries = 0usize;
     for entry in entries {
         let path = entry.expect("readable corpus dir").path();
         if path.extension().is_none_or(|e| e != "token") {
@@ -48,6 +50,13 @@ fn corpus_tokens_still_reproduce_their_counterexamples() {
                 .split_once(char::is_whitespace)
                 .unwrap_or_else(|| panic!("{}: expected `<model-name> <token>`", at()));
             let token = token.trim();
+            // The header must decode on its own (shm1-era tokens are
+            // rejected here, not silently replayed at the wrong strength),
+            // and the exploration options it carries — including the
+            // memory model — ride along into the replay below.
+            let header = skiphash_model::token_meta(token)
+                .unwrap_or_else(|| panic!("{}: malformed replay token", at()));
+            arm_entries += usize::from(header.memory_model == MemoryModel::Arm);
             let body = registry::by_name(name)
                 .unwrap_or_else(|| panic!("{}: unknown model `{name}`", at()));
             let report = skiphash_model::replay(token, body);
@@ -67,7 +76,12 @@ fn corpus_tokens_still_reproduce_their_counterexamples() {
             checked += 1;
         }
     }
-    println!("replayed {checked} corpus counterexample(s)");
+    assert!(
+        checked == 0 || arm_entries > 0,
+        "corpus has {checked} entries but none found under MemoryModel::Arm — \
+         the Arm header round-trip is part of what this test pins down"
+    );
+    println!("replayed {checked} corpus counterexample(s) ({arm_entries} at Arm strength)");
 }
 
 /// Mint fresh corpus lines for the known-bad registry models.  Ignored by
@@ -76,12 +90,23 @@ fn corpus_tokens_still_reproduce_their_counterexamples() {
 #[test]
 #[ignore = "generator: emits corpus lines, run with --nocapture"]
 fn regenerate_corpus_tokens() {
-    for name in ["ebr-no-pin-fence", "ebr-no-seal-fence"] {
-        let body = registry::by_name(name).expect("registered model");
-        let opts = skiphash_model::Options::dfs()
+    let base = || {
+        skiphash_model::Options::dfs()
             .iterations(400_000)
-            .preemptions(Some(3));
-        let report = skiphash_model::explore(&opts, body);
+            .preemptions(Some(3))
+    };
+    let models: &[(&str, skiphash_model::Options)] = &[
+        ("ebr-no-pin-fence", base()),
+        ("ebr-no-seal-fence", base()),
+        // Only observable once RMWs stop being full barriers.
+        ("ebr-no-scan-fence", base().memory(MemoryModel::Arm)),
+        ("orec-release-tear", base()),
+        ("snapshot-no-preserve", base()),
+        ("rqc-unstitch-early", base()),
+    ];
+    for (name, opts) in models {
+        let body = registry::by_name(name).expect("registered model");
+        let report = skiphash_model::explore(opts, body);
         match report.failure {
             Some(f) => println!("{name} {}", f.token),
             None => println!("# {name}: no counterexample found (nothing to mint)"),

@@ -1,0 +1,61 @@
+//! Model checks for the range-query-custody (RQC) version handoff.
+//!
+//! `skiphash::rqc` defers nodes unlinked mid-range-query to the *latest*
+//! registered query and requires a finishing query to hand its deferred
+//! nodes backwards to a still-running **older** query (whose traversal
+//! registered before the unlink and can therefore still reach them); only
+//! the oldest holder may unstitch.  The transcription in
+//! `registry::rqc_handoff_body` packs the whole protocol state into one
+//! word so each step is a single atomic transaction — the granularity the
+//! STM gives the real code.
+//!
+//! Both polarities are parameterized and run in every build: the clean arm
+//! exhausts with no counterexample, the seeded arm (finish unstitches
+//! unconditionally) must produce the custody violation and replay from its
+//! token.
+
+use skiphash_model::{explore, replay, Options};
+use skiphash_model_tests::registry::rqc_handoff_body;
+
+fn opts() -> Options {
+    Options::dfs().iterations(400_000).preemptions(Some(3))
+}
+
+/// With the predecessor handoff intact, no interleaving of two range
+/// queries and a concurrent unlink ever visits an unstitched node.
+#[test]
+fn rqc_predecessor_handoff_is_safe() {
+    let report = explore(&opts(), rqc_handoff_body(true));
+    assert!(
+        report.failure.is_none(),
+        "correct handoff must never unstitch under an older in-flight query: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "expected bounded-exhaustive coverage, ran {} iterations",
+        report.iterations
+    );
+}
+
+/// A finishing query that unstitches instead of handing back to the older
+/// in-flight query frees a node that query can still reach.
+#[test]
+fn rqc_early_unstitch_violates_custody() {
+    let report = explore(&opts(), rqc_handoff_body(false));
+    let failure = report
+        .failure
+        .expect("unconditional unstitch must produce a custody violation");
+    assert!(
+        failure.message.contains("custody violation"),
+        "unexpected failure kind: {failure:?}"
+    );
+    let replayed = replay(&failure.token, rqc_handoff_body(false));
+    assert!(
+        replayed
+            .failure
+            .as_ref()
+            .is_some_and(|f| f.message.contains("custody violation")),
+        "token must replay to the same custody violation: {replayed:?}"
+    );
+}

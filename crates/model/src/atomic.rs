@@ -141,7 +141,7 @@ macro_rules! model_atomic {
                         let loc = self.loc(&ctx);
                         let (read, _, latest) = ctx
                             .shared
-                            .op_rmw(ctx.task, loc, |_| Some(Bits::to_bits(val)));
+                            .op_rmw(ctx.task, loc, order, order, |_| Some(Bits::to_bits(val)));
                         self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
                         Bits::from_bits(read)
                     }
@@ -163,7 +163,7 @@ macro_rules! model_atomic {
                         let loc = self.loc(&ctx);
                         let cur_bits = Bits::to_bits(current);
                         let (read, applied, latest) =
-                            ctx.shared.op_rmw(ctx.task, loc, |v| {
+                            ctx.shared.op_rmw(ctx.task, loc, success, failure, |v| {
                                 (v == cur_bits).then_some(Bits::to_bits(new))
                             });
                         self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
@@ -206,15 +206,47 @@ macro_rules! model_atomic {
 
             fn model_fetch(
                 &self,
+                order: Ordering,
                 f: impl Fn($prim) -> $prim,
             ) -> Option<$prim> {
                 let ctx = exec::ctx()?;
                 let loc = self.loc(&ctx);
-                let (read, _, latest) = ctx.shared.op_rmw(ctx.task, loc, |v| {
+                let (read, _, latest) = ctx.shared.op_rmw(ctx.task, loc, order, order, |v| {
                     Some(Bits::to_bits(f(Bits::from_bits(v))))
                 });
                 self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
                 Some(Bits::from_bits(read))
+            }
+
+            /// Fetch-and-update with a fallible closure; `Ok(previous)` when
+            /// `f` returned `Some(new)`, `Err(previous)` otherwise.  Modeled
+            /// as a *single* RMW rather than std's CAS loop: the loop's
+            /// retries only re-read values the single-RMW execution also
+            /// explores, so behaviors are strictly fewer, never wrong —
+            /// and transcription models get an atomic state transition
+            /// they can lean on without spinning under DFS.
+            pub fn fetch_update<F: FnMut($prim) -> Option<$prim>>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$prim, $prim> {
+                match exec::ctx() {
+                    Some(ctx) => {
+                        let loc = self.loc(&ctx);
+                        let (read, applied, latest) =
+                            ctx.shared.op_rmw(ctx.task, loc, set_order, fetch_order, |v| {
+                                f(Bits::from_bits(v)).map(Bits::to_bits)
+                            });
+                        self.real.store(Bits::from_bits(latest), Ordering::SeqCst);
+                        if applied {
+                            Ok(Bits::from_bits(read))
+                        } else {
+                            Err(Bits::from_bits(read))
+                        }
+                    }
+                    None => self.real.fetch_update(set_order, fetch_order, f),
+                }
             }
         }
 
@@ -248,46 +280,46 @@ macro_rules! model_atomic_int {
             /// Adds to the current value, returning the previous value
             /// (wrapping on overflow).
             pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v.wrapping_add(val))
+                self.model_fetch(order, |v| v.wrapping_add(val))
                     .unwrap_or_else(|| self.real.fetch_add(val, order))
             }
 
             /// Subtracts from the current value, returning the previous value
             /// (wrapping on overflow).
             pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v.wrapping_sub(val))
+                self.model_fetch(order, |v| v.wrapping_sub(val))
                     .unwrap_or_else(|| self.real.fetch_sub(val, order))
             }
 
             /// Bitwise AND, returning the previous value.
             pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v & val)
+                self.model_fetch(order, |v| v & val)
                     .unwrap_or_else(|| self.real.fetch_and(val, order))
             }
 
             /// Bitwise OR, returning the previous value.
             pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v | val)
+                self.model_fetch(order, |v| v | val)
                     .unwrap_or_else(|| self.real.fetch_or(val, order))
             }
 
             /// Bitwise XOR, returning the previous value.
             pub fn fetch_xor(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v ^ val)
+                self.model_fetch(order, |v| v ^ val)
                     .unwrap_or_else(|| self.real.fetch_xor(val, order))
             }
 
             /// Maximum of the current and given value, returning the previous
             /// value.
             pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v.max(val))
+                self.model_fetch(order, |v| v.max(val))
                     .unwrap_or_else(|| self.real.fetch_max(val, order))
             }
 
             /// Minimum of the current and given value, returning the previous
             /// value.
             pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
-                self.model_fetch(|v| v.min(val))
+                self.model_fetch(order, |v| v.min(val))
                     .unwrap_or_else(|| self.real.fetch_min(val, order))
             }
         }
@@ -336,13 +368,13 @@ model_atomic!(
 impl AtomicBool {
     /// Logical AND, returning the previous value.
     pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
-        self.model_fetch(|v| v & val)
+        self.model_fetch(order, |v| v & val)
             .unwrap_or_else(|| self.real.fetch_and(val, order))
     }
 
     /// Logical OR, returning the previous value.
     pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
-        self.model_fetch(|v| v | val)
+        self.model_fetch(order, |v| v | val)
             .unwrap_or_else(|| self.real.fetch_or(val, order))
     }
 }

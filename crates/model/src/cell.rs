@@ -1,0 +1,190 @@
+//! Shadow-tracked non-atomic locations.
+//!
+//! Two flavors, both feeding the FastTrack detector in `crate::race`:
+//!
+//! * [`UnsyncCell<T>`] holds real data behind an `UnsafeCell` and checks
+//!   **every** access: reads race with unpublished writes, writes race with
+//!   unpublished writes *and* reads.  Every access is also a schedule
+//!   point, so the explorer can interleave right before the racing access.
+//!   This is the loom-style cell for transcription models of non-atomic
+//!   protocol state.
+//! * [`ShadowSlot`] holds no data — it is a detector-only stand-in for a
+//!   copy-on-write payload slot (a `TCell`'s boxed value).  TL2 readers
+//!   are invisible and may overlap a writer's install of a *fresh*
+//!   allocation, so reads are only checked once *validated*
+//!   ([`ShadowSlot::on_read_confirmed`], after the orec recheck passes) and
+//!   writes check prior writes only.  Slot hooks are deliberately **not**
+//!   schedule points: the real crate's interleaving surface is its atomics,
+//!   and adding decisions here would invalidate existing replay tokens.
+//!
+//! Outside a model execution both types degrade to plain storage / no-ops.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+use crate::exec;
+
+/// Resolve (registering on first touch) a shadow location id, mirroring the
+/// per-atomic location cache in `atomic.rs`: packed
+/// `(exec_id << 32) | (sid + 1)`, 0 = unset; entries from earlier
+/// executions self-invalidate because the exec id no longer matches.
+fn shadow_id(cache: &StdAtomicU64, name: &'static str, ctx: &exec::TaskCtx) -> usize {
+    let c = cache.load(StdOrdering::Relaxed);
+    if c != 0 && (c >> 32) == (ctx.shared.exec_id & 0xffff_ffff) {
+        return (c & 0xffff_ffff) as usize - 1;
+    }
+    let sid = ctx.shared.register_shadow(name);
+    cache.store(
+        ((ctx.shared.exec_id & 0xffff_ffff) << 32) | (sid as u64 + 1),
+        StdOrdering::Relaxed,
+    );
+    sid
+}
+
+/// A non-atomic memory location whose accesses are happens-before checked
+/// by the model's race detector.
+///
+/// Inside a model execution every access is a schedule point and any pair
+/// of accesses (at least one a write) not ordered by the instrumented
+/// atomics is reported as a data race with a replay token.  Outside a model
+/// execution this is a plain `UnsafeCell`; the caller must provide the
+/// exclusion the shadowed protocol claims to provide (same contract as the
+/// non-model code the cell stands in for).
+pub struct UnsyncCell<T> {
+    name: &'static str,
+    cache: StdAtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: sending the cell moves the owned `T`, which is `Send`; no
+// references escape the accessor closures.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for UnsyncCell<T> {}
+
+// SAFETY: inside a model execution exactly one task holds the scheduler
+// token at any time and every access goes through a schedule point, so
+// accesses are serialized at runtime (and unsynchronized pairs are
+// *reported*, not miscompiled — the data itself is never concurrently
+// touched).  Outside a model execution the type provides no synchronization
+// and the caller must uphold exclusion, which is the documented contract.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for UnsyncCell<T> {}
+
+impl<T> UnsyncCell<T> {
+    /// Create a cell; `name` labels race reports.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        UnsyncCell {
+            name,
+            cache: StdAtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Read access: run `f` on a shared reference to the value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        if let Some(ctx) = exec::ctx() {
+            let sid = shadow_id(&self.cache, self.name, &ctx);
+            ctx.shared.op_cell_read(ctx.task, sid);
+        }
+        // SAFETY: under the model the scheduler token serializes this deref
+        // with all other accesses (see the `Sync` impl); outside the model
+        // the caller guarantees exclusion.
+        #[allow(unsafe_code)]
+        f(unsafe { &*self.value.get() })
+    }
+
+    /// Write access: run `f` on an exclusive reference to the value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some(ctx) = exec::ctx() {
+            let sid = shadow_id(&self.cache, self.name, &ctx);
+            ctx.shared.op_cell_write(ctx.task, sid);
+        }
+        // SAFETY: as in `with`; the token (or the caller's exclusion
+        // outside the model) guarantees no aliasing access is live.
+        #[allow(unsafe_code)]
+        f(unsafe { &mut *self.value.get() })
+    }
+
+    /// Read the value (copy types).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: T) {
+        self.with_mut(|slot| *slot = v);
+    }
+
+    /// Exclusive access through `&mut self` needs no tracking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Consume the cell and return the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for UnsyncCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Debug must not perturb the exploration (no schedule point, no
+        // detector event): show only the label.
+        f.debug_struct("UnsyncCell")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Detector-only shadow for a copy-on-write payload slot.
+///
+/// Holds no data; the shadowed storage lives in the real structure (a
+/// `TCell`'s boxed payload).  [`ShadowSlot::on_write`] marks the install of
+/// a fresh allocation and checks it is ordered after the previous install;
+/// [`ShadowSlot::on_read_confirmed`] marks a *validated* read (call it only
+/// after the protocol's recheck passes) and checks the read is ordered
+/// after the write that produced the value it kept.  Unvalidated overlap —
+/// TL2's invisible-reader case — is deliberately not an error.  Neither
+/// hook is a schedule point, so instrumenting a structure with slots does
+/// not change its decision stream or invalidate replay tokens.
+pub struct ShadowSlot {
+    name: &'static str,
+    cache: StdAtomicU64,
+}
+
+impl ShadowSlot {
+    /// Create a slot; `name` labels race reports.
+    pub const fn new(name: &'static str) -> Self {
+        ShadowSlot {
+            name,
+            cache: StdAtomicU64::new(0),
+        }
+    }
+
+    /// Record the install of a fresh value into the shadowed slot.
+    pub fn on_write(&self) {
+        if let Some(ctx) = exec::ctx() {
+            let sid = shadow_id(&self.cache, self.name, &ctx);
+            ctx.shared.op_slot_write(ctx.task, sid);
+        }
+    }
+
+    /// Record a validated read of the shadowed slot.
+    pub fn on_read_confirmed(&self) {
+        if let Some(ctx) = exec::ctx() {
+            let sid = shadow_id(&self.cache, self.name, &ctx);
+            ctx.shared.op_slot_read_confirmed(ctx.task, sid);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShadowSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowSlot")
+            .field("name", &self.name)
+            .finish()
+    }
+}

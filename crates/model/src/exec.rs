@@ -23,12 +23,14 @@
 //!   view attached to the store it read.
 //! * `Release` stores append to the modification order and attach a
 //!   snapshot of the writer's view (so later acquirers synchronize).
-//! * `SeqCst` loads/stores and **all RMWs** act as full fences (publish
-//!   own view to the global SC frontier, then floor from it) and read the
-//!   latest store — RMWs are `lock`-prefixed full barriers on x86, which
-//!   is the strength the vendored epoch shim and the STM fast paths were
-//!   written against.  Bugs that only manifest with genuinely weaker RMWs
-//!   (e.g. on AArch64) are out of scope; see `docs/VERIFICATION.md`.
+//! * `SeqCst` loads/stores act as full fences (publish own view to the
+//!   global SC frontier, then floor from it) and read the latest store.
+//! * RMW strength depends on [`MemoryModel`]: under the default
+//!   [`MemoryModel::X86`] **all** RMWs are `lock`-prefixed full barriers
+//!   (the strength the vendored epoch shim and the STM fast paths were
+//!   written against); under [`MemoryModel::Arm`] a non-`SeqCst` RMW
+//!   orders exactly what its orderings promise and never touches the SC
+//!   frontier — the `ldadd`/`cas` strength AArch64 actually provides.
 //! * `fence(SeqCst)` publishes + floors.  Weaker fences are modeled at
 //!   `SeqCst` strength (strictly fewer behaviors: never a false positive,
 //!   may miss a bug that needs the distinction — none of the modeled
@@ -39,14 +41,41 @@
 //! when the racing accesses are on different locations (load-load
 //! reordering), which plain sequentially-consistent interleaving
 //! exploration cannot express.
+//!
+//! # Happens-before tracking & race detection
+//!
+//! In parallel with the view machinery, every task carries a vector clock
+//! (see `vclock`) maintained along exactly the same synchronization edges:
+//! where a view is attached to a release store the writer's clock is
+//! attached too; where an acquire joins a view it joins the clock; where
+//! the SC frontier is published/floored a global SC clock is joined the
+//! same way; spawn and join edges transfer clocks.  After every *release*
+//! point the owner bumps its own component, so whether an access was
+//! published before or after a release is decidable from a single epoch
+//! comparison (FastTrack).  Shadow locations ([`crate::cell`]) check each
+//! access against that order and report unsynchronized pairs as data races
+//! with a replay token.
+//!
+//! # Reduction & budgets
+//!
+//! DFS optionally layers **sleep sets** (classic Godefroid-style partial
+//! order reduction) over the decision tree ([`Options::dpor`]): once a
+//! transition's subtree is fully explored at a node, sibling branches put
+//! it to sleep and any branch that would run a sleeping transition before
+//! an op dependent with it is pruned as redundant.  A wall-clock budget
+//! ([`Options::wall`]) bounds whole explorations; hitting it aborts with a
+//! diagnostic instead of hanging CI.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::memmodel::MemoryModel;
+use crate::race::{race_message, ShadowAccess, ShadowState};
 use crate::rng::{SplitMix64, GOLDEN};
 use crate::token;
+use crate::vclock::VClock;
 
 /// Stale loads may reach back at most this many stores behind the latest.
 /// Bounding the window keeps DFS branching factors tractable; it only
@@ -108,6 +137,27 @@ pub struct Options {
     /// preemptions.  `None` = unbounded.  Ignored by PCT (priorities
     /// already control switching).
     pub preemption_bound: Option<usize>,
+    /// Memory-model strength for RMW operations (see [`MemoryModel`]).
+    /// Travels in replay tokens: it changes which stale loads are
+    /// reachable, so replay must reproduce it.
+    pub memory_model: MemoryModel,
+    /// Sleep-set partial order reduction for DFS (off by default).  Sound
+    /// only for models whose *shared* effects all pass through instrumented
+    /// operations at schedule points (registry transcriptions qualify;
+    /// models mutating shared uninstrumented state between schedule points
+    /// in order-sensitive ways do not).  Ignored by PCT and replay; pruning
+    /// decisions never enter the token, so tokens stay portable.
+    pub dpor: bool,
+    /// Wall-clock budget for a whole exploration.  When exceeded the run
+    /// aborts (reported via [`Report::wall_capped`]) instead of hanging;
+    /// [`check`] turns that into a panic with an actionable diagnostic.
+    /// `None` = unbounded (replay uses this).
+    pub max_wall: Option<Duration>,
+    /// Capture a backtrace at every shadow-location access so race reports
+    /// carry both access stacks (off by default: captures are expensive and
+    /// DFS touches shadow locations millions of times).  Turn on when
+    /// re-running a found race for diagnosis.
+    pub race_stacks: bool,
 }
 
 impl Options {
@@ -120,6 +170,10 @@ impl Options {
             seed: 0,
             value_staleness: true,
             preemption_bound: Some(3),
+            memory_model: MemoryModel::default(),
+            dpor: false,
+            max_wall: Some(Duration::from_secs(300)),
+            race_stacks: false,
         }
     }
 
@@ -132,6 +186,10 @@ impl Options {
             seed,
             value_staleness: true,
             preemption_bound: None,
+            memory_model: MemoryModel::default(),
+            dpor: false,
+            max_wall: Some(Duration::from_secs(300)),
+            race_stacks: false,
         }
     }
 
@@ -158,6 +216,31 @@ impl Options {
         self.preemption_bound = bound;
         self
     }
+
+    /// Select the memory-model strength (see [`MemoryModel`]).
+    pub fn memory(mut self, m: MemoryModel) -> Self {
+        self.memory_model = m;
+        self
+    }
+
+    /// Enable/disable sleep-set partial order reduction for DFS.
+    pub fn dpor(mut self, on: bool) -> Self {
+        self.dpor = on;
+        self
+    }
+
+    /// Set (or lift, with `None`) the wall-clock budget.
+    pub fn wall(mut self, budget: Option<Duration>) -> Self {
+        self.max_wall = budget;
+        self
+    }
+
+    /// Capture both access stacks in race reports (see
+    /// [`Options::race_stacks`]).
+    pub fn race_stacks(mut self, on: bool) -> Self {
+        self.race_stacks = on;
+        self
+    }
 }
 
 /// A counterexample produced by the checker.
@@ -182,6 +265,13 @@ pub struct Report {
     pub exhausted: bool,
     /// First counterexample found, if any.
     pub failure: Option<Failure>,
+    /// Branches sleep-set DPOR pruned as redundant (each costs one partial
+    /// execution, counted in `iterations` too).  The reduction evidence:
+    /// with `dpor` on, `iterations` shrinks and `pruned` says why.
+    pub pruned: usize,
+    /// `true` when the exploration hit [`Options::max_wall`] and stopped
+    /// early (everything reported up to that point still holds).
+    pub wall_capped: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -202,23 +292,75 @@ struct Task {
     seen: Vec<usize>,
     /// PCT priority (higher runs first); unused by DFS/replay.
     priority: i64,
+    /// Happens-before clock (maintained along the same edges as `seen`).
+    vc: VClock,
 }
 
 struct Store {
     value: u64,
     /// Release view attached by the writer (None for relaxed stores).
     view: Option<Arc<Vec<usize>>>,
+    /// Writer's clock at the release (attached iff `view` is).
+    vc: Option<Arc<VClock>>,
 }
 
 struct Location {
     stores: Vec<Store>,
 }
 
-/// One DFS decision-tree node: the branch taken and the branching factor.
-#[derive(Clone, Copy, Debug)]
+/// Coarse signature of one instrumented operation, for the DPOR dependence
+/// relation.  Atomic locations and shadow locations live in separate `loc`
+/// namespaces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct OpSig {
+    kind: SigKind,
+    loc: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SigKind {
+    Load,
+    /// Store or RMW (RMWs are classified as writes even when a CAS fails in
+    /// the observed branch: the same transition may succeed in a sibling
+    /// interleaving, so the conservative class keeps the reduction sound).
+    Write,
+    Fence,
+    CellRead,
+    CellWrite,
+    Yield,
+}
+
+/// May the order of two adjacent operations affect the outcome?  Errs on
+/// the side of `true`; every `false` must commute.
+fn dependent(a: OpSig, b: OpSig) -> bool {
+    use SigKind::*;
+    match (a.kind, b.kind) {
+        (Yield, _) | (_, Yield) => false,
+        // Fences publish/floor the SC frontier: order-sensitive with every
+        // memory op and with each other.
+        (Fence, _) | (_, Fence) => true,
+        (Load, Load) | (CellRead, CellRead) => false,
+        (Load, Write) | (Write, Load) | (Write, Write) => a.loc == b.loc,
+        (CellRead, CellWrite) | (CellWrite, CellRead) | (CellWrite, CellWrite) => a.loc == b.loc,
+        // Atomic vs shadow namespaces never alias.
+        _ => false,
+    }
+}
+
+/// One DFS decision-tree node: the branch taken and the branching factor,
+/// plus (under DPOR) the sleep-set bookkeeping for this tree position.
+#[derive(Clone, Debug, Default)]
 struct DfsNode {
     chosen: u32,
     options: u32,
+    /// The transition actually taken from this node — chosen task and the
+    /// signature of the first op it executed — filled in during the run,
+    /// moved into `sleep` when the odometer advances past this choice.
+    taken: Option<(u32, Option<OpSig>)>,
+    /// Transitions whose subtrees are fully explored from this node:
+    /// sibling branches running one of these before a dependent op are
+    /// redundant and get pruned.
+    sleep: Vec<(u32, OpSig)>,
 }
 
 enum Chooser {
@@ -252,13 +394,32 @@ pub(crate) struct State {
     current: usize,
     locs: Vec<Location>,
     /// Per-location SC frontier: highest store index published by an SC
-    /// fence / SC access / RMW.
+    /// fence / SC access / full-barrier RMW.
     sc_visible: Vec<usize>,
+    /// Clock mirror of `sc_visible`: joined on SC publish, floored from on
+    /// SC floor.
+    sc_vc: VClock,
+    /// Detector state for registered shadow locations.
+    shadows: Vec<ShadowState>,
     steps: usize,
     max_steps: usize,
     staleness: bool,
+    memory_model: MemoryModel,
     preemptions: usize,
     preemption_bound: usize,
+    /// Sleep-set DPOR enabled (DFS only).
+    dpor: bool,
+    /// Running sleep set: transitions (task, next-op signature) covered by
+    /// earlier branches; woken (removed) when a dependent op executes.
+    cur_sleep: Vec<(usize, OpSig)>,
+    /// DFS node index whose `taken` signature the next executed op fills.
+    pending_sig: Option<usize>,
+    /// This execution was pruned as sleep-set-redundant.
+    pruned: bool,
+    /// Absolute wall-clock deadline for the whole exploration.
+    deadline: Option<Instant>,
+    wall_capped: bool,
+    race_stacks: bool,
     chooser: Chooser,
     /// Every decision taken this execution, in order (the replay token).
     record: Vec<u32>,
@@ -276,12 +437,14 @@ pub(crate) struct Shared {
 static EXEC_IDS: StdAtomicU64 = StdAtomicU64::new(1);
 
 impl Shared {
-    fn new(opts: &Options, chooser: Chooser) -> Self {
+    fn new(opts: &Options, chooser: Chooser, deadline: Option<Instant>) -> Self {
         let mut chooser = chooser;
         let priority = match &mut chooser {
             Chooser::Rand { rng, .. } => (rng.next_u64() >> 2) as i64,
             _ => 0,
         };
+        let mut vc = VClock::new();
+        vc.bump(0);
         Shared {
             state: Mutex::new(State {
                 phase: Phase::Running,
@@ -291,15 +454,26 @@ impl Shared {
                     run: RunState::Runnable,
                     seen: Vec::new(),
                     priority,
+                    vc,
                 }],
                 current: 0,
                 locs: Vec::new(),
                 sc_visible: Vec::new(),
+                sc_vc: VClock::new(),
+                shadows: Vec::new(),
                 steps: 0,
                 max_steps: opts.max_steps,
                 staleness: opts.value_staleness,
+                memory_model: opts.memory_model,
                 preemptions: 0,
                 preemption_bound: opts.preemption_bound.unwrap_or(usize::MAX),
+                dpor: opts.dpor && matches!(opts.strategy, Strategy::Dfs),
+                cur_sleep: Vec::new(),
+                pending_sig: None,
+                pruned: false,
+                deadline,
+                wall_capped: false,
+                race_stacks: opts.race_stacks,
                 chooser,
                 record: Vec::new(),
             }),
@@ -366,6 +540,17 @@ impl Shared {
             drop(st);
             panic_abort();
         }
+        // Wall-clock budget: abort the whole exploration rather than hang.
+        if let Some(dl) = st.deadline {
+            if Instant::now() >= dl {
+                st.wall_capped = true;
+                st.truncated = true;
+                st.phase = Phase::Aborting;
+                self.notify();
+                drop(st);
+                panic_abort();
+            }
+        }
         // PCT: a change point demotes whoever is running when it fires.
         let steps = st.steps;
         if let Chooser::Rand {
@@ -410,16 +595,56 @@ impl Shared {
             stores: vec![Store {
                 value: initial,
                 view: None,
+                vc: None,
             }],
         });
         st.sc_visible.push(0);
         st.locs.len() - 1
     }
 
+    /// DPOR prologue for one executed op: prune branches that schedule a
+    /// sleeping transition, record the op's signature on the DFS node that
+    /// chose it, and wake sleepers dependent with it.
+    fn op_prologue(&self, st: &mut State, me: usize, sig: OpSig) {
+        if !st.dpor {
+            return;
+        }
+        if st.cur_sleep.iter().any(|&(t, _)| t == me) {
+            // `me` was fully explored from the state that put it to sleep
+            // and no dependent op has run since: this branch is a
+            // reordering of an already-explored one.  Truncate the DFS path
+            // to the consumed prefix so the odometer advances the last real
+            // decision instead of a stale tail.
+            st.pruned = true;
+            if let Chooser::Dfs { path, cursor } = &mut st.chooser {
+                path.truncate(*cursor);
+            }
+            st.phase = Phase::Aborting;
+            self.notify();
+            panic_abort();
+        }
+        if let Some(idx) = st.pending_sig.take() {
+            if let Chooser::Dfs { path, .. } = &mut st.chooser {
+                if let Some(node) = path.get_mut(idx) {
+                    node.taken = Some((me as u32, Some(sig)));
+                }
+            }
+        }
+        st.cur_sleep.retain(|&(_, s)| !dependent(s, sig));
+    }
+
     pub(crate) fn op_load(&self, me: usize, loc: usize, ord: StdOrdering) -> u64 {
         self.schedule(me);
         let mut st = self.lock();
         st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::Load,
+                loc: loc as u32,
+            },
+        );
         let val = st.load(me, loc, ord);
         drop(st);
         val
@@ -430,36 +655,151 @@ impl Shared {
         self.schedule(me);
         let mut st = self.lock();
         st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::Write,
+                loc: loc as u32,
+            },
+        );
         st.store(me, loc, val, ord);
     }
 
     /// Generic RMW.  `f` maps the read value to `Some(new)` (apply) or
-    /// `None` (CAS failure).  Returns `(read_value, applied, latest)` where
-    /// `latest` is the location's new modification-order head, for the
-    /// caller's write-through into the backing real atomic.
+    /// `None` (CAS failure).  `success`/`failure` are the orderings the
+    /// source operation named; under [`MemoryModel::X86`] they are ignored
+    /// (every RMW is a full barrier), under [`MemoryModel::Arm`] they bound
+    /// exactly what the RMW orders.  Returns `(read_value, applied,
+    /// latest)` where `latest` is the location's new modification-order
+    /// head, for the caller's write-through into the backing real atomic.
     pub(crate) fn op_rmw(
         &self,
         me: usize,
         loc: usize,
+        success: StdOrdering,
+        failure: StdOrdering,
         f: impl FnOnce(u64) -> Option<u64>,
     ) -> (u64, bool, u64) {
         self.schedule(me);
         let mut st = self.lock();
         st.check_running();
-        st.rmw(me, loc, f)
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::Write,
+                loc: loc as u32,
+            },
+        );
+        st.rmw(me, loc, success, failure, f)
     }
 
     pub(crate) fn op_fence(&self, me: usize, _ord: StdOrdering) {
         self.schedule(me);
         let mut st = self.lock();
         st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::Fence,
+                loc: 0,
+            },
+        );
         st.sc_publish(me);
+        st.vc_sc_publish(me);
         st.sc_floor(me);
+        st.vc_sc_floor(me);
     }
 
     /// Explicit yield: a pure schedule point.
     pub(crate) fn op_yield(&self, me: usize) {
         self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::Yield,
+                loc: 0,
+            },
+        );
+    }
+
+    /// Register a shadow (race-detected non-atomic) location.
+    pub(crate) fn register_shadow(&self, name: &'static str) -> usize {
+        let mut st = self.lock();
+        st.shadows.push(ShadowState {
+            name,
+            write: None,
+            reads: Vec::new(),
+        });
+        st.shadows.len() - 1
+    }
+
+    /// Visible read of an [`crate::cell::UnsyncCell`]: a schedule point +
+    /// detector check.
+    pub(crate) fn op_cell_read(&self, me: usize, sid: usize) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::CellRead,
+                loc: sid as u32,
+            },
+        );
+        let res = st.shadow_op(me, sid, ShadowOp::Read { invisible: false });
+        self.finish_shadow_op(st, res);
+    }
+
+    /// Write of an [`crate::cell::UnsyncCell`]: a schedule point + detector
+    /// check against prior writes *and* reads.
+    pub(crate) fn op_cell_write(&self, me: usize, sid: usize) {
+        self.schedule(me);
+        let mut st = self.lock();
+        st.check_running();
+        self.op_prologue(
+            &mut st,
+            me,
+            OpSig {
+                kind: SigKind::CellWrite,
+                loc: sid as u32,
+            },
+        );
+        let res = st.shadow_op(me, sid, ShadowOp::Write { check_reads: true });
+        self.finish_shadow_op(st, res);
+    }
+
+    /// Copy-on-write slot install: detector check only (no schedule point,
+    /// no read-set check — see [`crate::cell::ShadowSlot`]).
+    pub(crate) fn op_slot_write(&self, me: usize, sid: usize) {
+        let mut st = self.lock();
+        st.check_running();
+        let res = st.shadow_op(me, sid, ShadowOp::Write { check_reads: false });
+        self.finish_shadow_op(st, res);
+    }
+
+    /// Validated copy-on-write slot read: detector check only (invisible —
+    /// recorded reads would falsely block later installs).
+    pub(crate) fn op_slot_read_confirmed(&self, me: usize, sid: usize) {
+        let mut st = self.lock();
+        st.check_running();
+        let res = st.shadow_op(me, sid, ShadowOp::Read { invisible: true });
+        self.finish_shadow_op(st, res);
+    }
+
+    fn finish_shadow_op(&self, mut st: MutexGuard<'_, State>, res: Result<(), String>) {
+        if let Err(msg) = res {
+            st.fail(msg);
+            self.notify();
+            drop(st);
+            panic_abort();
+        }
     }
 
     /// Register a new model task; returns its id.  Called by `thread::spawn`
@@ -471,12 +811,24 @@ impl Shared {
             Chooser::Rand { rng, .. } => (rng.next_u64() >> 2) as i64,
             _ => 0,
         };
+        // Spawn edge: the child inherits everything the parent has seen
+        // (seen-floor inheritance is implicit — the child starts with empty
+        // floors, which only *adds* stale-read behaviors; the clock edge
+        // must be explicit so the detector knows parent-before-spawn
+        // accesses are ordered before the child).  Spawn is a release point
+        // for the parent: bump after handing the clock over.
+        let parent = st.current;
+        let child_id = st.tasks.len();
+        let mut vc = st.tasks[parent].vc.clone();
+        vc.bump(child_id);
+        st.tasks[parent].vc.bump(parent);
         st.tasks.push(Task {
             run: RunState::Runnable,
             seen: Vec::new(),
             priority,
+            vc,
         });
-        st.tasks.len() - 1
+        child_id
     }
 
     pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
@@ -543,6 +895,7 @@ impl Shared {
             panic_abort();
         }
         if st.tasks[target].run == RunState::Finished {
+            st.vc_join_task(me, target);
             return;
         }
         st.tasks[me].run = RunState::Blocked(target);
@@ -560,7 +913,10 @@ impl Shared {
         };
         st.current = runnable[k];
         self.notify();
-        let st = self.wait_for_token(st, me);
+        let mut st = self.wait_for_token(st, me);
+        // Join edge: everything the joined task did happens-before the
+        // join's return.
+        st.vc_join_task(me, target);
         drop(st);
     }
 }
@@ -591,10 +947,11 @@ impl State {
     /// Decide which runnable task runs next; records the decision.
     fn decide_thread(&mut self, runnable: &[usize]) -> usize {
         debug_assert!(runnable.len() > 1);
+        let mut dfs_node: Option<usize> = None;
         let k = match &mut self.chooser {
             Chooser::Dfs { path, cursor } => {
                 let k = if *cursor < path.len() {
-                    let node = path[*cursor];
+                    let node = &path[*cursor];
                     if node.options != runnable.len() as u32 {
                         // The replayed prefix diverged (nondeterminism in the
                         // model body, e.g. address-dependent hashing).  Clamp
@@ -608,9 +965,11 @@ impl State {
                     path.push(DfsNode {
                         chosen: 0,
                         options: runnable.len() as u32,
+                        ..DfsNode::default()
                     });
                     0
                 };
+                dfs_node = Some(*cursor);
                 *cursor += 1;
                 k
             }
@@ -647,6 +1006,24 @@ impl State {
             }
         };
         self.record.push(k as u32);
+        if self.dpor {
+            if let Some(idx) = dfs_node {
+                // Entering this tree position: its accumulated sleep set
+                // (transitions exhausted by earlier sibling branches) joins
+                // the running set, and the node waits for the chosen
+                // transition's first op signature.
+                if let Chooser::Dfs { path, .. } = &self.chooser {
+                    let merged: Vec<(u32, OpSig)> = path[idx].sleep.clone();
+                    for (t, sig) in merged {
+                        let t = t as usize;
+                        if !self.cur_sleep.iter().any(|&(ct, cs)| ct == t && cs == sig) {
+                            self.cur_sleep.push((t, sig));
+                        }
+                    }
+                }
+                self.pending_sig = Some(idx);
+            }
+        }
         k
     }
 
@@ -657,12 +1034,12 @@ impl State {
         let k = match &mut self.chooser {
             Chooser::Dfs { path, cursor } => {
                 let k = if *cursor < path.len() {
-                    let node = path[*cursor];
-                    (node.chosen as usize).min(options - 1)
+                    (path[*cursor].chosen as usize).min(options - 1)
                 } else {
                     path.push(DfsNode {
                         chosen: 0,
                         options: options as u32,
+                        ..DfsNode::default()
                     });
                     0
                 };
@@ -732,6 +1109,68 @@ impl State {
         Arc::new(self.tasks[task].seen.clone())
     }
 
+    /// Clock mirror of a release: snapshot the clock for attachment, then
+    /// bump past the published time (events after the release must carry an
+    /// epoch the released clock does not cover).
+    fn vc_attach(&mut self, task: usize) -> Arc<VClock> {
+        let snap = Arc::new(self.tasks[task].vc.clone());
+        self.tasks[task].vc.bump(task);
+        snap
+    }
+
+    /// Clock mirror of [`State::sc_publish`], including the post-publish
+    /// bump (publishing to the SC frontier is a release point).
+    fn vc_sc_publish(&mut self, task: usize) {
+        let vc = self.tasks[task].vc.clone();
+        self.sc_vc.join(&vc);
+        self.tasks[task].vc.bump(task);
+    }
+
+    /// Clock mirror of [`State::sc_floor`].
+    fn vc_sc_floor(&mut self, task: usize) {
+        let sc = self.sc_vc.clone();
+        self.tasks[task].vc.join(&sc);
+    }
+
+    /// Join edge from a finished (or finishing) task into a joiner.
+    fn vc_join_task(&mut self, me: usize, target: usize) {
+        let tvc = self.tasks[target].vc.clone();
+        self.tasks[me].vc.join(&tvc);
+    }
+
+    /// One access to a shadow location: stamp it with the task's current
+    /// epoch, check it against the location's history, and record it.
+    /// Returns the rendered race message on a detected race.
+    fn shadow_op(&mut self, me: usize, sid: usize, op: ShadowOp) -> Result<(), String> {
+        let stack = if self.race_stacks {
+            Some(
+                std::backtrace::Backtrace::force_capture()
+                    .to_string()
+                    .into_boxed_str(),
+            )
+        } else {
+            None
+        };
+        let access = ShadowAccess {
+            epoch: self.tasks[me].vc.epoch(me),
+            step: self.steps,
+            stack,
+        };
+        let State { tasks, shadows, .. } = self;
+        let vc = &tasks[me].vc;
+        let shadow = &mut shadows[sid];
+        let (kind, report) = match op {
+            ShadowOp::Read { invisible } => ("read", shadow.on_read(vc, access.clone(), invisible)),
+            ShadowOp::Write { check_reads } => {
+                ("write", shadow.on_write(vc, access.clone(), check_reads))
+            }
+        };
+        match report {
+            None => Ok(()),
+            Some(r) => Err(race_message(shadow.name, &r, kind, &access)),
+        }
+    }
+
     /// Publish this task's view into the global SC frontier.
     fn sc_publish(&mut self, task: usize) {
         let seen = &self.tasks[task].seen;
@@ -760,7 +1199,9 @@ impl State {
         let sc = matches!(ord, StdOrdering::SeqCst);
         if sc {
             self.sc_publish(task);
+            self.vc_sc_publish(task);
             self.sc_floor(task);
+            self.vc_sc_floor(task);
         }
         let n = self.locs[loc].stores.len();
         let floor = self
@@ -777,13 +1218,16 @@ impl State {
             ord,
             StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
         );
-        let (value, view) = {
+        let (value, view, svc) = {
             let store = &self.locs[loc].stores[idx];
-            (store.value, store.view.clone())
+            (store.value, store.view.clone(), store.vc.clone())
         };
         if acquire {
             if let Some(view) = view {
                 self.join_view(task, &view);
+            }
+            if let Some(svc) = svc {
+                self.tasks[task].vc.join(&svc);
             }
         }
         value
@@ -794,18 +1238,24 @@ impl State {
             ord,
             StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
         );
-        let view = if release {
-            Some(self.snapshot_view(task))
+        let (view, svc) = if release {
+            (Some(self.snapshot_view(task)), Some(self.vc_attach(task)))
         } else {
-            None
+            (None, None)
         };
-        self.locs[loc].stores.push(Store { value: val, view });
+        self.locs[loc].stores.push(Store {
+            value: val,
+            view,
+            vc: svc,
+        });
         let idx = self.locs[loc].stores.len() - 1;
         self.raise_floor(task, loc, idx);
         if matches!(ord, StdOrdering::SeqCst) {
-            // x86 strength: an SC store is a full barrier.
+            // An SC store is a full barrier in both memory models.
             self.sc_publish(task);
+            self.vc_sc_publish(task);
             self.sc_floor(task);
+            self.vc_sc_floor(task);
         }
     }
 
@@ -813,33 +1263,72 @@ impl State {
         &mut self,
         task: usize,
         loc: usize,
+        success: StdOrdering,
+        failure: StdOrdering,
         f: impl FnOnce(u64) -> Option<u64>,
     ) -> (u64, bool, u64) {
-        // All RMWs are modeled at full x86 `lock` strength: full fence,
-        // read the modification-order head, full fence on the new store.
-        self.sc_publish(task);
-        self.sc_floor(task);
+        // Under X86 (and for any SeqCst RMW in either model) the RMW is a
+        // full `lock`-prefix barrier: full fence, read the
+        // modification-order head, full fence on the new store.  Under Arm
+        // a weaker RMW still reads the head (C11 RMW atomicity) but orders
+        // only what its orderings promise and never touches the SC
+        // frontier.
+        let full = self.memory_model == MemoryModel::X86
+            || matches!(success, StdOrdering::SeqCst)
+            || matches!(failure, StdOrdering::SeqCst);
+        if full {
+            self.sc_publish(task);
+            self.vc_sc_publish(task);
+            self.sc_floor(task);
+            self.vc_sc_floor(task);
+        }
         let idx = self.locs[loc].stores.len() - 1;
-        let (cur, view) = {
+        let (cur, view, svc) = {
             let store = &self.locs[loc].stores[idx];
-            (store.value, store.view.clone())
+            (store.value, store.view.clone(), store.vc.clone())
         };
         self.raise_floor(task, loc, idx);
-        if let Some(view) = view {
-            self.join_view(task, &view);
+        let applied = f(cur);
+        let eff = if applied.is_some() { success } else { failure };
+        let acquire = full || matches!(eff, StdOrdering::Acquire | StdOrdering::AcqRel);
+        if acquire {
+            if let Some(view) = view {
+                self.join_view(task, &view);
+            }
+            if let Some(svc) = svc {
+                self.tasks[task].vc.join(&svc);
+            }
         }
-        match f(cur) {
+        match applied {
             Some(new) => {
-                let view = Some(self.snapshot_view(task));
-                self.locs[loc].stores.push(Store { value: new, view });
+                let release = full || matches!(success, StdOrdering::Release | StdOrdering::AcqRel);
+                let (view, svc) = if release {
+                    (Some(self.snapshot_view(task)), Some(self.vc_attach(task)))
+                } else {
+                    (None, None)
+                };
+                self.locs[loc].stores.push(Store {
+                    value: new,
+                    view,
+                    vc: svc,
+                });
                 let nidx = self.locs[loc].stores.len() - 1;
                 self.raise_floor(task, loc, nidx);
-                self.sc_publish(task);
+                if full {
+                    self.sc_publish(task);
+                    self.vc_sc_publish(task);
+                }
                 (cur, true, new)
             }
             None => (cur, false, cur),
         }
     }
+}
+
+/// Kind of shadow-location access (see [`crate::cell`]).
+enum ShadowOp {
+    Read { invisible: bool },
+    Write { check_reads: bool },
 }
 
 // ---------------------------------------------------------------------------
@@ -917,6 +1406,8 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 struct IterationOutcome {
     failure: Option<String>,
     truncated: bool,
+    pruned: bool,
+    wall_capped: bool,
     record: Vec<u32>,
     /// Schedule points this execution consumed (PCT change-point sizing).
     steps: usize,
@@ -924,8 +1415,13 @@ struct IterationOutcome {
     dfs_path: Option<Vec<DfsNode>>,
 }
 
-fn run_iteration<F: Fn()>(opts: &Options, chooser: Chooser, body: &F) -> IterationOutcome {
-    let shared = Arc::new(Shared::new(opts, chooser));
+fn run_iteration<F: Fn()>(
+    opts: &Options,
+    chooser: Chooser,
+    deadline: Option<Instant>,
+    body: &F,
+) -> IterationOutcome {
+    let shared = Arc::new(Shared::new(opts, chooser, deadline));
     set_ctx(Some(TaskCtx {
         shared: Arc::clone(&shared),
         task: 0,
@@ -965,6 +1461,8 @@ fn run_iteration<F: Fn()>(opts: &Options, chooser: Chooser, body: &F) -> Iterati
     IterationOutcome {
         failure: st.failure.take(),
         truncated: st.truncated,
+        pruned: st.pruned,
+        wall_capped: st.wall_capped,
         record: std::mem::take(&mut st.record),
         steps: st.steps,
         dfs_path: match &mut st.chooser {
@@ -975,10 +1473,17 @@ fn run_iteration<F: Fn()>(opts: &Options, chooser: Chooser, body: &F) -> Iterati
 }
 
 /// Advance the DFS odometer to the next unexplored path.  Returns `false`
-/// when the tree is exhausted.
+/// when the tree is exhausted.  Sleep-set bookkeeping happens here: when a
+/// choice is advanced past, the transition it took (recorded during the
+/// run) goes to sleep for the node's remaining branches; popping a node
+/// discards its set (a different tree position is a different state).
 fn advance_dfs(path: &mut Vec<DfsNode>) -> bool {
     while let Some(last) = path.last_mut() {
         if last.chosen + 1 < last.options {
+            if let Some((task, Some(sig))) = last.taken.take() {
+                last.sleep.push((task, sig));
+            }
+            last.taken = None;
             last.chosen += 1;
             return true;
         }
@@ -1003,7 +1508,11 @@ pub fn explore<F: Fn()>(opts: &Options, body: F) -> Report {
         truncated: 0,
         exhausted: false,
         failure: None,
+        pruned: 0,
+        wall_capped: false,
     };
+    // One absolute deadline for the whole exploration (not per iteration).
+    let deadline = opts.max_wall.map(|d| Instant::now() + d);
     let mut dfs_path: Vec<DfsNode> = Vec::new();
     // PCT change points only matter if they land inside the execution, so
     // sample them over the previous iteration's observed length (CHESS/PCT
@@ -1028,10 +1537,16 @@ pub fn explore<F: Fn()>(opts: &Options, body: F) -> Report {
                 }
             }
         };
-        let out = run_iteration(opts, chooser, &body);
+        let out = run_iteration(opts, chooser, deadline, &body);
         est_len = out.steps.clamp(8, opts.max_steps);
         report.iterations = iter + 1;
-        if out.truncated {
+        if out.wall_capped {
+            report.wall_capped = true;
+            return report;
+        }
+        if out.pruned {
+            report.pruned += 1;
+        } else if out.truncated {
             report.truncated += 1;
         }
         if let Some(message) = out.failure {
@@ -1041,6 +1556,7 @@ pub fn explore<F: Fn()>(opts: &Options, body: F) -> Report {
                     token::TokenHeader {
                         preemption_bound: opts.preemption_bound,
                         value_staleness: opts.value_staleness,
+                        memory_model: opts.memory_model,
                     },
                 ),
                 iteration: iter,
@@ -1054,6 +1570,12 @@ pub fn explore<F: Fn()>(opts: &Options, body: F) -> Report {
                 return report;
             }
             dfs_path = path;
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                report.wall_capped = true;
+                return report;
+            }
         }
     }
     report
@@ -1077,6 +1599,8 @@ pub fn replay<F: Fn()>(token_str: &str, body: F) -> Report {
                     iteration: 0,
                     message: "malformed replay token".into(),
                 }),
+                pruned: 0,
+                wall_capped: false,
             }
         }
     };
@@ -1085,12 +1609,18 @@ pub fn replay<F: Fn()>(token_str: &str, body: F) -> Report {
         max_iterations: 1,
         max_steps: usize::MAX / 2,
         seed: 0,
-        // Both travel in the token: they decide which operations consume a
-        // decision, so replay must mirror the original run exactly.
+        // All three travel in the token: staleness and the preemption bound
+        // decide which operations consume a decision, and the memory model
+        // decides which stale loads are reachable, so replay must mirror
+        // the original run exactly.
         value_staleness: header.value_staleness,
         preemption_bound: header.preemption_bound,
+        memory_model: header.memory_model,
+        dpor: false,
+        max_wall: None,
+        race_stacks: false,
     };
-    let out = run_iteration(&opts, Chooser::Replay { choices, cursor: 0 }, &body);
+    let out = run_iteration(&opts, Chooser::Replay { choices, cursor: 0 }, None, &body);
     Report {
         iterations: 1,
         truncated: if out.truncated { 1 } else { 0 },
@@ -1100,6 +1630,8 @@ pub fn replay<F: Fn()>(token_str: &str, body: F) -> Report {
             iteration: 0,
             message,
         }),
+        pruned: 0,
+        wall_capped: false,
     }
 }
 
@@ -1112,6 +1644,15 @@ pub fn check<F: Fn()>(opts: &Options, body: F) -> Report {
         panic!(
             "model check failed at iteration {}: {}\n  replay token: {}",
             f.iteration, f.message, f.token
+        );
+    }
+    if report.wall_capped {
+        panic!(
+            "model check hit its wall-clock budget after {} iterations \
+             ({} truncated, {} pruned) without exhausting the model: \
+             increase the budget (Options::wall / Options::iterations), \
+             enable DPOR (Options::dpor), or tighten the preemption bound",
+            report.iterations, report.truncated, report.pruned
         );
     }
     report

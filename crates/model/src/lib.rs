@@ -16,6 +16,19 @@
 //!   **replay token**, turning any counterexample into a deterministic
 //!   regression test (the corpus test in `crates/model-tests` consumes
 //!   these).
+//! * [`cell`] — shadow-tracked non-atomic locations ([`cell::UnsyncCell`],
+//!   [`cell::ShadowSlot`]) feeding a FastTrack-style happens-before race
+//!   detector: unsynchronized access pairs fail the execution with both
+//!   access sites (and, with [`Options::race_stacks`], both stacks) plus a
+//!   replay token.
+//! * [`MemoryModel`] — exploration strength.  [`MemoryModel::X86`] keeps
+//!   every RMW a full barrier (TSO-style, the historical behavior);
+//!   [`MemoryModel::Arm`] lets release/acquire RMWs be exactly
+//!   release/acquire, exposing reorderings only `SeqCst` (or an SC fence)
+//!   forbids on AArch64.
+//! * Sleep-set partial-order reduction ([`Options::dpor`]) and a
+//!   wall-clock budget ([`Options::wall`]) to keep bigger models within CI
+//!   budgets.
 //!
 //! # Example
 //!
@@ -45,23 +58,33 @@
 //! assert!(report.failure.is_some());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `cell::UnsyncCell` needs two `unsafe impl`s
+// and one deref, each carrying a SAFETY argument and a local `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod cell;
 pub mod thread;
 
 mod exec;
+mod memmodel;
+mod race;
 mod rng;
 mod token;
+mod vclock;
 
 pub use exec::{check, explore, replay, Failure, Options, Report, Strategy};
+pub use memmodel::MemoryModel;
+pub use token::{token_meta, TokenHeader};
 
 #[cfg(test)]
 mod tests {
     use super::atomic::{fence, AtomicU64, Ordering};
-    use super::{explore, replay, Options};
+    use super::cell::UnsyncCell;
+    use super::{explore, replay, token_meta, MemoryModel, Options};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn two<F1, F2>(a: F1, b: F2)
     where
@@ -299,5 +322,217 @@ mod tests {
         fence(Ordering::SeqCst);
         let h = crate::thread::spawn(|| 3u32);
         assert_eq!(h.join().unwrap(), 3);
+    }
+
+    /// An `UnsyncCell` written by one thread and read by another with no
+    /// synchronizing atomics in between is a data race: the detector must
+    /// flag it, name the location, and hand back a replaying token.
+    #[test]
+    fn race_detector_flags_unsynced_cell() {
+        let body = || {
+            let cell = Arc::new(UnsyncCell::new("shared", 0u64));
+            let (c1, c2) = (Arc::clone(&cell), Arc::clone(&cell));
+            two(
+                move || c1.set(1),
+                move || {
+                    let _ = c2.get();
+                },
+            );
+        };
+        let report = explore(&Options::dfs(), body);
+        let f = report
+            .failure
+            .expect("unsynchronized cell access must race");
+        assert!(
+            f.message.contains("data race on `shared`"),
+            "unexpected failure: {f:?}"
+        );
+        let re = replay(&f.token, body);
+        let rf = re.failure.expect("race token must replay");
+        assert!(rf.message.contains("data race on `shared`"), "{rf:?}");
+    }
+
+    /// The same cell published through a release store and consumed after an
+    /// acquire load is properly synchronized: the detector must stay quiet
+    /// over the *whole* (exhausted) interleaving space.
+    #[test]
+    fn race_detector_accepts_release_acquire_cell() {
+        let report = explore(&Options::dfs(), || {
+            let cell = Arc::new(UnsyncCell::new("payload", 0u64));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (c1, f1) = (Arc::clone(&cell), Arc::clone(&flag));
+            let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+            two(
+                move || {
+                    c1.set(42);
+                    f1.store(1, Ordering::Release);
+                },
+                move || {
+                    if f2.load(Ordering::Acquire) == 1 {
+                        assert_eq!(c2.get(), 42);
+                    }
+                },
+            );
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted, "small model should be fully enumerated");
+    }
+
+    /// With `race_stacks(true)` the report carries both access stacks
+    /// instead of the "enable race_stacks" hint.
+    #[test]
+    fn race_stacks_capture_both_sites() {
+        let report = explore(&Options::dfs().race_stacks(true), || {
+            let cell = Arc::new(UnsyncCell::new("stacked", 0u64));
+            let (c1, c2) = (Arc::clone(&cell), Arc::clone(&cell));
+            two(move || c1.set(1), move || c2.set(2));
+        });
+        let f = report.failure.expect("race expected");
+        assert!(f.message.contains("--- earlier write stack ---"), "{f:?}");
+        assert!(f.message.contains("--- current write stack ---"), "{f:?}");
+    }
+
+    /// Store-buffering litmus with an `AcqRel` RMW standing in for the
+    /// fence.  On [`MemoryModel::X86`] every RMW is a full barrier, so the
+    /// both-zeros outcome stays forbidden — the historical behavior.
+    #[test]
+    fn acqrel_rmw_is_full_barrier_on_x86() {
+        let report = explore(&Options::dfs(), || sb_with_acqrel_rmw());
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+    }
+
+    /// The same litmus under [`MemoryModel::Arm`]: an `AcqRel` RMW is
+    /// exactly release + acquire, which does NOT order a prior relaxed
+    /// store against a later relaxed load of another location.  Both-zeros
+    /// becomes reachable, the token records the Arm header, and the replay
+    /// reproduces it at Arm strength.
+    #[test]
+    fn acqrel_rmw_is_not_a_full_barrier_on_arm() {
+        let opts = Options::dfs().memory(MemoryModel::Arm);
+        let report = explore(&opts, || sb_with_acqrel_rmw());
+        let f = report
+            .failure
+            .expect("Arm must admit the both-zeros outcome");
+        let header = token_meta(&f.token).expect("token must carry a header");
+        assert_eq!(header.memory_model, MemoryModel::Arm);
+        let re = replay(&f.token, || sb_with_acqrel_rmw());
+        assert!(
+            re.failure.is_some(),
+            "Arm token must replay at Arm strength"
+        );
+    }
+
+    fn sb_with_acqrel_rmw() {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let z1 = Arc::new(AtomicU64::new(0));
+        let z2 = Arc::new(AtomicU64::new(0));
+        let r1 = Arc::new(AtomicU64::new(u64::MAX));
+        let r2 = Arc::new(AtomicU64::new(u64::MAX));
+        {
+            let (xa, ya, ra) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+            let (xb, yb, rb) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r2));
+            two(
+                move || {
+                    xa.store(1, Ordering::Relaxed);
+                    z1.fetch_add(1, Ordering::AcqRel);
+                    ra.store(ya.load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+                move || {
+                    yb.store(1, Ordering::Relaxed);
+                    z2.fetch_add(1, Ordering::AcqRel);
+                    rb.store(xb.load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+            );
+        }
+        let (a, b) = (r1.load(Ordering::SeqCst), r2.load(Ordering::SeqCst));
+        assert!(
+            !(a == 0 && b == 0),
+            "SB via AcqRel RMW: both threads read 0"
+        );
+    }
+
+    /// DPOR is a *sound* reduction: pruned branches are equivalent to
+    /// explored ones, so the lost update must still be found (and its
+    /// token — which never encodes pruning decisions — must replay).
+    #[test]
+    fn dpor_still_finds_lost_update() {
+        let body = || {
+            let c = Arc::new(AtomicU64::new(0));
+            let (c1, c2) = (Arc::clone(&c), Arc::clone(&c));
+            two(
+                move || {
+                    let v = c1.load(Ordering::SeqCst);
+                    c1.store(v + 1, Ordering::SeqCst);
+                },
+                move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                },
+            );
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let report = explore(&Options::dfs().dpor(true), body);
+        let f = report.failure.expect("DPOR must not hide the lost update");
+        let re = replay(&f.token, body);
+        assert!(re.failure.is_some(), "DPOR-found token must replay plain");
+    }
+
+    /// Threads touching disjoint locations commute; sleep sets must prune
+    /// the redundant orderings while still exhausting the model.
+    #[test]
+    fn dpor_prunes_commuting_interleavings() {
+        let body = || {
+            let slots: Vec<_> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+            let handles: Vec<_> = slots
+                .iter()
+                .map(|s| {
+                    let s = Arc::clone(s);
+                    crate::thread::spawn(move || {
+                        s.store(1, Ordering::Relaxed);
+                        s.store(2, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            for s in &slots {
+                assert_eq!(s.load(Ordering::SeqCst), 2);
+            }
+        };
+        let plain = explore(&Options::dfs(), body);
+        assert!(plain.exhausted && plain.failure.is_none(), "{plain:?}");
+        let dpor = explore(&Options::dfs().dpor(true), body);
+        assert!(dpor.exhausted && dpor.failure.is_none(), "{dpor:?}");
+        assert!(dpor.pruned > 0, "commuting stores must trigger pruning");
+        assert!(
+            dpor.iterations * 2 <= plain.iterations,
+            "DPOR explored {} vs plain {} — expected at least 2x reduction",
+            dpor.iterations,
+            plain.iterations
+        );
+    }
+
+    /// Exhausting the wall-clock budget is a loud diagnostic, not a silent
+    /// green: `check` must panic and point at the budget/DPOR knobs.
+    #[test]
+    fn wall_budget_exhaustion_is_loud() {
+        let res = std::panic::catch_unwind(|| {
+            super::check(&Options::dfs().wall(Some(Duration::ZERO)), || {
+                let c = Arc::new(AtomicU64::new(0));
+                let c1 = Arc::clone(&c);
+                let h = crate::thread::spawn(move || c1.store(1, Ordering::SeqCst));
+                h.join().unwrap();
+            });
+        });
+        let err = res.expect_err("zero wall budget must trip the guard");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("increase the budget"), "got: {msg}");
+        assert!(msg.contains("Options::dpor"), "got: {msg}");
     }
 }

@@ -1,0 +1,39 @@
+//! Selectable memory-model strength for the executor.
+
+/// How strongly the engine interprets atomic orderings.
+///
+/// The operational model (per-location modification order + per-task views,
+/// see `exec`) is the same in both modes; what changes is which operations
+/// act as *full barriers* against the global SC frontier:
+///
+/// * [`MemoryModel::X86`] (the default, and the only strength PR 7
+///   shipped): every RMW and every `SeqCst` access is a full barrier —
+///   RMWs are `lock`-prefixed instructions on x86 and order everything.
+///   This is faithful to the TSO hardware the repo benchmarks on, but it
+///   *masks* bugs that only weaker architectures expose (the epoch
+///   scan-side fence was a documented negative result at this strength).
+/// * [`MemoryModel::Arm`] (AArch64 strength): release/acquire stop
+///   implying full barriers.  A non-`SeqCst` RMW orders exactly what its
+///   ordering arguments promise — `Acquire`/`AcqRel` joins the release
+///   view of the store it read, `Release`/`AcqRel` attaches the writer's
+///   view to the new store, `Relaxed` does neither — and never touches the
+///   SC frontier.  `ldadd`/`casal`-style sequences on AArch64 provide no
+///   more than that.  `SeqCst` accesses and `fence(SeqCst)` remain full
+///   barriers in both modes (stronger than the C11 minimum; sound — it
+///   only removes behaviors).
+///
+/// Deliberate approximations under `Arm`, documented in
+/// `docs/VERIFICATION.md`: load-buffering outcomes (a load reading from a
+/// store that program-order-follows it on another thread) are not
+/// representable in an interleaving-based operational model and are not
+/// explored, and weaker-than-SC *fences* are still modeled at SC strength.
+/// Both only remove behaviors relative to real AArch64, so a counterexample
+/// found under `Arm` is always genuine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// Total-store-order strength: RMWs and SC accesses are full barriers.
+    #[default]
+    X86,
+    /// AArch64 strength: release/acquire RMWs order only what they promise.
+    Arm,
+}

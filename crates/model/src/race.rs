@@ -1,0 +1,221 @@
+//! FastTrack-style happens-before race detection over shadow locations.
+//!
+//! A *shadow location* stands for one non-atomic memory location (an
+//! [`crate::cell::UnsyncCell`]'s value, or the payload slot of a `TCell`
+//! under the `stm::sync` facade).  Every access is stamped with the
+//! accessing task's [`Epoch`] and checked against the location's history:
+//!
+//! * a **read** races with the last write unless that write's epoch is
+//!   covered by the reader's clock (the write was published to the reader
+//!   through a chain of release/acquire/SC edges on *instrumented*
+//!   atomics);
+//! * a **write** races with the last write the same way, and — for
+//!   locations with visible readers — with any recorded read its clock
+//!   does not cover.
+//!
+//! Per FastTrack, the common cases need only epoch comparisons (one `<=`),
+//! and full read *sets* are kept only while a location is read-shared.
+//! Model executions are tiny, so the "read set" is a plain per-task-deduped
+//! vector rather than FastTrack's adaptive epoch-or-clock representation —
+//! same algebra, simpler code.
+//!
+//! Copy-on-write slots (`TCell` payloads) opt out of the read-set half:
+//! TL2 readers are *invisible* by design and writers install fresh
+//! allocations instead of mutating in place, so "write after
+//! unsynchronized read" is the protocol's normal optimistic case, not a
+//! race.  What must hold — and what [`ShadowState::check_read`] enforces —
+//! is that every *validated* read is happens-after the write that produced
+//! the value it kept (the orec release edge), and that writes are totally
+//! ordered (the orec acquire edge).
+
+use crate::vclock::{Epoch, VClock};
+
+/// One recorded access: who, at what local time, at which schedule step,
+/// optionally with a captured stack.
+#[derive(Clone, Debug)]
+pub(crate) struct ShadowAccess {
+    pub epoch: Epoch,
+    pub step: usize,
+    pub stack: Option<Box<str>>,
+}
+
+/// Detector state for one shadow location.
+#[derive(Debug, Default)]
+pub(crate) struct ShadowState {
+    pub name: &'static str,
+    /// Last write (FastTrack's `W_x` epoch, with provenance).
+    pub write: Option<ShadowAccess>,
+    /// Reads since the last write, deduped per task (newest kept).
+    pub reads: Vec<ShadowAccess>,
+}
+
+/// A detected race: the two unsynchronized accesses, earliest first.
+pub(crate) struct RaceReport {
+    pub prior_kind: &'static str,
+    pub prior: ShadowAccess,
+}
+
+impl ShadowState {
+    /// Check a read by a task whose clock is `clock`; on success record it
+    /// (unless `invisible`, for validated COW reads that must not block
+    /// later writers).
+    pub fn on_read(
+        &mut self,
+        clock: &VClock,
+        access: ShadowAccess,
+        invisible: bool,
+    ) -> Option<RaceReport> {
+        if let Some(w) = &self.write {
+            if !clock.covers(w.epoch) {
+                return Some(RaceReport {
+                    prior_kind: "write",
+                    prior: w.clone(),
+                });
+            }
+        }
+        if !invisible {
+            self.reads.retain(|r| r.epoch.tid != access.epoch.tid);
+            self.reads.push(access);
+        }
+        None
+    }
+
+    /// Check a write by a task whose clock is `clock` and record it.
+    /// `check_reads` is off for copy-on-write slots (invisible readers).
+    pub fn on_write(
+        &mut self,
+        clock: &VClock,
+        access: ShadowAccess,
+        check_reads: bool,
+    ) -> Option<RaceReport> {
+        if let Some(w) = &self.write {
+            if !clock.covers(w.epoch) {
+                return Some(RaceReport {
+                    prior_kind: "write",
+                    prior: w.clone(),
+                });
+            }
+        }
+        if check_reads {
+            for r in &self.reads {
+                if !clock.covers(r.epoch) {
+                    return Some(RaceReport {
+                        prior_kind: "read",
+                        prior: r.clone(),
+                    });
+                }
+            }
+        }
+        self.reads.clear();
+        self.write = Some(access);
+        None
+    }
+}
+
+/// Render a race as the engine's failure message.  Both access sites are
+/// named; stacks appear when [`crate::Options::race_stacks`] captured them.
+pub(crate) fn race_message(
+    name: &'static str,
+    report: &RaceReport,
+    current_kind: &'static str,
+    current: &ShadowAccess,
+) -> String {
+    let mut msg = format!(
+        "data race on `{name}`: {} by thread {} (step {}) is unsynchronized with {} by thread {} (step {})",
+        report.prior_kind,
+        report.prior.epoch.tid,
+        report.prior.step,
+        current_kind,
+        current.epoch.tid,
+        current.step,
+    );
+    match (&report.prior.stack, &current.stack) {
+        (Some(a), Some(b)) => {
+            msg.push_str(&format!(
+                "\n--- earlier {} stack ---\n{a}\n--- current {} stack ---\n{b}",
+                report.prior_kind, current_kind
+            ));
+        }
+        _ => msg.push_str(" (enable Options::race_stacks(true) for both access stacks)"),
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(tid: u32, clk: u32, step: usize) -> ShadowAccess {
+        ShadowAccess {
+            epoch: Epoch { tid, clk },
+            step,
+            stack: None,
+        }
+    }
+
+    /// Write then unsynchronized read: flagged.  Write then read whose
+    /// clock joined the writer's published clock: clean.
+    #[test]
+    fn read_after_unpublished_write_races() {
+        let mut s = ShadowState {
+            name: "x",
+            ..Default::default()
+        };
+        let mut writer = VClock::new();
+        writer.bump(0);
+        assert!(s.on_write(&writer, acc(0, 1, 1), true).is_none());
+
+        let unsynced = VClock::new();
+        let race = s.on_read(&unsynced, acc(1, 0, 2), false);
+        assert!(race.is_some_and(|r| r.prior_kind == "write"));
+
+        let mut synced = VClock::new();
+        synced.join(&writer); // as if acquiring the writer's release
+        assert!(s.on_read(&synced, acc(1, 0, 3), false).is_none());
+    }
+
+    /// Visible read then unsynchronized write: flagged; invisible (COW)
+    /// reads deliberately do not block later writers.
+    #[test]
+    fn write_after_unpublished_read_races_unless_invisible() {
+        let mut s = ShadowState {
+            name: "x",
+            ..Default::default()
+        };
+        let mut reader = VClock::new();
+        reader.bump(1);
+        assert!(s.on_read(&reader, acc(1, 1, 1), false).is_none());
+
+        let unsynced = VClock::new();
+        let race = s.on_write(&unsynced, acc(0, 0, 2), true);
+        assert!(race.is_some_and(|r| r.prior_kind == "read"));
+
+        let mut cow = ShadowState {
+            name: "slot",
+            ..Default::default()
+        };
+        assert!(cow.on_read(&reader, acc(1, 1, 1), true).is_none());
+        assert!(
+            cow.on_write(&unsynced, acc(0, 0, 2), false).is_none(),
+            "invisible readers never race with copy-on-write installs"
+        );
+    }
+
+    /// A write clears the read set: post-write readers race with the write,
+    /// not with stale pre-write reads.
+    #[test]
+    fn write_supersedes_read_history() {
+        let mut s = ShadowState {
+            name: "x",
+            ..Default::default()
+        };
+        let mut reader = VClock::new();
+        reader.bump(1);
+        assert!(s.on_read(&reader, acc(1, 1, 1), false).is_none());
+        let mut writer = VClock::new();
+        writer.bump(0);
+        writer.join(&reader);
+        assert!(s.on_write(&writer, acc(0, 1, 2), true).is_none());
+        assert!(s.reads.is_empty(), "write resets the read set");
+    }
+}

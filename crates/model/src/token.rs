@@ -6,40 +6,64 @@
 //! version, so a counterexample found once can be re-executed verbatim as a
 //! regression test (see `replay` in the crate root and the corpus test in
 //! `crates/model-tests`).
+//!
+//! Format history: `shm1` carried the preemption bound and a staleness
+//! flag; `shm2` adds the memory-model strength (flag bit 1) so a
+//! counterexample found under [`MemoryModel::Arm`] replays under `Arm`
+//! instead of silently defaulting to `X86` and diverging.  `shm1` tokens
+//! are rejected as malformed — every corpus entry was re-minted.
+
+use crate::memmodel::MemoryModel;
 
 /// Format prefix; bump if the decision-stream semantics ever change.
-const PREFIX: &str = "shm1.";
+const PREFIX: &str = "shm2.";
 
 /// Flag bit: stale-load exploration was enabled when the token was found.
 const FLAG_STALENESS: u32 = 1;
 
+/// Flag bit: the schedule was found under [`MemoryModel::Arm`].
+const FLAG_ARM: u32 = 2;
+
 /// Exploration options a replay must reproduce for the decision stream to
-/// line up: both fields change *which* operations consume a decision.
+/// line up: all three fields change which operations consume a decision
+/// and/or which store a stale load may observe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct TokenHeader {
+pub struct TokenHeader {
     /// The preemption bound in force when the schedule was found.
     pub preemption_bound: Option<usize>,
     /// Whether stale-load exploration was on (loads of multi-store
     /// locations consume a value decision).
     pub value_staleness: bool,
+    /// The memory-model strength the schedule was found under.
+    pub memory_model: MemoryModel,
+}
+
+/// Decode only the header of a replay token (`None` if malformed).  Lets
+/// corpus tests assert tokens carry the intended exploration options —
+/// e.g. that an `Arm`-found counterexample does not silently replay at
+/// `X86` strength.
+pub fn token_meta(token: &str) -> Option<TokenHeader> {
+    decode(token).map(|(h, _)| h)
 }
 
 /// Encode a decision stream into a printable replay token.
 ///
 /// The header travels with the decisions (first varint the preemption
 /// bound, `0` = unbounded else `bound + 1`; second varint a flag word):
-/// both determine which operations consume a decision, so replay must
-/// reproduce them exactly.
+/// all of it determines how the decision stream is consumed, so replay
+/// must reproduce it exactly.
 pub(crate) fn encode(choices: &[u32], header: TokenHeader) -> String {
     let bound = match header.preemption_bound {
         None => 0u32,
         Some(b) => u32::try_from(b.saturating_add(1)).unwrap_or(u32::MAX),
     };
-    let flags = if header.value_staleness {
-        FLAG_STALENESS
-    } else {
-        0
-    };
+    let mut flags = 0u32;
+    if header.value_staleness {
+        flags |= FLAG_STALENESS;
+    }
+    if header.memory_model == MemoryModel::Arm {
+        flags |= FLAG_ARM;
+    }
     let mut bytes = Vec::with_capacity(choices.len() + 2);
     for &c in [bound, flags].iter().chain(choices) {
         let mut v = c;
@@ -62,8 +86,9 @@ pub(crate) fn encode(choices: &[u32], header: TokenHeader) -> String {
 }
 
 /// Decode a replay token back into its header and decision stream.
-/// Returns `None` on any malformed input (wrong prefix, odd hex, truncated
-/// varint, missing header, unknown flags).
+/// Returns `None` on any malformed input (wrong prefix — including the
+/// retired `shm1` format — odd hex, truncated varint, missing header,
+/// unknown flags).
 pub(crate) fn decode(token: &str) -> Option<(TokenHeader, Vec<u32>)> {
     let hex = token.strip_prefix(PREFIX)?;
     if hex.len() % 2 != 0 {
@@ -99,7 +124,7 @@ pub(crate) fn decode(token: &str) -> Option<(TokenHeader, Vec<u32>)> {
     }
     let bound = out.remove(0);
     let flags = out.remove(0);
-    if flags & !FLAG_STALENESS != 0 {
+    if flags & !(FLAG_STALENESS | FLAG_ARM) != 0 {
         return None; // flags from a future format revision
     }
     let header = TokenHeader {
@@ -109,6 +134,11 @@ pub(crate) fn decode(token: &str) -> Option<(TokenHeader, Vec<u32>)> {
             Some(bound as usize - 1)
         },
         value_staleness: flags & FLAG_STALENESS != 0,
+        memory_model: if flags & FLAG_ARM != 0 {
+            MemoryModel::Arm
+        } else {
+            MemoryModel::X86
+        },
     };
     Some((header, out))
 }
@@ -124,13 +154,17 @@ mod tests {
         for c in cases {
             for b in bounds {
                 for staleness in [false, true] {
-                    let h = TokenHeader {
-                        preemption_bound: b,
-                        value_staleness: staleness,
-                    };
-                    let t = encode(c, h);
-                    let (dh, dc) = decode(&t).expect("token must decode");
-                    assert_eq!((dh, dc.as_slice()), (h, *c), "token {t}");
+                    for mm in [MemoryModel::X86, MemoryModel::Arm] {
+                        let h = TokenHeader {
+                            preemption_bound: b,
+                            value_staleness: staleness,
+                            memory_model: mm,
+                        };
+                        let t = encode(c, h);
+                        let (dh, dc) = decode(&t).expect("token must decode");
+                        assert_eq!((dh, dc.as_slice()), (h, *c), "token {t}");
+                        assert_eq!(token_meta(&t), Some(h));
+                    }
                 }
             }
         }
@@ -139,11 +173,12 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(decode("nope").is_none());
-        assert!(decode("shm1.").is_none()); // missing header
-        assert!(decode("shm1.00").is_none()); // missing flags varint
-        assert!(decode("shm1.0").is_none()); // odd hex
-        assert!(decode("shm1.zz").is_none()); // not hex
-        assert!(decode("shm1.80").is_none()); // truncated varint
-        assert!(decode("shm1.0004").is_none()); // unknown flag bit
+        assert!(decode("shm1.0001").is_none()); // retired format revision
+        assert!(decode("shm2.").is_none()); // missing header
+        assert!(decode("shm2.00").is_none()); // missing flags varint
+        assert!(decode("shm2.0").is_none()); // odd hex
+        assert!(decode("shm2.zz").is_none()); // not hex
+        assert!(decode("shm2.80").is_none()); // truncated varint
+        assert!(decode("shm2.0008").is_none()); // unknown flag bit
     }
 }

@@ -1,0 +1,156 @@
+//! Vector clocks for happens-before tracking (the FastTrack substrate).
+//!
+//! Each model task `t` carries a clock `C_t`; `C_t[u]` is the number of
+//! *release points* of task `u` that happen-before `t`'s current event.
+//! Release points are the moments a task's clock becomes observable to
+//! others — a release store, an RMW's store half, an SC fence, a spawn —
+//! and the owner's own component is bumped right after each one, so any
+//! event *after* a release carries an epoch the released clock does not
+//! cover (that asymmetry is what makes "published before vs. after" a
+//! decidable question; see [`crate::race`]).
+//!
+//! FastTrack's observation: a single access is fully described by the
+//! *epoch* `(t, C_t[t])`, and the happens-before test against a full clock
+//! is one comparison — `(t, c) ⪯ C_u  ⇔  c <= C_u[t]` — so the detector
+//! only materializes whole clocks where it genuinely needs them.
+
+/// A vector clock: per-task counters, absent entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+/// One access stamp: task `tid` at its local time `clk`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Epoch {
+    pub tid: u32,
+    pub clk: u32,
+}
+
+impl VClock {
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// The component for `tid` (zero when never set).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increment `tid`'s own component (a new local event horizon).
+    pub fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other` (acquire: inherit everything the
+    /// released clock had seen).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            if *s < o {
+                *s = o;
+            }
+        }
+    }
+
+    /// The epoch of `tid`'s current event under this clock.
+    pub fn epoch(&self, tid: usize) -> Epoch {
+        Epoch {
+            tid: tid as u32,
+            clk: self.get(tid),
+        }
+    }
+
+    /// FastTrack's one-comparison happens-before test: does the event
+    /// stamped `e` happen-before an event holding this clock?
+    pub fn covers(&self, e: Epoch) -> bool {
+        e.clk <= self.get(e.tid as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Join is a pointwise max and absent components read as zero.
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        a.bump(2); // a = [2, 0, 1]
+        let mut b = VClock::new();
+        b.bump(1);
+        b.bump(2);
+        b.bump(2); // b = [0, 1, 2]
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (2, 1, 2));
+        assert_eq!(a.get(7), 0, "absent components are zero");
+    }
+
+    /// The epoch test `(t, c) ⪯ C` is exactly `c <= C[t]`.
+    #[test]
+    fn epoch_coverage_matches_component_compare() {
+        let mut c = VClock::new();
+        c.bump(1);
+        c.bump(1); // C[1] = 2
+        assert!(c.covers(Epoch { tid: 1, clk: 2 }));
+        assert!(c.covers(Epoch { tid: 1, clk: 1 }));
+        assert!(!c.covers(Epoch { tid: 1, clk: 3 }));
+        assert!(
+            c.covers(Epoch { tid: 5, clk: 0 }),
+            "zero epochs are vacuous"
+        );
+        assert!(!c.covers(Epoch { tid: 5, clk: 1 }));
+    }
+
+    /// Hand-built release/acquire interleaving: a write *before* the
+    /// release is covered by the acquirer's joined clock; a write *after*
+    /// the release (post-bump) is not.  This is the exact asymmetry the
+    /// race detector's "was the write published?" question reduces to.
+    #[test]
+    fn release_acquire_interleaving_orders_prior_writes_only() {
+        let mut writer = VClock::new();
+        writer.bump(0); // writer at local time 1
+        let w_before = writer.epoch(0);
+
+        // Release: snapshot the clock, then bump past the published time.
+        let released = writer.clone();
+        writer.bump(0);
+        let w_after = writer.epoch(0);
+
+        // Acquire on another task.
+        let mut reader = VClock::new();
+        reader.bump(1);
+        reader.join(&released);
+
+        assert!(reader.covers(w_before), "pre-release write must be ordered");
+        assert!(
+            !reader.covers(w_after),
+            "post-release write must NOT be ordered"
+        );
+    }
+
+    /// Transitivity through a chain of release/acquire hops.
+    #[test]
+    fn happens_before_is_transitive_across_hops() {
+        let mut a = VClock::new();
+        a.bump(0);
+        let write = a.epoch(0);
+        let rel_a = a.clone();
+        a.bump(0);
+
+        let mut b = VClock::new();
+        b.bump(1);
+        b.join(&rel_a); // a -> b
+        let rel_b = b.clone();
+        b.bump(1);
+
+        let mut c = VClock::new();
+        c.join(&rel_b); // b -> c
+        assert!(c.covers(write), "a's write reaches c through b");
+    }
+}

@@ -283,6 +283,7 @@ mod tests {
         struct Counted(#[allow(dead_code)] Arc<()>);
         impl Drop for Counted {
             fn drop(&mut self) {
+                // SC: test drop counter — strongest ordering, not perf-sensitive.
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -296,6 +297,7 @@ mod tests {
         drop(popped);
         drop(chain);
         drop(copy);
+        // SC: test drop counter read.
         assert_eq!(DROPS.load(Ordering::SeqCst), 16);
         assert_eq!(Arc::strong_count(&token), 1);
     }

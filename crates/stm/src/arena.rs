@@ -52,6 +52,9 @@
 
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cell::RefCell;
+// FACADE-EXEMPT: allocator internals run inside real `Mutex` critical
+// sections and epoch callbacks; `stm::sync`'s module docs name this module
+// as deliberately uninstrumented (schedule-space blowup + parking hazard).
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 

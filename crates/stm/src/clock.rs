@@ -189,10 +189,13 @@ impl CounterClock {
 
 impl ClockSource for CounterClock {
     fn now(&self) -> u64 {
+        // SC: the global version clock defines TL2's commit total order; a
+        // read-version sample must not be reorderable around commit ticks.
         self.counter.load(Ordering::SeqCst)
     }
 
     fn tick(&self, rv: u64) -> CommitStamp {
+        // SC: commit ticks and read samples must agree on one total order.
         let prev = self.counter.fetch_add(1, Ordering::SeqCst);
         CommitStamp {
             wv: prev + 1,
@@ -232,12 +235,14 @@ impl SampledClock {
 
 impl ClockSource for SampledClock {
     fn now(&self) -> u64 {
+        // SC: same total-order contract as `CounterClock::now`.
         self.counter.load(Ordering::SeqCst)
     }
 
     fn tick(&self, rv: u64) -> CommitStamp {
-        // Claim rv + 1 exclusively.  Success means the clock has not moved
-        // since our read sample, hence no transaction committed in between.
+        // SC: claim rv + 1 exclusively in the clock's total order.  Success
+        // means the clock has not moved since our read sample, hence no
+        // transaction committed in between.
         if self
             .counter
             .compare_exchange(rv, rv + 1, Ordering::SeqCst, Ordering::SeqCst)
@@ -260,6 +265,7 @@ impl ClockSource for SampledClock {
         // docs/VERIFICATION.md).
         #[cfg(model_mutation)]
         {
+            // SC: seeded bug still reads the clock in its total order.
             let cur = self.counter.load(Ordering::SeqCst);
             return CommitStamp {
                 wv: cur,
@@ -268,6 +274,7 @@ impl ClockSource for SampledClock {
         }
         #[cfg(not(model_mutation))]
         {
+            // SC: unique tick in the same total order as `now` samples.
             let prev = self.counter.fetch_add(1, Ordering::SeqCst);
             CommitStamp {
                 wv: prev + 1,

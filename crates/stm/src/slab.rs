@@ -301,17 +301,19 @@ mod tests {
 
     #[test]
     fn drop_glue_runs_destructors() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::{AtomicUsize, Ordering};
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Counted(#[allow(dead_code)] u64);
         impl Drop for Counted {
             fn drop(&mut self) {
+                // SC: test drop counter — strongest ordering, not perf-sensitive.
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
         let (ptr, _) = alloc_value(Counted(1));
         // SAFETY: `ptr` came from `alloc_value::<Counted>`; freed exactly once.
         unsafe { drop_glue::<Counted>()(ptr.cast()) };
+        // SC: test drop counter read.
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 

@@ -107,6 +107,9 @@ impl SnapshotRegistry {
     fn acquire_slot(&self) -> usize {
         let backoff = Backoff::new();
         loop {
+            // SC: slot claims, the watermark raise, and committer collects
+            // must all sit in one total order — a committer that misses a
+            // claimed slot must be able to prove it via the fence protocol.
             for (index, slot) in self.slots.iter().enumerate() {
                 if slot
                     .compare_exchange(FREE, PENDING, Ordering::SeqCst, Ordering::SeqCst)
@@ -123,6 +126,8 @@ impl SnapshotRegistry {
     /// Number of live pins (commit-path gate).
     #[inline]
     pub(crate) fn live(&self) -> usize {
+        // SC: the commit-path gate must not be reorderable around the
+        // committer's clock tick (see the fence discipline in `txn.rs`).
         self.live.load(Ordering::SeqCst)
     }
 
@@ -133,6 +138,8 @@ impl SnapshotRegistry {
     /// calling this.
     pub(crate) fn collect_into(&self, pins: &mut Vec<u64>) -> bool {
         let mut pending = false;
+        // SC: paired with the pinner's slot-claim/publish stores; the
+        // caller's fence plus these loads make missed-pin proofs sound.
         let limit = self.watermark.load(Ordering::SeqCst).min(self.slots.len());
         for slot in &self.slots[..limit] {
             match slot.load(Ordering::SeqCst) {
@@ -240,11 +247,12 @@ fn lock_shard(shard: &Shard) -> std::sync::MutexGuard<'_, HashMap<usize, Chain>>
 /// Total history entries alive in the process (gates the `TCell::drop`
 /// purge so teardown of snapshot-free maps never touches the table).
 ///
-/// These three are deliberately plain `std` atomics, not `crate::sync` ones:
-/// they are process-global bookkeeping whose values survive across model
-/// executions (an aborted execution can leak entries), so instrumenting them
-/// would make the checker's schedule-point sequence depend on cross-run
-/// state and break replay determinism.  They synchronize nothing.
+/// FACADE-EXEMPT: these three are deliberately plain `std` atomics, not
+/// `crate::sync` ones: they are process-global bookkeeping whose values
+/// survive across model executions (an aborted execution can leak entries),
+/// so instrumenting them would make the checker's schedule-point sequence
+/// depend on cross-run state and break replay determinism.  They
+/// synchronize nothing.
 static LIVE_ENTRIES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 /// Displaced payloads preserved for snapshots (process-wide counter; see the
 /// baseline note in `stm::stats`).
@@ -407,18 +415,19 @@ impl SnapshotPin {
     pub(crate) fn new(stm: Arc<Stm>) -> Self {
         let registry = stm.snapshot_registry();
         let slot = registry.acquire_slot();
+        // SC: the live-count raise must join the registry/clock total order.
         #[cfg(not(model_mutation))]
         registry.live.fetch_add(1, Ordering::SeqCst);
-        // Order the slot claim and live-count raise before the clock sample:
-        // a committer that misses this pin must have ticked after the sample
-        // below, putting its windows entirely above our version.
+        // SC: order the slot claim and live-count raise before the clock
+        // sample: a committer that misses this pin must have ticked after
+        // the sample below, putting its windows entirely above our version.
         fence(Ordering::SeqCst);
         let version = stm.clock_now();
-        // `model_mutation` builds re-seed the publish/tick race by raising
-        // the live count only after the clock sample: a committer can now
-        // tick between our sample and the raise, see `live() == 0`, and skip
-        // preserving a payload whose window contains our version (see
-        // docs/VERIFICATION.md).
+        // SC: `model_mutation` builds re-seed the publish/tick race by
+        // raising the live count only after the clock sample: a committer
+        // can now tick between our sample and the raise, see `live() == 0`,
+        // and skip preserving a payload whose window contains our version
+        // (see docs/VERIFICATION.md).
         #[cfg(model_mutation)]
         registry.live.fetch_add(1, Ordering::SeqCst);
         registry.slots[slot].store(version, Ordering::SeqCst);
@@ -450,9 +459,11 @@ impl fmt::Debug for SnapshotPin {
 impl Drop for SnapshotPin {
     fn drop(&mut self) {
         let registry = self.stm.snapshot_registry();
+        // SC: unpin in the registry's total order, then re-collect the
+        // survivors and release everything only we needed; the fence pairs
+        // with the committer's collect-side fence.
         registry.slots[self.slot].store(FREE, Ordering::SeqCst);
         registry.live.fetch_sub(1, Ordering::SeqCst);
-        // Re-collect the survivors and release everything only we needed.
         fence(Ordering::SeqCst);
         let mut pins = Vec::new();
         let pending = registry.collect_into(&mut pins);
@@ -475,6 +486,7 @@ mod tests {
         let registry = SnapshotRegistry::new();
         assert_eq!(registry.live(), 0);
         let slot = registry.acquire_slot();
+        // SC: mirror the pin path's registry ordering in the test driver.
         registry.live.fetch_add(1, Ordering::SeqCst);
         let mut pins = Vec::new();
         assert!(
@@ -482,6 +494,7 @@ mod tests {
             "a claimed-but-unpublished slot must read as pending"
         );
         assert!(pins.is_empty());
+        // SC: publish and unpin with the same orderings the real paths use.
         registry.slots[slot].store(41, Ordering::SeqCst);
         pins.clear();
         assert!(!registry.collect_into(&mut pins));

@@ -14,6 +14,8 @@
 //! epoch state, breaking replay-token determinism.
 
 use std::fmt;
+// FACADE-EXEMPT: reporting-only counters; see the module docs above for why
+// instrumenting them would break replay-token determinism.
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::arena;

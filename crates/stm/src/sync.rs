@@ -46,3 +46,35 @@ pub use std::sync::atomic::AtomicPtr;
 // Not part of any modeled protocol (harness/test bookkeeping only); always
 // the std type, like `AtomicPtr`.
 pub use std::sync::atomic::AtomicIsize;
+
+/// Detector shadow for a copy-on-write payload slot (a `TCell`'s boxed
+/// value).  In model builds this is `skiphash_model::cell::ShadowSlot` and
+/// feeds the FastTrack race detector: `on_write` marks the install of a
+/// fresh payload, `on_read_confirmed` marks a read that *passed* the orec
+/// recheck.  Neither is a schedule point, so replay tokens are unaffected.
+#[cfg(feature = "model")]
+pub use skiphash_model::cell::ShadowSlot;
+
+/// No-op stand-in for the model build's payload-slot shadow: normal builds
+/// carry the field and the hook calls at zero size and zero cost, so the
+/// `TCell` layout and call sites do not fork on the feature flag.
+#[cfg(not(feature = "model"))]
+#[derive(Debug)]
+pub struct ShadowSlot {}
+
+#[cfg(not(feature = "model"))]
+impl ShadowSlot {
+    /// Create a slot shadow; the name only matters in model builds.
+    #[inline]
+    pub const fn new(_name: &'static str) -> Self {
+        ShadowSlot {}
+    }
+
+    /// Record a fresh payload install (no-op outside model builds).
+    #[inline]
+    pub fn on_write(&self) {}
+
+    /// Record a validated payload read (no-op outside model builds).
+    #[inline]
+    pub fn on_read_confirmed(&self) {}
+}

@@ -1,6 +1,6 @@
 //! Transactional memory cells.
 
-use crate::sync::Ordering;
+use crate::sync::{Ordering, ShadowSlot};
 use std::fmt;
 
 use crossbeam_epoch::{self as epoch, Atomic, Shared};
@@ -47,6 +47,11 @@ use crate::txn::Txn;
 pub struct TCell<T> {
     pub(crate) orec: Orec,
     pub(crate) data: Atomic<T>,
+    /// Race-detector shadow for the payload slot; zero-sized no-op outside
+    /// model builds.  Writers mark installs, readers mark *validated* reads
+    /// (after the orec recheck), and the model checker verifies each kept
+    /// read is happens-after the install that produced its value.
+    pub(crate) shadow: ShadowSlot,
 }
 
 impl<T> TCell<T> {
@@ -84,6 +89,7 @@ impl<T> TCell<T> {
         Self {
             orec: Orec::new(version),
             data,
+            shadow: ShadowSlot::new("tcell.payload"),
         }
     }
 }
@@ -173,6 +179,7 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
                     let old =
                         self.data
                             .swap(Shared::from(ptr as *const T), Ordering::AcqRel, &guard);
+                    self.shadow.on_write();
                     // SAFETY: `old` is unreachable once swapped out; the glue
                     // matches this cell's allocation path.
                     unsafe { guard.defer_with(old.as_raw() as *mut (), slab::drop_glue::<T>()) };
@@ -221,6 +228,7 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
                     // below discards the result.
                     let result = f(unsafe { shared.deref() });
                     if self.orec.raw() == o1 {
+                        self.shadow.on_read_confirmed();
                         return result;
                     }
                 }
@@ -269,6 +277,7 @@ impl<T: Clone + Send + Sync + 'static> TCell<T> {
                 // is pinned.
                 let value = unsafe { shared.deref() }.clone();
                 if self.orec.raw() == o1 {
+                    self.shadow.on_read_confirmed();
                     return value;
                 }
             }
@@ -389,6 +398,7 @@ unsafe fn abort_write<T: Send + Sync + 'static>(
         let cell = &*(cell as *const TCell<T>);
         let old = Shared::from(old_data as *const T);
         let current = cell.data.swap(old, Ordering::AcqRel, guard);
+        cell.shadow.on_write();
         if !current.is_null() {
             retired.defer_with(current.as_raw() as *mut (), slab::drop_glue::<T>());
         }

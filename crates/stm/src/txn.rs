@@ -424,6 +424,9 @@ impl<'stm> Txn<'stm> {
         if cell.orec.raw() != o1 {
             return Err(TxAbort::ReadConflict);
         }
+        // The recheck passed, so `result` is kept: tell the model build's
+        // race detector this read must be happens-after the payload install.
+        cell.shadow.on_read_confirmed();
         // Dedup on insertion: a re-read of a cell this attempt already
         // validated cannot have a different orec word (any post-begin commit
         // carries a version above rv and would have aborted above), so the
@@ -460,6 +463,7 @@ impl<'stm> Txn<'stm> {
                     self.guard(),
                 )
                 .as_raw();
+            cell.shadow.on_write();
             // SAFETY: `old` is no longer reachable once swapped out; the bag
             // is flushed before our guard unpins.
             unsafe {
@@ -494,6 +498,7 @@ impl<'stm> Txn<'stm> {
                 self.guard(),
             )
             .as_raw();
+        cell.shadow.on_write();
         self.scratch
             .writes
             .push(WriteEntry::new(cell as *const TCell<T>, old_version, old));
@@ -533,11 +538,12 @@ impl<'stm> Txn<'stm> {
             pins,
             ..
         } = &mut *self.scratch;
-        // Snapshot custody: collect the pinned versions *after* the tick (a
-        // pin missed here necessarily sampled the clock after our stamp, so
-        // it sits outside every window this commit displaces — see the
-        // `snapshot` module docs).  The `live` gate keeps the snapshot-free
-        // commit path at one load.
+        // SC: snapshot custody — collect the pinned versions *after* the
+        // tick (a pin missed here necessarily sampled the clock after our
+        // stamp, so it sits outside every window this commit displaces — see
+        // the `snapshot` module docs); the fence pairs with the pinner's
+        // claim-side fence.  The `live` gate keeps the snapshot-free commit
+        // path at one load.
         pins.clear();
         let ctx = if self.stm.snapshots.live() > 0 {
             fence(Ordering::SeqCst);

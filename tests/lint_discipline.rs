@@ -1,0 +1,314 @@
+//! Concurrency-discipline lint: a source-scan tripwire over the workspace's
+//! own code (everything outside `vendor/`), extending the
+//! `tests/unsafe_audit.rs` pattern from unsafe blocks to atomics discipline.
+//!
+//! Three rules:
+//!
+//! 1. **No facade bypasses** — `std::sync::atomic` / `core::sync::atomic`
+//!    must not be named in code outside the `stm::sync` facade
+//!    (`crates/stm/src/sync.rs`) and the model checker itself
+//!    (`crates/model/src/`), which by construction must touch std.  A
+//!    bypass elsewhere is invisible to the model checker: its loads and
+//!    stores are not schedule points and the race detector cannot see its
+//!    happens-before edges.  Deliberate exceptions (the allocator internals
+//!    the facade docs name, reporting-only counters) carry an adjacent
+//!    `// FACADE-EXEMPT:` comment stating why.
+//! 2. **`Ordering::SeqCst` needs a justification** — every SC use outside
+//!    `crates/model/src/` (where orderings are the *subject matter*, not a
+//!    choice) carries an adjacent `// SC:` comment naming the total-order
+//!    property it buys.  SC is the strongest and most expensive ordering;
+//!    an unjustified one is either a missing proof or a hidden perf bug.
+//! 3. **`unsafe impl` / `unsafe trait` needs a `SAFETY:` comment** — the
+//!    unsafe-audit rule, extended to the root-package tests and examples
+//!    that `tests/unsafe_audit.rs` does not walk.
+//!
+//! Like the unsafe audit, this is a lexical scan, not a parser: string
+//! literal contents are blanked, pure comment lines are skipped, and a
+//! justification counts when its marker appears in a comment on the same
+//! line or within [`WINDOW`] lines above.  The fixtures at the bottom prove
+//! both polarities: the seeded-bug strings must be flagged, their justified
+//! twins must pass.  (This file is excluded from the walk — its fixtures
+//! embed the violations on purpose.)
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How far above a flagged line a justification comment may sit.
+const WINDOW: usize = 12;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the umbrella crate *is* the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The code part of a line: trailing `//` comment removed and every string
+/// literal's contents blanked, so a trigger named inside a message or a
+/// comment does not count as a use.  (Lexical: multi-line strings are not
+/// tracked, which is why this file excludes itself from the walk.)
+fn code_part(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                out.push('"');
+            }
+            '\\' if in_string => {
+                // Skip the escaped character (keeps `\"` from closing).
+                let _ = chars.next();
+            }
+            '/' if !in_string && chars.peek() == Some(&'/') => break,
+            _ if in_string => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+/// True when `marker` appears inside a comment on this line.
+fn has_marker(line: &str, marker: &str) -> bool {
+    line.find("//").is_some_and(|i| line[i..].contains(marker))
+}
+
+/// Marker on the same line, or within `WINDOW` lines above.  Unlike the
+/// unsafe audit, intervening code lines do not break adjacency: SC sites
+/// cluster (multi-line method chains, paired store/fence sequences) and one
+/// comment legitimately covers the cluster below it.
+fn justified(lines: &[&str], idx: usize, marker: &str) -> bool {
+    let lo = idx.saturating_sub(WINDOW);
+    lines[lo..=idx].iter().any(|l| has_marker(l, marker))
+}
+
+struct Rule {
+    name: &'static str,
+    triggers: &'static [&'static str],
+    marker: &'static str,
+    /// Paths (workspace-relative, `/`-separated) this rule does not apply to.
+    exempt: fn(&str) -> bool,
+    hint: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "facade-bypass",
+        triggers: &["std::sync::atomic", "core::sync::atomic"],
+        marker: "FACADE-EXEMPT:",
+        exempt: |rel| rel == "crates/stm/src/sync.rs" || rel.starts_with("crates/model/src/"),
+        hint: "import atomics from the stm::sync facade so the model checker \
+               can instrument them, or justify with an adjacent \
+               `// FACADE-EXEMPT: <why>` comment",
+    },
+    Rule {
+        name: "unjustified-seqcst",
+        triggers: &["Ordering::SeqCst"],
+        marker: "SC:",
+        exempt: |rel| rel.starts_with("crates/model/src/"),
+        hint: "say what the total order buys with an adjacent `// SC: <why>` \
+               comment, or weaken the ordering",
+    },
+    Rule {
+        name: "unsafe-impl",
+        triggers: &["unsafe impl", "unsafe trait"],
+        marker: "SAFETY:",
+        exempt: |_| false,
+        hint: "justify the impl with an adjacent `// SAFETY: <why>` comment",
+    },
+];
+
+#[derive(Debug)]
+struct Violation {
+    rel: String,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+/// Scan one file's text; `rel` is its workspace-relative path.
+fn scan(rel: &str, text: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut violations = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if is_comment_or_attr(raw) {
+            continue;
+        }
+        let code = code_part(raw);
+        for rule in RULES {
+            if (rule.exempt)(rel) {
+                continue;
+            }
+            if rule.triggers.iter().any(|t| code.contains(t))
+                && !justified(&lines, idx, rule.marker)
+            {
+                violations.push(Violation {
+                    rel: rel.to_string(),
+                    line: idx + 1,
+                    rule: rule.name,
+                    text: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[test]
+fn workspace_obeys_concurrency_discipline() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples"] {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "lint found no sources — is the test running from the workspace root?"
+    );
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel == "tests/lint_discipline.rs" {
+            continue; // this file's fixtures embed violations on purpose
+        }
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("unreadable source file {rel}: {e}"));
+        violations.extend(scan(&rel, &text));
+    }
+
+    if !violations.is_empty() {
+        let mut msg = format!(
+            "{} concurrency-discipline violation(s):\n",
+            violations.len()
+        );
+        for v in &violations {
+            let hint = RULES
+                .iter()
+                .find(|r| r.name == v.rule)
+                .map_or("", |r| r.hint);
+            let _ = writeln!(
+                msg,
+                "  {}:{} [{}] {}\n    -> {}",
+                v.rel, v.line, v.rule, v.text, hint
+            );
+        }
+        panic!("{msg}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fixtures: the lint must catch each violation and accept its
+// justified twin, so a silent regression in the scanner itself fails here.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_facade_bypass_is_caught() {
+    let bad = r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn sneak(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed)
+}
+"#;
+    let hits = scan("crates/skiphash/src/fixture.rs", bad);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "facade-bypass");
+    assert_eq!(hits[0].line, 2);
+
+    let waived = r#"
+// FACADE-EXEMPT: fixture counter that synchronizes nothing.
+use std::sync::atomic::{AtomicUsize, Ordering};
+"#;
+    assert!(scan("crates/skiphash/src/fixture.rs", waived).is_empty());
+
+    // The facade itself and the model checker may name std atomics freely.
+    assert!(scan("crates/stm/src/sync.rs", bad).is_empty());
+    assert!(scan("crates/model/src/atomic.rs", bad).is_empty());
+}
+
+#[test]
+fn seeded_unjustified_seqcst_is_caught() {
+    let bad = r#"
+fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+"#;
+    let hits = scan("crates/stm/src/fixture.rs", bad);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "unjustified-seqcst");
+
+    let justified = r#"
+fn publish(flag: &AtomicBool) {
+    // SC: the flag joins the registry's total order.
+    flag.store(true, Ordering::SeqCst);
+}
+"#;
+    assert!(scan("crates/stm/src/fixture.rs", justified).is_empty());
+
+    // Naming SeqCst in a comment or a message string is not a use.
+    let mentions = r#"
+fn explain() {
+    println!("never pass Ordering::SeqCst here");
+}
+// Ordering::SeqCst would be wrong in this module.
+"#;
+    assert!(scan("crates/stm/src/fixture.rs", mentions).is_empty());
+}
+
+#[test]
+fn seeded_unsafe_impl_without_safety_is_caught() {
+    let bad = r#"
+struct Wrapper(*mut u8);
+unsafe impl Send for Wrapper {}
+"#;
+    let hits = scan("tests/fixture.rs", bad);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "unsafe-impl");
+
+    let justified = r#"
+struct Wrapper(*mut u8);
+// SAFETY: the pointer is only dereferenced behind the owner's lock.
+unsafe impl Send for Wrapper {}
+"#;
+    assert!(scan("tests/fixture.rs", justified).is_empty());
+}
+
+#[test]
+fn justification_window_is_bounded() {
+    // A marker more than WINDOW lines above must not count.
+    let mut far = String::from("// SC: too far away to justify anything.\n");
+    for _ in 0..WINDOW {
+        far.push_str("fn filler() {}\n");
+    }
+    far.push_str("fn publish(flag: &AtomicBool) { flag.store(true, Ordering::SeqCst); }\n");
+    let hits = scan("crates/stm/src/fixture.rs", &far);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}

@@ -34,6 +34,8 @@ impl Tracked {
 
 impl Drop for Tracked {
     fn drop(&mut self) {
+        // SC: drop bookkeeping — strongest ordering so the double-free flag
+        // and the counter agree across whichever thread runs the destructor.
         assert!(
             !self.dropped.swap(true, Ordering::SeqCst),
             "double free: payload dropped twice"
@@ -47,6 +49,7 @@ impl Drop for Tracked {
 /// pins transiently, so collection timing is not deterministic.
 fn drive_reclamation(drops: &AtomicUsize, expected: usize) {
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the drop counter in the same total order the destructors use.
     while drops.load(Ordering::SeqCst) < expected && Instant::now() < deadline {
         drop(epoch::pin());
     }
@@ -91,6 +94,7 @@ fn concurrent_defer_destroy_frees_everything_exactly_once() {
     // Every swap retired one payload; the CELLS current payloads are live.
     let retired = THREADS * OPS_PER_THREAD;
     drive_reclamation(&drops, retired);
+    // SC: drop-balance assertions read the counters post-join.
     assert_eq!(
         drops.load(Ordering::SeqCst),
         retired,
@@ -104,6 +108,7 @@ fn concurrent_defer_destroy_frees_everything_exactly_once() {
             drop(cell.load(Ordering::Relaxed, guard).into_owned());
         }
     }
+    // SC: final drop-balance read.
     assert_eq!(drops.load(Ordering::SeqCst), retired + CELLS);
 }
 
@@ -117,6 +122,8 @@ struct Balanced {
 
 impl Balanced {
     fn new(live: &Arc<AtomicIsize>, value: u64) -> Self {
+        // SC: live-count bookkeeping — strongest ordering so construction,
+        // clone, and drop tallies agree across threads.
         live.fetch_add(1, Ordering::SeqCst);
         Self {
             live: Arc::clone(live),
@@ -127,6 +134,7 @@ impl Balanced {
 
 impl Clone for Balanced {
     fn clone(&self) -> Self {
+        // SC: live-count bookkeeping (see `Balanced::new`).
         self.live.fetch_add(1, Ordering::SeqCst);
         Self {
             live: Arc::clone(&self.live),
@@ -137,6 +145,7 @@ impl Clone for Balanced {
 
 impl Drop for Balanced {
     fn drop(&mut self) {
+        // SC: live-count bookkeeping (see `Balanced::new`).
         self.live.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -196,6 +205,7 @@ fn stm_commit_batches_balance_allocations_and_drops() {
     // until every retired clone has been reclaimed.
     drop(Arc::try_unwrap(cells).unwrap_or_else(|_| panic!("all worker handles joined")));
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the live count in the same total order the tallies use.
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
     }
@@ -219,6 +229,7 @@ fn txn_alloc_objects_survive_abort_and_rollback() {
     }
     impl Drop for Widget {
         fn drop(&mut self) {
+            // SC: live-count bookkeeping (see `Balanced::new`).
             self.live.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -228,6 +239,7 @@ fn txn_alloc_objects_survive_abort_and_rollback() {
 
     for round in 0..50u64 {
         let outcome: Result<_, _> = stm.try_once(|tx| -> TxResult<()> {
+            // SC: live-count bookkeeping (see `Balanced::new`).
             live.fetch_add(1, Ordering::SeqCst);
             let widget = tx.alloc(Widget {
                 live: Arc::clone(&live),
@@ -246,6 +258,7 @@ fn txn_alloc_objects_survive_abort_and_rollback() {
 
     // Aborted attempts must not leak the registered objects.
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the live count in the same total order the tallies use.
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
     }
@@ -318,6 +331,7 @@ fn slab_recycling_balances_drops_under_cross_thread_churn() {
                         // Reader cloning values out of recycled blocks.
                         _ => {
                             let value = store_cells[(t + i) % CELLS].load_atomic();
+                            // SC: live-count bookkeeping read.
                             assert!(value.live.load(Ordering::SeqCst) > 0);
                         }
                     }
@@ -338,6 +352,7 @@ fn slab_recycling_balances_drops_under_cross_thread_churn() {
     drop(Arc::try_unwrap(cells).unwrap_or_else(|_| panic!("all worker handles joined")));
     drop(Arc::try_unwrap(store_cells).unwrap_or_else(|_| panic!("all worker handles joined")));
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the live count in the same total order the tallies use.
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
     }
@@ -522,6 +537,7 @@ fn snapshot_custody_plateaus_and_drains_after_last_drop() {
     // alive may leak, and nothing may be freed twice.
     drop(map);
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the live count in the same total order the tallies use.
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
     }
@@ -591,6 +607,7 @@ fn node_arena_balances_drops_under_cross_thread_churn() {
     // their cells, so a leaked (or double-freed) block breaks the balance.
     drop(map);
     let deadline = Instant::now() + Duration::from_secs(60);
+    // SC: poll the live count in the same total order the tallies use.
     while live.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
         drop(epoch::pin());
     }
