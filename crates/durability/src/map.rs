@@ -1,0 +1,648 @@
+//! [`DurableMap`]: a skip hash with a write-ahead log and checkpoints.
+//!
+//! The map layer ties the pieces together.  Opening a map recovers
+//! whatever survived in its directory (checkpoint + WAL suffix), re-seeds
+//! the STM clock past the highest recovered stamp, and starts a fresh log
+//! segment.  After that, every *effectful* operation that goes through
+//! [`DurableMap::transact`] (or the sealed conveniences built on it) is
+//! recorded: the transaction body logs into a leased [`RecordBuf`] as it
+//! runs, and the STM's post-commit hook hands the buffer — stamped with
+//! the real commit version — to the group-commit writer.  Aborted attempts
+//! drop their buffer; nothing is logged for them.
+//!
+//! Reads are never logged, and read-only transactions cost the durability
+//! layer nothing.
+//!
+//! # The acknowledged-durable contract
+//!
+//! A commit is durable once [`DurableMap::sync`] returns `Ok` after it
+//! (the `*_durable` conveniences bundle the barrier).  Commits not yet
+//! synced may or may not survive a crash — group commit means they
+//! usually do within a flush interval — but recovery always reconstructs
+//! a *consistent commit-order prefix*: if commit `B` survived, so did
+//! every commit with a smaller stamp that was in the log before the tear.
+//!
+//! # Caveats
+//!
+//! * The map must use a logical clock ([`skiphash_stm::ClockKind::Counter`]
+//!   or [`skiphash_stm::ClockKind::Sampled`]); [`DurableMap::open`] fails on
+//!   the hardware
+//!   clock, which cannot be re-seeded after recovery.
+//! * Writes that bypass the durable layer (via [`DurableMap::unlogged`])
+//!   are invisible to the log and will not survive a crash.
+
+use std::cell::Cell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use skiphash_stm::sync::{AtomicU64, Ordering};
+
+use skiphash::{Config, SkipHash, Snapshot, TxView};
+use skiphash::{MapKey, MapValue};
+use skiphash_stm::{Stm, TxResult};
+
+use crate::checkpoint::write_checkpoint;
+use crate::codec::Codec;
+use crate::recovery::recover;
+use crate::storage::{StdStorage, Storage};
+use crate::wal::{RecordBuf, Wal, WalConfig};
+
+/// What [`DurableMap::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Version of the checkpoint that seeded the state (0 = none).
+    pub checkpoint_version: u64,
+    /// WAL records replayed on top of it.
+    pub records_replayed: u64,
+    /// Highest commit stamp recovered; the clock resumed past this.
+    pub max_stamp: u64,
+    /// Whether a torn/corrupt tail had to be truncated.
+    pub truncated_tail: bool,
+}
+
+/// Configuration for opening a [`DurableMap`].
+pub struct DurableMapBuilder {
+    dir: PathBuf,
+    storage: Arc<dyn Storage>,
+    wal: WalConfig,
+    map_config: Config,
+    checkpoint_every_ops: Option<u64>,
+}
+
+impl DurableMapBuilder {
+    /// Start from defaults: real file system, default WAL tuning, default
+    /// map configuration, manual checkpoints only.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            storage: Arc::new(StdStorage),
+            wal: WalConfig::default(),
+            map_config: Config::default(),
+            checkpoint_every_ops: None,
+        }
+    }
+
+    /// Use a custom [`Storage`] (in-memory, fault-injecting, ...).
+    pub fn storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Tune the group-commit writer.
+    pub fn wal_config(mut self, config: WalConfig) -> Self {
+        self.wal = config;
+        self
+    }
+
+    /// Configure the underlying map (clock kind, index geometry, ...).
+    pub fn map_config(mut self, config: Config) -> Self {
+        self.map_config = config;
+        self
+    }
+
+    /// Take a checkpoint automatically after roughly this many logged
+    /// operations (best-effort: a failing automatic checkpoint is retried
+    /// at the next threshold and reported through
+    /// [`DurableMap::take_checkpoint_error`]).
+    pub fn checkpoint_every_ops(mut self, ops: u64) -> Self {
+        self.checkpoint_every_ops = Some(ops.max(1));
+        self
+    }
+
+    /// Recover (or create) the map.
+    pub fn open<K, V>(self) -> io::Result<DurableMap<K, V>>
+    where
+        K: MapKey + Codec,
+        V: MapValue + Codec,
+    {
+        DurableMap::open_with(self)
+    }
+}
+
+/// A crash-safe ordered map: a [`SkipHash`] plus WAL and checkpoints.
+pub struct DurableMap<K: MapKey + Codec, V: MapValue + Codec> {
+    map: SkipHash<K, V>,
+    wal: Wal,
+    storage: Arc<dyn Storage>,
+    dir: PathBuf,
+    recovery: RecoveryInfo,
+    /// Serializes checkpoints (snapshot → write → truncate).
+    checkpoint_lock: Mutex<()>,
+    ops_since_checkpoint: AtomicU64,
+    checkpoint_every_ops: Option<u64>,
+    checkpoint_error: Mutex<Option<io::Error>>,
+}
+
+impl<K: MapKey + Codec, V: MapValue + Codec> std::fmt::Debug for DurableMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableMap")
+            .field("dir", &self.dir)
+            .field("len", &self.map.len())
+            .field("recovery", &self.recovery)
+            .finish()
+    }
+}
+
+impl<K: MapKey + Codec, V: MapValue + Codec> DurableMap<K, V> {
+    /// Open (recovering if necessary) a durable map in `dir` with default
+    /// settings.  See [`DurableMapBuilder`] for knobs.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        DurableMapBuilder::new(dir).open()
+    }
+
+    /// Builder-style open.
+    pub fn builder(dir: impl Into<PathBuf>) -> DurableMapBuilder {
+        DurableMapBuilder::new(dir)
+    }
+
+    fn open_with(builder: DurableMapBuilder) -> io::Result<Self> {
+        let DurableMapBuilder {
+            dir,
+            storage,
+            wal,
+            map_config,
+            checkpoint_every_ops,
+        } = builder;
+        storage.create_dir_all(&dir)?;
+        let recovered = recover::<K, V>(&*storage, &dir)?;
+        let map = SkipHash::with_config(map_config);
+        for (key, value) in &recovered.entries {
+            map.insert(key.clone(), value.clone());
+        }
+        // New commits must mint stamps strictly above everything the log
+        // already contains, or the next recovery would treat them as
+        // already-covered duplicates.
+        if !map.stm().advance_clock_to(recovered.max_stamp) {
+            return Err(io::Error::other(
+                "durable maps need a logical clock (Counter or Sampled): \
+                 the hardware clock cannot be re-seeded after recovery",
+            ));
+        }
+        let info = RecoveryInfo {
+            checkpoint_version: recovered.checkpoint_version,
+            records_replayed: recovered.records_replayed,
+            max_stamp: recovered.max_stamp,
+            truncated_tail: recovered.truncated_tail,
+        };
+        let wal = Wal::open(
+            Arc::clone(&storage),
+            &dir,
+            wal,
+            recovered.next_segment_seq,
+            recovered.surviving_segments,
+        )?;
+        Ok(Self {
+            map,
+            wal,
+            storage,
+            dir,
+            recovery: info,
+            checkpoint_lock: Mutex::new(()),
+            ops_since_checkpoint: AtomicU64::new(0),
+            checkpoint_every_ops,
+            checkpoint_error: Mutex::new(None),
+        })
+    }
+
+    /// What opening this map recovered.
+    pub fn recovery_info(&self) -> RecoveryInfo {
+        self.recovery
+    }
+
+    /// Run a transaction whose effectful operations are logged.
+    ///
+    /// The body sees a [`DurableView`] mirroring the composable
+    /// [`TxView`] API; every effectful operation it performs is recorded
+    /// and, if the attempt commits, appended to the WAL under the
+    /// commit's real stamp.  Retried attempts re-lease a fresh record
+    /// buffer, so aborted work never reaches the log.
+    pub fn transact<T, F>(&self, mut body: F) -> T
+    where
+        F: FnMut(&mut DurableView<'_, '_, K, V>) -> TxResult<T>,
+    {
+        let committed_ops = Cell::new(0u64);
+        let out = self.map.stm().run(|tx| {
+            let mut buf = self.wal.lease();
+            let out = {
+                let mut view = DurableView {
+                    inner: self.map.view(tx),
+                    buf: &mut buf,
+                };
+                body(&mut view)?
+            };
+            committed_ops.set(u64::from(buf.op_count()));
+            if !buf.is_empty() {
+                tx.on_commit_with_stamp(move |stamp| buf.submit(stamp));
+            }
+            Ok(out)
+        });
+        // `run` returned, so the attempt that set `committed_ops` is the
+        // one that committed.
+        if committed_ops.get() > 0 {
+            self.note_logged_ops(committed_ops.get());
+        }
+        out
+    }
+
+    fn note_logged_ops(&self, n: u64) {
+        let Some(every) = self.checkpoint_every_ops else {
+            self.ops_since_checkpoint.fetch_add(n, Ordering::Relaxed);
+            return;
+        };
+        let before = self.ops_since_checkpoint.fetch_add(n, Ordering::Relaxed);
+        if before < every && before + n >= every {
+            self.ops_since_checkpoint.store(0, Ordering::Relaxed);
+            if let Err(e) = self.checkpoint() {
+                let mut slot = self
+                    .checkpoint_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(e);
+            }
+        }
+    }
+
+    /// The error from the most recent failed *automatic* checkpoint, if
+    /// any (explicit [`DurableMap::checkpoint`] calls report directly).
+    pub fn take_checkpoint_error(&self) -> Option<io::Error> {
+        self.checkpoint_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    /// Insert `key` → `value` if absent; logged when effective.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.transact(|view| view.insert(key.clone(), value.clone()))
+    }
+
+    /// Insert or replace; returns the previous value.  Always logged.
+    pub fn upsert(&self, key: K, value: V) -> Option<V> {
+        self.transact(|view| view.upsert(key.clone(), value.clone()))
+    }
+
+    /// Remove `key`; logged when it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.transact(|view| view.remove(key))
+    }
+
+    /// Remove and return `key`'s value; logged when it was present.
+    pub fn take(&self, key: &K) -> Option<V> {
+        self.transact(|view| view.take(key))
+    }
+
+    /// Point lookup (reads are never logged).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.map.get(key)
+    }
+
+    /// Membership test.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All entries in key order.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        self.map.to_vec()
+    }
+
+    /// A consistent point-in-time snapshot (see `SkipHash::snapshot`).
+    pub fn snapshot(&self) -> Snapshot<K, V> {
+        self.map.snapshot()
+    }
+
+    /// Durability barrier: block until every commit submitted before this
+    /// call is fsynced, or report the log's sticky failure.
+    pub fn sync(&self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// [`DurableMap::upsert`], then wait for it to reach disk.
+    pub fn upsert_durable(&self, key: K, value: V) -> io::Result<Option<V>> {
+        let prev = self.upsert(key, value);
+        self.sync()?;
+        Ok(prev)
+    }
+
+    /// [`DurableMap::remove`], then wait for it to reach disk.
+    pub fn remove_durable(&self, key: &K) -> io::Result<bool> {
+        let removed = self.remove(key);
+        self.sync()?;
+        Ok(removed)
+    }
+
+    /// Write a checkpoint of the current state and truncate WAL segments
+    /// it covers.  Returns the checkpointed version.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        let _guard = self
+            .checkpoint_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let snap = self.map.snapshot();
+        let at = snap.version();
+        let entries = snap.to_vec();
+        write_checkpoint(&*self.storage, &self.dir, &entries, at)?;
+        // Seal the active segment so its records become truncatable by the
+        // *next* checkpoint, then drop everything this one already covers.
+        self.wal.request_rotation();
+        self.wal.truncate_covered(at)?;
+        Ok(at)
+    }
+
+    /// The underlying STM runtime (stats, clock).
+    pub fn stm(&self) -> &Stm {
+        self.map.stm()
+    }
+
+    /// The raw in-memory map.
+    ///
+    /// Writes made through this reference bypass the WAL and will NOT
+    /// survive a crash; use it for reads, stats, and invariant checks.
+    pub fn unlogged(&self) -> &SkipHash<K, V> {
+        &self.map
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// The durable flavor of [`TxView`]: same operations, with the effectful
+/// ones recorded for the WAL.
+pub struct DurableView<'v, 't, K: MapKey + Codec, V: MapValue + Codec> {
+    inner: TxView<'v, 't, K, V>,
+    buf: &'v mut RecordBuf,
+}
+
+impl<K: MapKey + Codec, V: MapValue + Codec> DurableView<'_, '_, K, V> {
+    /// Transactional lookup.
+    pub fn get(&mut self, key: &K) -> TxResult<Option<V>> {
+        self.inner.get(key)
+    }
+
+    /// Transactional membership test.
+    pub fn contains_key(&mut self, key: &K) -> TxResult<bool> {
+        self.inner.contains_key(key)
+    }
+
+    /// Transactional entry count.
+    pub fn len(&mut self) -> TxResult<usize> {
+        self.inner.len()
+    }
+
+    /// True when the map is transactionally empty.
+    pub fn is_empty(&mut self) -> TxResult<bool> {
+        Ok(self.inner.len()? == 0)
+    }
+
+    /// Insert if absent.  Logged only when it actually inserts: the
+    /// operation is logged optimistically and rewound on the no-op path,
+    /// avoiding a key/value clone.
+    pub fn insert(&mut self, key: K, value: V) -> TxResult<bool> {
+        let mark = self.buf.mark();
+        self.buf.log_put(&key, &value);
+        let inserted = self.inner.insert(key, value)?;
+        if !inserted {
+            self.buf.rewind(mark);
+        }
+        Ok(inserted)
+    }
+
+    /// Insert or replace.  Always logged.
+    pub fn upsert(&mut self, key: K, value: V) -> TxResult<Option<V>> {
+        self.buf.log_put(&key, &value);
+        self.inner.upsert(key, value)
+    }
+
+    /// Remove.  Logged only when the key was present.
+    pub fn remove(&mut self, key: &K) -> TxResult<bool> {
+        let removed = self.inner.remove(key)?;
+        if removed {
+            self.buf.log_remove(key);
+        }
+        Ok(removed)
+    }
+
+    /// Remove and return.  Logged only when the key was present.
+    pub fn take(&mut self, key: &K) -> TxResult<Option<V>> {
+        let taken = self.inner.take(key)?;
+        if taken.is_some() {
+            self.buf.log_remove(key);
+        }
+        Ok(taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, FaultStorage, MemStorage};
+    use std::time::Duration;
+
+    fn fast_wal() -> WalConfig {
+        WalConfig {
+            flush_interval: Duration::from_micros(100),
+            ..WalConfig::default()
+        }
+    }
+
+    fn open_mem(storage: &MemStorage) -> DurableMap<u64, u64> {
+        DurableMapBuilder::new("/db")
+            .storage(Arc::new(storage.clone()))
+            .wal_config(fast_wal())
+            .open()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_sync_reopen_recovers_everything() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            assert_eq!(map.recovery_info(), RecoveryInfo::default());
+            assert!(map.insert(1, 10));
+            assert_eq!(map.upsert(1, 11), Some(10));
+            assert!(map.insert(2, 20));
+            assert!(map.remove(&2));
+            map.sync().unwrap();
+        }
+        let map = open_mem(&storage);
+        assert_eq!(map.to_vec(), vec![(1, 11)]);
+        let info = map.recovery_info();
+        assert!(
+            info.records_replayed >= 3,
+            "replayed {}",
+            info.records_replayed
+        );
+        assert!(!info.truncated_tail);
+        // New commits mint stamps above everything recovered.
+        assert!(map.stm().clock_now() >= info.max_stamp);
+    }
+
+    #[test]
+    fn aborted_transactions_log_nothing() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            map.insert(1, 10);
+            // A durable transact that aborts explicitly on its first two
+            // attempts: only the committing attempt's effects may log.
+            let mut attempts = 0;
+            map.transact(|view| {
+                attempts += 1;
+                view.upsert(9, 99)?;
+                view.remove(&9)?;
+                view.upsert(5, attempts)?;
+                if attempts < 3 {
+                    return Err(skiphash_stm::TxAbort::Explicit);
+                }
+                Ok(())
+            });
+            map.sync().unwrap();
+        }
+        let map = open_mem(&storage);
+        assert_eq!(
+            map.to_vec(),
+            vec![(1, 10), (5, 3)],
+            "only committed effects recover; retried attempts log once"
+        );
+    }
+
+    #[test]
+    fn insert_noop_and_absent_remove_are_not_logged() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            assert!(map.insert(1, 10));
+            assert!(!map.insert(1, 999), "second insert is a no-op");
+            assert!(!map.remove(&42), "removing an absent key is a no-op");
+            map.sync().unwrap();
+        }
+        let map = open_mem(&storage);
+        assert_eq!(map.to_vec(), vec![(1, 10)]);
+        // Exactly one record (the effective insert) was ever appended.
+        assert_eq!(map.recovery_info().records_replayed, 1);
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_and_truncates() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            for i in 0..50u64 {
+                map.upsert(i, i * 10);
+            }
+            map.sync().unwrap();
+            let at = map.checkpoint().unwrap();
+            assert!(at >= 50);
+            for i in 50..60u64 {
+                map.upsert(i, i * 10);
+            }
+            map.sync().unwrap();
+        }
+        let map = open_mem(&storage);
+        let info = map.recovery_info();
+        assert!(info.checkpoint_version >= 50);
+        assert_eq!(
+            info.records_replayed, 10,
+            "only the post-checkpoint suffix replays"
+        );
+        assert_eq!(map.len(), 60);
+        assert_eq!(map.get(&59), Some(590));
+    }
+
+    #[test]
+    fn composed_transactions_replay_atomically() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            map.insert(1, 100);
+            map.insert(2, 0);
+            // A transfer: both effects in one commit record.
+            map.transact(|view| {
+                let a = view.get(&1)?.unwrap_or(0);
+                view.upsert(1, a - 60)?;
+                let b = view.get(&2)?.unwrap_or(0);
+                view.upsert(2, b + 60)?;
+                Ok(())
+            });
+            map.sync().unwrap();
+        }
+        let map = open_mem(&storage);
+        assert_eq!(map.get(&1), Some(40));
+        assert_eq!(map.get(&2), Some(60));
+    }
+
+    #[test]
+    fn hardware_clock_is_rejected() {
+        use skiphash_stm::ClockKind;
+        let config = Config {
+            clock: ClockKind::Hardware,
+            ..Config::default()
+        };
+        let err = DurableMapBuilder::new("/db")
+            .storage(Arc::new(MemStorage::new()))
+            .map_config(config)
+            .open::<u64, u64>()
+            .unwrap_err();
+        assert!(err.to_string().contains("logical clock"), "{err}");
+    }
+
+    #[test]
+    fn failed_log_surfaces_through_sync_not_panic() {
+        let fault = FaultStorage::new(FaultPlan {
+            fail_sync_at: Some(2), // header sync ok, first batch sync fails
+            ..FaultPlan::default()
+        });
+        let map: DurableMap<u64, u64> = DurableMapBuilder::new("/db")
+            .storage(Arc::new(fault.clone()))
+            .wal_config(fast_wal())
+            .open()
+            .unwrap();
+        map.upsert(1, 1);
+        assert!(map.sync().is_err());
+        // The in-memory map still works; durability is what failed.
+        assert_eq!(map.get(&1), Some(1));
+        map.upsert(2, 2);
+        assert!(map.sync().is_err(), "failure is sticky");
+        // Recovery from the surviving bytes must not panic and must not
+        // contain unacknowledged data beyond what reached the disk.
+        let rec = crate::recovery::recover::<u64, u64>(&fault.mem(), Path::new("/db")).unwrap();
+        assert!(rec.entries.len() <= 2);
+    }
+
+    #[test]
+    fn automatic_checkpoints_fire_on_threshold() {
+        let storage = MemStorage::new();
+        let map: DurableMap<u64, u64> = DurableMapBuilder::new("/db")
+            .storage(Arc::new(storage.clone()))
+            .wal_config(fast_wal())
+            .checkpoint_every_ops(10)
+            .open()
+            .unwrap();
+        for i in 0..25u64 {
+            map.upsert(i, i);
+        }
+        map.sync().unwrap();
+        assert!(map.take_checkpoint_error().is_none());
+        let images: Vec<String> = storage
+            .list(Path::new("/db"))
+            .unwrap()
+            .into_iter()
+            .filter(|n| crate::checkpoint::parse_checkpoint_name(n).is_some())
+            .collect();
+        assert_eq!(images.len(), 1, "old images are pruned: {images:?}");
+    }
+}

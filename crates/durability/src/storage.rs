@@ -1,0 +1,594 @@
+//! The file-system seam, and the fault-injecting implementation that makes
+//! the recovery path testable.
+//!
+//! Everything above this module (WAL writer, checkpointer, recovery) talks
+//! to [`Storage`] / [`StorageFile`] trait objects.  Three implementations:
+//!
+//! * [`StdStorage`] — the real file system, used in production and by the
+//!   SIGKILL crash campaign (`tests/crash_recovery.rs`).
+//! * [`MemStorage`] — a process-local in-memory file system.  Deterministic
+//!   and fast; the gated `durability/` bench group uses it so the bench gate
+//!   measures the log machinery, not the host's fsync latency.
+//! * [`FaultStorage`] — [`MemStorage`] plus a programmable [`FaultPlan`]:
+//!   torn writes at a byte offset, silent short writes, failed fsync,
+//!   bit flips.  After a torn write or failed fsync the storage goes
+//!   *dead* (every later call errors), modeling a crashed device; tests
+//!   then recover from the surviving bytes via [`FaultStorage::mem`].
+//!
+//! `append` is all-or-error: a short write inside [`StdStorage`] is retried
+//! by `write_all`.  Simulated short writes in [`FaultStorage`] deliberately
+//! *lie* (drop bytes, report success) because that is the failure recovery
+//! must survive via CRC framing, not one the writer can handle.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An open file handle: append-only writes plus whole-file reads.
+pub trait StorageFile: Send {
+    /// Append `data` at the end of the file (all-or-error).
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Make previously appended bytes durable.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Read the entire file from the start into `out`.
+    fn read_to_vec(&mut self, out: &mut Vec<u8>) -> io::Result<()>;
+    /// Current length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// True when the file holds no bytes yet.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A minimal file-system facade: everything the durability layer touches.
+pub trait Storage: Send + Sync {
+    /// Create (or truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open an existing file for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// File names (not full paths) directly inside `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Atomically replace `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Create `dir` and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Make directory metadata (created/renamed/removed entries) durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Real file system
+// ---------------------------------------------------------------------------
+
+/// [`Storage`] backed by `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdStorage;
+
+struct StdFile(std::fs::File);
+
+impl StorageFile for StdFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.0.write_all(data)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn read_to_vec(&mut self, out: &mut Vec<u8>) -> io::Result<()> {
+        self.0.seek(io::SeekFrom::Start(0))?;
+        self.0.read_to_end(out)?;
+        Ok(())
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+}
+
+impl Storage for StdStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(StdFile(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .read(true)
+                .open(path)?,
+        )))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(StdFile(
+            std::fs::OpenOptions::new()
+                .append(true)
+                .read(true)
+                .open(path)?,
+        )))
+    }
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(StdFile(std::fs::File::open(path)?)))
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync makes renames/creates durable on POSIX; platforms
+        // where directories cannot be opened read-only just skip it.
+        match std::fs::File::open(dir) {
+            Ok(f) => f.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory file system
+// ---------------------------------------------------------------------------
+
+type FileMap = BTreeMap<PathBuf, Vec<u8>>;
+
+/// An in-memory [`Storage`]: a shared path → bytes map.  Clones share the
+/// same backing map, so a `MemStorage` handle doubles as the "disk" that
+/// survives a simulated crash.
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    files: Arc<Mutex<FileMap>>,
+}
+
+/// Lock a mutex, surviving poison: the durability layer must keep working
+/// (and recovery must run) even if some other thread panicked mid-update.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct read access to a stored file's bytes (test inspection).
+    pub fn bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        lock(&self.files).get(path).cloned()
+    }
+
+    /// Overwrite a stored file's bytes (test mutilation).
+    pub fn put(&self, path: &Path, bytes: Vec<u8>) {
+        lock(&self.files).insert(path.to_path_buf(), bytes);
+    }
+}
+
+struct MemFile {
+    files: Arc<Mutex<FileMap>>,
+    path: PathBuf,
+}
+
+impl StorageFile for MemFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut files = lock(&self.files);
+        match files.get_mut(&self.path) {
+            Some(bytes) => {
+                bytes.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "file removed")),
+        }
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn read_to_vec(&mut self, out: &mut Vec<u8>) -> io::Result<()> {
+        let files = lock(&self.files);
+        match files.get(&self.path) {
+            Some(bytes) => {
+                out.extend_from_slice(bytes);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "file removed")),
+        }
+    }
+    fn len(&self) -> io::Result<u64> {
+        let files = lock(&self.files);
+        files
+            .get(&self.path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed"))
+    }
+}
+
+impl Storage for MemStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        lock(&self.files).insert(path.to_path_buf(), Vec::new());
+        Ok(Box::new(MemFile {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+        }))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        if !lock(&self.files).contains_key(path) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no such file"));
+        }
+        Ok(Box::new(MemFile {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+        }))
+    }
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.open_append(path)
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let files = lock(&self.files);
+        let mut names: Vec<String> = files
+            .keys()
+            .filter_map(|p| {
+                (p.parent() == Some(dir))
+                    .then(|| p.file_name()?.to_str().map(str::to_owned))
+                    .flatten()
+            })
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = lock(&self.files);
+        match files.remove(from) {
+            Some(bytes) => {
+                files.insert(to.to_path_buf(), bytes);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        lock(&self.files)
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What should go wrong, and when.  Offsets count *cumulative appended
+/// bytes* across all files, in append order, so a plan deterministically
+/// places a fault inside a known frame regardless of file layout.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultPlan {
+    /// Cut the append that crosses this cumulative offset (keep the prefix,
+    /// drop the rest) and kill the storage: every later call errors.
+    /// Models power loss mid-write.
+    pub torn_write_at: Option<u64>,
+    /// Silently drop the tail of the append crossing this offset but
+    /// report success — the lying-disk case CRC framing exists for.
+    /// One-shot.
+    pub short_write_at: Option<u64>,
+    /// Fail the N-th `sync` call (1-based) and kill the storage.  Models
+    /// an fsync error, after which no later write can be trusted.
+    pub fail_sync_at: Option<u64>,
+    /// Flip bit `.1` of the byte written at cumulative offset `.0`.
+    /// Models media corruption.
+    pub flip_bit_at: Option<(u64, u8)>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    appended: u64,
+    syncs: u64,
+    short_write_done: bool,
+    dead: bool,
+}
+
+/// [`MemStorage`] plus a [`FaultPlan`].
+///
+/// After the plan kills the storage, tests recover from the surviving bytes
+/// through [`FaultStorage::mem`] — a clean handle to the same backing map,
+/// playing the role of the disk after reboot.
+#[derive(Debug, Clone)]
+pub struct FaultStorage {
+    mem: MemStorage,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultStorage {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            mem: MemStorage::new(),
+            plan,
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// The surviving "disk": a fault-free view of the same backing map.
+    pub fn mem(&self) -> MemStorage {
+        self.mem.clone()
+    }
+
+    /// Whether a fault has killed the storage.
+    pub fn is_dead(&self) -> bool {
+        lock(&self.state).dead
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if lock(&self.state).dead {
+            Err(io::Error::other("storage dead after injected fault"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+struct FaultFile {
+    inner: MemFile,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFile {
+    /// How many of `len` bytes to keep for a fault triggering at `at`,
+    /// given `appended` bytes already written.
+    fn cut_len(appended: u64, len: u64, at: u64) -> Option<u64> {
+        (appended < at && at < appended + len).then_some(at - appended)
+    }
+}
+
+impl StorageFile for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let (kept, corrupt_at, kill) = {
+            let mut st = lock(&self.state);
+            if st.dead {
+                return Err(io::Error::other("storage dead after injected fault"));
+            }
+            let len = data.len() as u64;
+            let mut kept = len;
+            let mut kill = false;
+            if let Some(at) = self.plan.torn_write_at {
+                if let Some(cut) = Self::cut_len(st.appended, len, at) {
+                    kept = cut;
+                    kill = true;
+                }
+            }
+            if !kill && !st.short_write_done {
+                if let Some(at) = self.plan.short_write_at {
+                    if let Some(cut) = Self::cut_len(st.appended, len, at) {
+                        kept = cut;
+                        st.short_write_done = true;
+                    }
+                }
+            }
+            let corrupt_at = self.plan.flip_bit_at.and_then(|(at, bit)| {
+                (st.appended <= at && at < st.appended + kept).then_some((at - st.appended, bit))
+            });
+            st.appended += kept;
+            if kill {
+                st.dead = true;
+            }
+            (kept as usize, corrupt_at, kill)
+        };
+        let mut owned;
+        let payload = match corrupt_at {
+            Some((off, bit)) => {
+                owned = data[..kept].to_vec();
+                owned[off as usize] ^= 1 << (bit & 7);
+                &owned[..]
+            }
+            None => &data[..kept],
+        };
+        self.inner.append(payload)?;
+        if kill {
+            return Err(io::Error::other("torn write: storage dead"));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.dead {
+            return Err(io::Error::other("storage dead after injected fault"));
+        }
+        st.syncs += 1;
+        if self.plan.fail_sync_at == Some(st.syncs) {
+            st.dead = true;
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+
+    fn read_to_vec(&mut self, out: &mut Vec<u8>) -> io::Result<()> {
+        self.inner.read_to_vec(out)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+impl Storage for FaultStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check_alive()?;
+        self.mem.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner: MemFile {
+                files: Arc::clone(&self.mem.files),
+                path: path.to_path_buf(),
+            },
+            plan: self.plan,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check_alive()?;
+        self.mem.open_append(path)?;
+        Ok(Box::new(FaultFile {
+            inner: MemFile {
+                files: Arc::clone(&self.mem.files),
+                path: path.to_path_buf(),
+            },
+            plan: self.plan,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check_alive()?;
+        self.mem.open_read(path)
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        self.mem.list(dir)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.mem.rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.mem.remove(path)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.mem.create_dir_all(dir)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.mem.sync_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips_files() {
+        let storage = MemStorage::new();
+        let dir = Path::new("/d");
+        let mut f = storage.create(&dir.join("a.log")).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.len().unwrap(), 11);
+        let mut out = Vec::new();
+        storage
+            .open_read(&dir.join("a.log"))
+            .unwrap()
+            .read_to_vec(&mut out)
+            .unwrap();
+        assert_eq!(out, b"hello world");
+        assert_eq!(storage.list(dir).unwrap(), vec!["a.log".to_string()]);
+        storage
+            .rename(&dir.join("a.log"), &dir.join("b.log"))
+            .unwrap();
+        assert_eq!(storage.list(dir).unwrap(), vec!["b.log".to_string()]);
+        storage.remove(&dir.join("b.log")).unwrap();
+        assert!(storage.list(dir).unwrap().is_empty());
+        assert!(storage.open_read(&dir.join("b.log")).is_err());
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_kills_storage() {
+        let storage = FaultStorage::new(FaultPlan {
+            torn_write_at: Some(4),
+            ..FaultPlan::default()
+        });
+        let path = Path::new("/d/w.log");
+        let mut f = storage.create(path).unwrap();
+        assert!(f.append(b"abcdefgh").is_err());
+        assert!(storage.is_dead());
+        assert!(f.append(b"x").is_err());
+        assert!(storage.list(Path::new("/d")).is_err());
+        // The surviving disk holds exactly the torn prefix.
+        assert_eq!(storage.mem().bytes(path).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn short_write_lies_once() {
+        let storage = FaultStorage::new(FaultPlan {
+            short_write_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let path = Path::new("/d/w.log");
+        let mut f = storage.create(path).unwrap();
+        f.append(b"abcd").unwrap(); // reported success, silently cut
+        f.append(b"efgh").unwrap(); // one-shot: this lands in full
+        assert!(!storage.is_dead());
+        assert_eq!(storage.mem().bytes(path).unwrap(), b"abefgh");
+    }
+
+    #[test]
+    fn failed_sync_kills_storage() {
+        let storage = FaultStorage::new(FaultPlan {
+            fail_sync_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let mut f = storage.create(Path::new("/d/w.log")).unwrap();
+        f.append(b"abcd").unwrap();
+        f.sync().unwrap();
+        assert!(f.sync().is_err());
+        assert!(f.append(b"more").is_err());
+    }
+
+    #[test]
+    fn bit_flip_corrupts_the_planned_byte() {
+        let storage = FaultStorage::new(FaultPlan {
+            flip_bit_at: Some((2, 0)),
+            ..FaultPlan::default()
+        });
+        let path = Path::new("/d/w.log");
+        let mut f = storage.create(path).unwrap();
+        f.append(b"aa").unwrap();
+        f.append(b"aa").unwrap();
+        assert_eq!(storage.mem().bytes(path).unwrap(), b"aa\x60a");
+    }
+
+    #[test]
+    fn std_storage_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("skh-storage-test-{}", std::process::id()));
+        let storage = StdStorage;
+        storage.create_dir_all(&dir).unwrap();
+        let path = dir.join("a.log");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"payload").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut out = Vec::new();
+        storage
+            .open_read(&path)
+            .unwrap()
+            .read_to_vec(&mut out)
+            .unwrap();
+        assert_eq!(out, b"payload");
+        assert!(storage.list(&dir).unwrap().contains(&"a.log".to_string()));
+        storage.sync_dir(&dir).unwrap();
+        storage.remove(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`snapshot_scan`] — the scans-vs-writers scenario: pinned MVCC snapshot
 //!   scans auditing a conservation invariant while transfer writers commit
 //!   concurrently;
+//! * [`durability`] — the durable-writers scenario: logged commits with a
+//!   configurable fraction waiting on the group-commit fsync, reporting
+//!   acknowledgment latency quantiles;
 //! * [`report`] — plain-text and CSV emitters shaped like the paper's figures
 //!   and tables.
 
@@ -26,6 +29,7 @@
 
 pub mod adapters;
 pub mod driver;
+pub mod durability;
 pub mod report;
 pub mod snapshot_scan;
 pub mod transfer;
@@ -36,6 +40,7 @@ pub use driver::{
     run_mixed_trial, run_split_trial, run_transfer_trial, MixedTrialResult, SplitTrialResult,
     TransferTrialResult,
 };
+pub use durability::{run_durable_trial, DurableTrialResult};
 pub use snapshot_scan::{
     prefill_accounts, run_bundle_scan_trial, run_snapshot_scan_trial, SnapshotScanTrialResult,
 };

@@ -397,7 +397,7 @@ mod tests {
     /// both-zeros outcome stays forbidden — the historical behavior.
     #[test]
     fn acqrel_rmw_is_full_barrier_on_x86() {
-        let report = explore(&Options::dfs(), || sb_with_acqrel_rmw());
+        let report = explore(&Options::dfs(), sb_with_acqrel_rmw);
         assert!(report.failure.is_none(), "{:?}", report.failure);
     }
 
@@ -409,13 +409,13 @@ mod tests {
     #[test]
     fn acqrel_rmw_is_not_a_full_barrier_on_arm() {
         let opts = Options::dfs().memory(MemoryModel::Arm);
-        let report = explore(&opts, || sb_with_acqrel_rmw());
+        let report = explore(&opts, sb_with_acqrel_rmw);
         let f = report
             .failure
             .expect("Arm must admit the both-zeros outcome");
         let header = token_meta(&f.token).expect("token must carry a header");
         assert_eq!(header.memory_model, MemoryModel::Arm);
-        let re = replay(&f.token, || sb_with_acqrel_rmw());
+        let re = replay(&f.token, sb_with_acqrel_rmw);
         assert!(
             re.failure.is_some(),
             "Arm token must replay at Arm strength"

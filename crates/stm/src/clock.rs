@@ -73,6 +73,21 @@ pub trait ClockSource: Send + Sync + fmt::Debug {
     /// this call (see the module docs for why this must be decided here).
     fn tick(&self, rv: u64) -> CommitStamp;
 
+    /// Advance the clock so every future [`ClockSource::tick`] returns a
+    /// `wv` strictly greater than `version`; return `false` when this clock
+    /// cannot be advanced.
+    ///
+    /// Recovery hook for durability layers (see
+    /// [`Stm::advance_clock_to`](crate::Stm::advance_clock_to)): logical
+    /// clocks implement it with a saturating maximum, so concurrent callers
+    /// and ongoing ticks stay monotonic.  The default declines — a clock
+    /// whose values are not assignable (the hardware TSC) must not pretend
+    /// to have moved.
+    fn advance_to(&self, version: u64) -> bool {
+        let _ = version;
+        false
+    }
+
     /// A short name for reports.
     fn name(&self) -> &'static str;
 }
@@ -205,6 +220,18 @@ impl ClockSource for CounterClock {
         }
     }
 
+    fn advance_to(&self, version: u64) -> bool {
+        // SC: the adopted version joins the same total order as every
+        // sample and tick — a reader must never observe the clock moving
+        // backwards past the advance.
+        let _ = self
+            .counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < version).then_some(version)
+            });
+        true
+    }
+
     fn name(&self) -> &'static str {
         "gv1-counter"
     }
@@ -281,6 +308,17 @@ impl ClockSource for SampledClock {
                 quiescent: false,
             }
         }
+    }
+
+    fn advance_to(&self, version: u64) -> bool {
+        // SC: same contract as `CounterClock::advance_to` — the adopted
+        // version joins the clock's total order.
+        let _ = self
+            .counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < version).then_some(version)
+            });
+        true
     }
 
     fn name(&self) -> &'static str {

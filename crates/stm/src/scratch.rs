@@ -134,18 +134,31 @@ impl ReadFilter {
 /// skip hash registers (an `Arc` or two plus a small discriminant).
 const POST_COMMIT_INLINE_WORDS: usize = 3;
 
-/// A type-erased `FnOnce() + 'static`, stored inline when small.
+/// A type-erased post-commit action, stored inline when small.
+///
+/// Two closure shapes share this representation: plain `FnOnce()` actions
+/// (`PostCommit::new`) and stamp-consuming `FnOnce(u64)` actions
+/// (`PostCommit::new_stamped`, the write-ahead-log hook).  The call glue is
+/// monomorphized per shape, so a plain action never pays for the stamp it
+/// ignores and neither shape boxes when the captures fit three words.
 pub(crate) struct PostCommit {
     data: [MaybeUninit<usize>; POST_COMMIT_INLINE_WORDS],
-    call_fn: unsafe fn(*mut u8),
+    call_fn: unsafe fn(*mut u8, u64),
     drop_fn: unsafe fn(*mut u8),
 }
 
 // SAFETY: contract — `slot` must hold a live inline `F`; called at most once.
-unsafe fn call_inline<F: FnOnce()>(slot: *mut u8) {
+unsafe fn call_inline<F: FnOnce()>(slot: *mut u8, _stamp: u64) {
     // SAFETY: the slot holds a live `F`, consumed exactly once.
     let action = unsafe { slot.cast::<F>().read() };
     action();
+}
+
+// SAFETY: contract — `slot` must hold a live inline `F`; called at most once.
+unsafe fn call_inline_stamped<F: FnOnce(u64)>(slot: *mut u8, stamp: u64) {
+    // SAFETY: the slot holds a live `F`, consumed exactly once.
+    let action = unsafe { slot.cast::<F>().read() };
+    action(stamp);
 }
 
 // SAFETY: contract — `slot` must hold a live inline `F`; called at most once.
@@ -155,10 +168,17 @@ unsafe fn drop_inline<F>(slot: *mut u8) {
 }
 
 // SAFETY: contract — `slot` must hold a live `Box<F>`; called at most once.
-unsafe fn call_boxed<F: FnOnce()>(slot: *mut u8) {
+unsafe fn call_boxed<F: FnOnce()>(slot: *mut u8, _stamp: u64) {
     // SAFETY: the slot holds a live `Box<F>`, consumed exactly once.
     let action = unsafe { slot.cast::<Box<F>>().read() };
     (*action)();
+}
+
+// SAFETY: contract — `slot` must hold a live `Box<F>`; called at most once.
+unsafe fn call_boxed_stamped<F: FnOnce(u64)>(slot: *mut u8, stamp: u64) {
+    // SAFETY: the slot holds a live `Box<F>`, consumed exactly once.
+    let action = unsafe { slot.cast::<Box<F>>().read() };
+    (*action)(stamp);
 }
 
 // SAFETY: contract — `slot` must hold a live `Box<F>`; called at most once.
@@ -168,7 +188,13 @@ unsafe fn drop_boxed<F>(slot: *mut u8) {
 }
 
 impl PostCommit {
-    pub(crate) fn new<F: FnOnce() + 'static>(action: F) -> Self {
+    /// Write `action` inline when it fits, boxing otherwise; the caller
+    /// supplies the matching (inline, boxed) call glue for its shape.
+    fn store<F>(
+        action: F,
+        inline_call: unsafe fn(*mut u8, u64),
+        boxed_call: unsafe fn(*mut u8, u64),
+    ) -> Self {
         let mut data = [MaybeUninit::uninit(); POST_COMMIT_INLINE_WORDS];
         if std::mem::size_of::<F>() <= std::mem::size_of_val(&data)
             && std::mem::align_of::<F>() <= std::mem::align_of::<usize>()
@@ -177,7 +203,7 @@ impl PostCommit {
             unsafe { data.as_mut_ptr().cast::<F>().write(action) };
             Self {
                 data,
-                call_fn: call_inline::<F>,
+                call_fn: inline_call,
                 drop_fn: drop_inline::<F>,
             }
         } else {
@@ -185,18 +211,28 @@ impl PostCommit {
             unsafe { data.as_mut_ptr().cast::<Box<F>>().write(Box::new(action)) };
             Self {
                 data,
-                call_fn: call_boxed::<F>,
+                call_fn: boxed_call,
                 drop_fn: drop_boxed::<F>,
             }
         }
     }
 
-    /// Consume the action and run it.
-    pub(crate) fn invoke(self) {
+    pub(crate) fn new<F: FnOnce() + 'static>(action: F) -> Self {
+        Self::store(action, call_inline::<F>, call_boxed::<F>)
+    }
+
+    /// An action that receives the attempt's commit stamp when invoked.
+    pub(crate) fn new_stamped<F: FnOnce(u64) + 'static>(action: F) -> Self {
+        Self::store(action, call_inline_stamped::<F>, call_boxed_stamped::<F>)
+    }
+
+    /// Consume the action and run it, handing it the commit stamp (ignored
+    /// by plain actions).
+    pub(crate) fn invoke(self, stamp: u64) {
         let mut this = ManuallyDrop::new(self);
         // SAFETY: ManuallyDrop suppresses `drop_fn`, so the closure is
         // consumed exactly once (by `call_fn`).
-        unsafe { (this.call_fn)(this.data.as_mut_ptr().cast()) }
+        unsafe { (this.call_fn)(this.data.as_mut_ptr().cast(), stamp) }
     }
 }
 
@@ -349,8 +385,29 @@ mod tests {
             let fired = Rc::clone(&fired);
             PostCommit::new(move || fired.set(fired.get() + 1))
         };
-        action.invoke();
+        action.invoke(0);
         assert_eq!(fired.get(), 1);
+    }
+
+    #[test]
+    fn post_commit_stamped_actions_receive_the_stamp() {
+        let seen = Rc::new(Cell::new(0u64));
+        let action = {
+            let seen = Rc::clone(&seen);
+            PostCommit::new_stamped(move |stamp| seen.set(stamp))
+        };
+        action.invoke(42);
+        assert_eq!(seen.get(), 42);
+
+        // The boxed fallback must forward the stamp too.
+        let payload = [3u64; 16]; // too big for inline storage
+        let seen_boxed = Rc::new(Cell::new(0u64));
+        let action = {
+            let seen_boxed = Rc::clone(&seen_boxed);
+            PostCommit::new_stamped(move |stamp| seen_boxed.set(stamp + payload[0]))
+        };
+        action.invoke(10);
+        assert_eq!(seen_boxed.get(), 13);
     }
 
     #[test]
@@ -373,7 +430,7 @@ mod tests {
             let fired = Rc::clone(&fired);
             PostCommit::new(move || fired.set(payload.iter().sum()))
         };
-        action.invoke();
+        action.invoke(0);
         assert_eq!(fired.get(), 7 * 16);
     }
 

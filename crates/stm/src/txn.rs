@@ -149,6 +149,7 @@ impl Stm {
             scratch: scratch::lease(),
             dedup_hits: 0,
             slab_hits: 0,
+            commit_stamp: 0,
             finished: false,
         }
     }
@@ -245,9 +246,25 @@ impl Stm {
         &self.snapshots
     }
 
-    /// The clock's current version (used by snapshot pinning).
-    pub(crate) fn clock_now(&self) -> u64 {
+    /// The clock's current version (used by snapshot pinning and by
+    /// durability layers checkpointing at a known version).
+    pub fn clock_now(&self) -> u64 {
         self.clock.now()
+    }
+
+    /// Advance the version clock so every future commit stamp exceeds
+    /// `version`; returns `false` when this clock cannot be advanced.
+    ///
+    /// This is the recovery hook for durability layers: after replaying a
+    /// write-ahead log whose records carry commit stamps from a *previous*
+    /// process, the new runtime's clock must move past the highest replayed
+    /// stamp, or fresh commits would mint stamps that compare as "already
+    /// durable".  Logical clocks ([`ClockKind::Counter`],
+    /// [`ClockKind::Sampled`]) support this; the hardware TSC clock does not
+    /// (its values are not assignable), so callers that depend on advancing
+    /// must check the return value — see `ClockSource::advance_to`.
+    pub fn advance_clock_to(&self, version: u64) -> bool {
+        self.clock.advance_to(version)
     }
 }
 
@@ -273,6 +290,11 @@ pub struct Txn<'stm> {
     dedup_hits: u32,
     /// Writes whose payload came from a recycled slab block.
     slab_hits: u32,
+    /// The version this attempt committed at (writers: the clock tick's
+    /// `wv`; read-only commits: the read version, at which every read is
+    /// consistent).  Zero until [`Txn::commit`] succeeds; handed to
+    /// post-commit actions registered with [`Txn::on_commit_with_stamp`].
+    commit_stamp: u64,
     finished: bool,
 }
 
@@ -342,6 +364,28 @@ impl<'stm> Txn<'stm> {
     /// particular thread-local state beyond running on the committing thread.
     pub fn on_commit<F: FnOnce() + 'static>(&mut self, action: F) {
         self.scratch.post_commit.push(PostCommit::new(action));
+    }
+
+    /// Like [`Txn::on_commit`], but the action receives the attempt's
+    /// **commit stamp**: for a writer commit, the write version `wv` the
+    /// clock issued at commit (the version stamped on every orec this
+    /// transaction released); for a read-only commit, the attempt's read
+    /// version (the version at which all of its reads are consistent).
+    ///
+    /// This is the hook a write-ahead log rides: the stamp gives log records
+    /// the clock's total commit order without re-reading the clock (which
+    /// would race with later commits and could disagree with the order the
+    /// orecs actually published).  The same inline-storage rule as
+    /// [`Txn::on_commit`] applies: closures up to three words are stored in
+    /// the pooled action queue without boxing.
+    ///
+    /// Exactly-once semantics are identical to [`Txn::on_commit`]: aborted
+    /// attempts drop the action unrun, and the committing attempt runs it
+    /// once, after its epoch guard is released.
+    pub fn on_commit_with_stamp<F: FnOnce(u64) + 'static>(&mut self, action: F) {
+        self.scratch
+            .post_commit
+            .push(PostCommit::new_stamped(action));
     }
 
     /// Pin `value` so it outlives this transaction attempt, including the
@@ -510,12 +554,14 @@ impl<'stm> Txn<'stm> {
             // Read-only transactions: every read was validated against the
             // read version at the time it executed, so the read set already
             // forms a consistent snapshot and no further work is required.
+            self.commit_stamp = self.rv;
             self.stm.stats.record_commit(true);
             self.flush_hot_path_stats();
             self.finished = true;
             return Ok(());
         }
         let stamp = self.stm.clock.tick(self.rv);
+        self.commit_stamp = stamp.wv;
         if stamp.quiescent {
             // The clock proved no transaction committed between our read
             // sample and our tick, so nothing we read can have changed.
@@ -581,8 +627,9 @@ impl<'stm> Txn<'stm> {
         // released (commit did that) and the epoch pin gone — an action may
         // run arbitrary code, including new transactions on this runtime.
         self.guard = None;
+        let stamp = self.commit_stamp;
         for action in self.scratch.post_commit.drain(..) {
-            action.invoke();
+            action.invoke(stamp);
         }
     }
 
@@ -966,6 +1013,100 @@ mod tests {
         });
         assert_eq!(v, 7);
         assert!(fired.get());
+    }
+
+    #[test]
+    fn on_commit_with_stamp_fires_once_with_the_commit_stamp() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let stamps = Rc::new(Cell::new((0u32, 0u64)));
+        let mut attempts = 0;
+        stm.run(|tx| {
+            attempts += 1;
+            let stamps = Rc::clone(&stamps);
+            tx.on_commit_with_stamp(move |wv| {
+                let (count, _) = stamps.get();
+                stamps.set((count + 1, wv));
+            });
+            if attempts < 3 {
+                // Aborted attempts must drop their stamped actions unrun.
+                return Err(TxAbort::Explicit);
+            }
+            cell.write(tx, attempts)
+        });
+        let (count, stamp) = stamps.get();
+        assert_eq!(count, 1, "only the committing attempt may fire");
+        // A fresh counter clock starts at 0; the first writer commit ticks
+        // it to 1 and that write version is the stamp handed to the action.
+        assert_eq!(stamp, 1);
+        assert_eq!(stm.clock_now(), stamp);
+    }
+
+    #[test]
+    fn on_commit_with_stamp_stamps_advance_per_writer_commit() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let seen = Rc::new(Cell::new(0u64));
+        for expected in 1..=3u64 {
+            let seen = Rc::clone(&seen);
+            stm.run(|tx| {
+                let seen = Rc::clone(&seen);
+                tx.on_commit_with_stamp(move |wv| seen.set(wv));
+                let v = cell.read(tx)?;
+                cell.write(tx, v + 1)
+            });
+            assert_eq!(seen.get(), expected);
+        }
+    }
+
+    #[test]
+    fn on_commit_with_stamp_read_only_sees_its_read_version() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(5u64);
+        // One writer commit so the clock is at a known non-zero value.
+        stm.run(|tx| cell.write(tx, 6));
+        let rv_now = stm.clock_now();
+        let seen = Rc::new(Cell::new(u64::MAX));
+        let seen_in = Rc::clone(&seen);
+        stm.run(|tx| {
+            let seen = Rc::clone(&seen_in);
+            tx.on_commit_with_stamp(move |wv| seen.set(wv));
+            cell.read(tx)
+        });
+        // A read-only commit does not tick the clock; its stamp is the
+        // snapshot version the reads validated against.
+        assert_eq!(seen.get(), rv_now);
+        assert_eq!(stm.clock_now(), rv_now);
+    }
+
+    #[test]
+    fn advance_clock_to_reseeds_future_stamps() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        assert!(stm.advance_clock_to(1000));
+        // Advancing backwards is a no-op, never a rollback.
+        assert!(stm.advance_clock_to(3));
+        assert!(stm.clock_now() >= 1000);
+        let seen = Rc::new(Cell::new(0u64));
+        let seen_in = Rc::clone(&seen);
+        stm.run(|tx| {
+            let seen = Rc::clone(&seen_in);
+            tx.on_commit_with_stamp(move |wv| seen.set(wv));
+            cell.write(tx, 1)
+        });
+        assert!(
+            seen.get() > 1000,
+            "stamps after recovery must exceed the replayed maximum, got {}",
+            seen.get()
+        );
     }
 
     #[test]

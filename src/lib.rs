@@ -7,6 +7,8 @@
 //! * [`skiphash_stm`] — the software transactional memory substrate.
 //! * [`skiphash_baselines`] — the vCAS / bundled / STM baselines used in the
 //!   paper's evaluation.
+//! * [`skiphash_durability`] — opt-in persistence: commit-record WAL with
+//!   group commit, snapshot checkpoints, and crash recovery.
 //! * [`skiphash_harness`] — the microbenchmark harness that regenerates the
 //!   paper's figures and tables.
 //!
@@ -46,8 +48,10 @@
 
 pub use skiphash;
 pub use skiphash_baselines as baselines;
+pub use skiphash_durability as durability;
 pub use skiphash_harness as harness;
 pub use skiphash_stm as stm;
 
 pub use skiphash::{Compute, Range, RangePolicy, SkipHash, SkipHashBuilder, TxView};
+pub use skiphash_durability::{DurableMap, DurableMapBuilder};
 pub use skiphash_stm::atomically;

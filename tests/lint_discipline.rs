@@ -2,7 +2,7 @@
 //! own code (everything outside `vendor/`), extending the
 //! `tests/unsafe_audit.rs` pattern from unsafe blocks to atomics discipline.
 //!
-//! Three rules:
+//! Four rules:
 //!
 //! 1. **No facade bypasses** — `std::sync::atomic` / `core::sync::atomic`
 //!    must not be named in code outside the `stm::sync` facade
@@ -21,6 +21,14 @@
 //! 3. **`unsafe impl` / `unsafe trait` needs a `SAFETY:` comment** — the
 //!    unsafe-audit rule, extended to the root-package tests and examples
 //!    that `tests/unsafe_audit.rs` does not walk.
+//! 4. **No panics in recovery code** — `.unwrap()` / `.expect(` in
+//!    `crates/durability/src/` production code (test modules are cut off at
+//!    the first `#[cfg(test)]` line).  Durability code runs against storage
+//!    that tears, truncates, and flips bits by contract; a panic there turns
+//!    survivable corruption into an unrecoverable crash loop.  Failures must
+//!    surface as `Result`, or carry an adjacent `// PANIC-OK:` comment
+//!    proving the invariant that makes the panic unreachable.  (`unwrap_or`
+//!    and friends are fallbacks, not panics, and do not trigger.)
 //!
 //! Like the unsafe audit, this is a lexical scan, not a parser: string
 //! literal contents are blanked, pure comment lines are skipped, and a
@@ -110,6 +118,9 @@ struct Rule {
     marker: &'static str,
     /// Paths (workspace-relative, `/`-separated) this rule does not apply to.
     exempt: fn(&str) -> bool,
+    /// When false, scanning stops at the file's first `#[cfg(test)]` line —
+    /// for rules about production code whose test modules are exempt.
+    scan_tests: bool,
     hint: &'static str,
 }
 
@@ -119,6 +130,7 @@ const RULES: &[Rule] = &[
         triggers: &["std::sync::atomic", "core::sync::atomic"],
         marker: "FACADE-EXEMPT:",
         exempt: |rel| rel == "crates/stm/src/sync.rs" || rel.starts_with("crates/model/src/"),
+        scan_tests: true,
         hint: "import atomics from the stm::sync facade so the model checker \
                can instrument them, or justify with an adjacent \
                `// FACADE-EXEMPT: <why>` comment",
@@ -128,6 +140,7 @@ const RULES: &[Rule] = &[
         triggers: &["Ordering::SeqCst"],
         marker: "SC:",
         exempt: |rel| rel.starts_with("crates/model/src/"),
+        scan_tests: true,
         hint: "say what the total order buys with an adjacent `// SC: <why>` \
                comment, or weaken the ordering",
     },
@@ -136,7 +149,18 @@ const RULES: &[Rule] = &[
         triggers: &["unsafe impl", "unsafe trait"],
         marker: "SAFETY:",
         exempt: |_| false,
+        scan_tests: true,
         hint: "justify the impl with an adjacent `// SAFETY: <why>` comment",
+    },
+    Rule {
+        name: "recovery-unwrap",
+        triggers: &[".unwrap()", ".expect("],
+        marker: "PANIC-OK:",
+        exempt: |rel| !rel.starts_with("crates/durability/src/"),
+        scan_tests: false,
+        hint: "durability code runs against storage that corrupts by \
+               contract; surface the failure as a Result, or prove the panic \
+               unreachable with an adjacent `// PANIC-OK: <why>` comment",
     },
 ];
 
@@ -151,6 +175,10 @@ struct Violation {
 /// Scan one file's text; `rel` is its workspace-relative path.
 fn scan(rel: &str, text: &str) -> Vec<Violation> {
     let lines: Vec<&str> = text.lines().collect();
+    let test_start = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
     let mut violations = Vec::new();
     for (idx, raw) in lines.iter().enumerate() {
         if is_comment_or_attr(raw) {
@@ -159,6 +187,9 @@ fn scan(rel: &str, text: &str) -> Vec<Violation> {
         let code = code_part(raw);
         for rule in RULES {
             if (rule.exempt)(rel) {
+                continue;
+            }
+            if !rule.scan_tests && idx >= test_start {
                 continue;
             }
             if rule.triggers.iter().any(|t| code.contains(t))
@@ -299,6 +330,52 @@ struct Wrapper(*mut u8);
 unsafe impl Send for Wrapper {}
 "#;
     assert!(scan("tests/fixture.rs", justified).is_empty());
+}
+
+#[test]
+fn seeded_recovery_unwrap_is_caught() {
+    let bad = r#"
+fn stamp_of(bytes: &[u8]) -> u64 {
+    let arr: [u8; 8] = bytes[..8].try_into().unwrap();
+    u64::from_le_bytes(arr)
+}
+fn lock_len(entries: &Mutex<Vec<u64>>) -> usize {
+    entries.lock().expect("poisoned").len()
+}
+"#;
+    let hits = scan("crates/durability/src/fixture.rs", bad);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().all(|h| h.rule == "recovery-unwrap"));
+
+    // Fallback combinators do not panic and must not trigger.
+    let fallback = r#"
+fn next_seq(last: Option<u64>) -> u64 {
+    last.map(|s| s + 1).unwrap_or(1).max(last.unwrap_or_else(|| 0))
+}
+"#;
+    assert!(scan("crates/durability/src/fixture.rs", fallback).is_empty());
+
+    // A proven-unreachable panic passes with the marker.
+    let justified = r#"
+fn stamp_of(bytes: &[u8]) -> u64 {
+    // PANIC-OK: caller verified the frame CRC, so 8 bytes are present.
+    let arr: [u8; 8] = bytes[..8].try_into().unwrap();
+    u64::from_le_bytes(arr)
+}
+"#;
+    assert!(scan("crates/durability/src/fixture.rs", justified).is_empty());
+
+    // Test modules inside durability sources may unwrap freely...
+    let in_tests = "fn production() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n    \
+                        fn t() { Some(1).unwrap(); }\n\
+                    }\n";
+    assert!(scan("crates/durability/src/fixture.rs", in_tests).is_empty());
+
+    // ...and the rule only governs crates/durability/src.
+    assert!(scan("crates/skiphash/src/fixture.rs", bad).is_empty());
+    assert!(scan("crates/durability/tests/fixture.rs", bad).is_empty());
 }
 
 #[test]
