@@ -5,21 +5,23 @@
 //! of machinery the STM already provides:
 //!
 //! * **Commit stamps.**  Every committed writer carries a unique write
-//!   version from the global clock, and `Txn::on_commit_with_stamp` hands it
-//!   to a post-commit action exactly once per committed attempt.  Those
-//!   stamps give write-ahead-log records a natural total order — recovery
-//!   replays by stamp, not by file position, so group-commit batching is
-//!   free to interleave records from different threads.
+//!   version from the global clock, and `Txn::on_commit_sequenced` hands it
+//!   to an action exactly once per committed attempt — at the serialization
+//!   point, before the commit's writes are visible to other transactions,
+//!   which is what makes the sync barrier's coverage causal.  The stamps
+//!   give write-ahead-log records a natural total order — recovery replays
+//!   by stamp, not by file position, so group-commit batching is free to
+//!   interleave records from different threads.
 //! * **Pinned snapshots.**  `SkipHash::snapshot` materializes the map at a
 //!   single clock version without blocking writers, which is exactly the
 //!   consistent image a checkpoint needs.
 //!
 //! The resulting design (see `docs/DURABILITY.md` in the repository root):
 //!
-//! * [`wal`] — per-thread leased record buffers filled from the post-commit
-//!   hook, drained by a single group-commit writer thread that frames each
-//!   record with a CRC32, appends batches in stamp order, and fsyncs once
-//!   per batch.
+//! * [`wal`] — per-thread leased record buffers submitted from the
+//!   commit-sequenced hook, drained by a single group-commit writer thread
+//!   that frames each record with a CRC32, appends batches in stamp order,
+//!   and fsyncs once per batch.
 //! * [`checkpoint`] — full-map images written side-by-side with the log
 //!   (temp file, fsync, atomic rename), bounding both recovery time and log
 //!   growth: sealed segments entirely covered by the newest durable
@@ -37,10 +39,13 @@
 //!   automatically and an acknowledged-durable barrier ([`DurableMap::sync`]).
 //!
 //! The contract: an operation is **acknowledged durable** once `sync` (or a
-//! `*_durable` convenience call) returns `Ok` after it.  Recovery after a
-//! crash reconstructs a state that contains every acknowledged-durable
-//! commit and is a consistent commit-order prefix-closed image — it never
-//! resurrects an aborted transaction and never tears a committed one.
+//! `*_durable` convenience call) returns `Ok` after it — and the barrier is
+//! causal, covering every logged commit whose effects the caller observed,
+//! on any thread.  Recovery after a crash reconstructs a state that
+//! contains every acknowledged-durable commit and is causally closed (a
+//! surviving commit's dependencies survive with it) — it never resurrects
+//! an aborted transaction and never tears a committed one.  See the [`map`]
+//! module docs for the exact guarantee.
 
 pub mod checkpoint;
 pub mod codec;

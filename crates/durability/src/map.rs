@@ -6,9 +6,11 @@
 //! segment.  After that, every *effectful* operation that goes through
 //! [`DurableMap::transact`] (or the sealed conveniences built on it) is
 //! recorded: the transaction body logs into a leased [`RecordBuf`] as it
-//! runs, and the STM's post-commit hook hands the buffer — stamped with
-//! the real commit version — to the group-commit writer.  Aborted attempts
-//! drop their buffer; nothing is logged for them.
+//! runs, and the STM's commit-sequenced hook hands the buffer — stamped
+//! with the real commit version — to the group-commit writer *at the
+//! serialization point*, before the commit's writes are visible to other
+//! transactions.  Aborted attempts drop their buffer; nothing is logged
+//! for them.
 //!
 //! Reads are never logged, and read-only transactions cost the durability
 //! layer nothing.
@@ -16,11 +18,22 @@
 //! # The acknowledged-durable contract
 //!
 //! A commit is durable once [`DurableMap::sync`] returns `Ok` after it
-//! (the `*_durable` conveniences bundle the barrier).  Commits not yet
-//! synced may or may not survive a crash — group commit means they
-//! usually do within a flush interval — but recovery always reconstructs
-//! a *consistent commit-order prefix*: if commit `B` survived, so did
-//! every commit with a smaller stamp that was in the log before the tear.
+//! (the `*_durable` conveniences bundle the barrier).  The barrier is
+//! *causal*: because records are enqueued before their commit becomes
+//! visible, any commit whose effects the `sync` caller observed — its
+//! own, or one it read on any thread — was enqueued before `sync`
+//! sampled the queue, so an `Ok` covers it.
+//!
+//! Commits not yet synced may or may not survive a crash — group commit
+//! means they usually do within a flush interval — but recovery always
+//! reconstructs a *causally consistent prefix of the log order*: records
+//! reach the file in submission order and a torn tail only ever removes a
+//! suffix, so if commit `B` survived, so did every commit `B` could have
+//! observed (in particular every earlier write to any key `B` touched).
+//! Two *independent* unsynced commits from the same flush window may
+//! survive out of stamp order — the suffix past the durable barrier is
+//! causally closed, not necessarily a stamp-exact snapshot; everything at
+//! or below an acknowledged `sync` is.
 //!
 //! # Caveats
 //!
@@ -233,7 +246,10 @@ impl<K: MapKey + Codec, V: MapValue + Codec> DurableMap<K, V> {
             };
             committed_ops.set(u64::from(buf.op_count()));
             if !buf.is_empty() {
-                tx.on_commit_with_stamp(move |stamp| buf.submit(stamp));
+                // Sequenced, not post-commit: the record must be queued
+                // before the commit is visible, or a dependent commit could
+                // overtake it past the sync barrier (and past a tear).
+                tx.on_commit_sequenced(move |stamp| buf.submit(stamp));
             }
             Ok(out)
         });
@@ -324,6 +340,13 @@ impl<K: MapKey + Codec, V: MapValue + Codec> DurableMap<K, V> {
 
     /// Durability barrier: block until every commit submitted before this
     /// call is fsynced, or report the log's sticky failure.
+    ///
+    /// Coverage is causal: records are queued at the commit's
+    /// serialization point (before its writes are visible), so `Ok` covers
+    /// every logged commit whose effects this thread performed *or
+    /// observed* before calling — there is no window where a commit you
+    /// read can be acknowledged around while an earlier one it depended on
+    /// is still un-queued.
     pub fn sync(&self) -> io::Result<()> {
         self.wal.sync()
     }
@@ -621,6 +644,41 @@ mod tests {
         // contain unacknowledged data beyond what reached the disk.
         let rec = crate::recovery::recover::<u64, u64>(&fault.mem(), Path::new("/db")).unwrap();
         assert!(rec.entries.len() <= 2);
+    }
+
+    #[test]
+    fn oversized_commit_is_never_acknowledged() {
+        use crate::wal::MAX_FRAME_BYTES;
+        let storage = MemStorage::new();
+        let open = || -> DurableMap<u64, Vec<u8>> {
+            DurableMapBuilder::new("/db")
+                .storage(Arc::new(storage.clone()))
+                .wal_config(fast_wal())
+                .open()
+                .unwrap()
+        };
+        {
+            let map = open();
+            map.upsert(1, vec![1u8]);
+            map.sync().unwrap();
+            // A single value past the frame limit poisons the log: the
+            // commit stands in memory but can never be acknowledged.
+            map.upsert(2, vec![0u8; MAX_FRAME_BYTES as usize]);
+            let err = map.sync().unwrap_err();
+            assert!(err.to_string().contains("frame limit"), "{err}");
+            assert_eq!(
+                map.get(&2).map(|v| v.len()),
+                Some(MAX_FRAME_BYTES as usize),
+                "the in-memory commit stands; durability is what failed"
+            );
+            map.upsert(3, vec![3u8]);
+            assert!(map.sync().is_err(), "the poison is sticky");
+        }
+        // Recovery sees exactly the acknowledged prefix — the oversized
+        // record was refused at submit, not appended-then-unreadable.
+        let map = open();
+        assert_eq!(map.to_vec(), vec![(1, vec![1u8])]);
+        assert!(!map.recovery_info().truncated_tail);
     }
 
     #[test]

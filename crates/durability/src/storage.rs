@@ -134,11 +134,20 @@ impl Storage for StdStorage {
         std::fs::create_dir_all(dir)
     }
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
-        // Directory fsync makes renames/creates durable on POSIX; platforms
-        // where directories cannot be opened read-only just skip it.
-        match std::fs::File::open(dir) {
-            Ok(f) => f.sync_all(),
-            Err(_) => Ok(()),
+        // Directory fsync makes renames/creates durable on POSIX.  A failed
+        // open (ENOENT, EMFILE, ...) means the entries were NOT made
+        // durable, so it must surface — swallowing it would silently skip
+        // the barrier that makes segment creation and checkpoint renames
+        // crash-safe.  Only Windows, where directories cannot be opened
+        // this way (and metadata durability works differently), skips.
+        #[cfg(windows)]
+        {
+            let _ = dir;
+            Ok(())
+        }
+        #[cfg(not(windows))]
+        {
+            std::fs::File::open(dir)?.sync_all()
         }
     }
 }
@@ -590,5 +599,16 @@ mod tests {
         storage.sync_dir(&dir).unwrap();
         storage.remove(&path).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(windows))]
+    #[test]
+    fn std_sync_dir_surfaces_open_failures() {
+        let missing = std::env::temp_dir().join(format!(
+            "skh-storage-missing-{}-does-not-exist",
+            std::process::id()
+        ));
+        let err = StdStorage.sync_dir(&missing).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 }

@@ -5,12 +5,20 @@
 //! A transaction that wants durability leases a [`RecordBuf`] from the log's
 //! pool, encodes its effectful operations into it as the body runs, and — if
 //! the attempt reaches commit — hands the buffer to
-//! `Txn::on_commit_with_stamp`.  The post-commit action is one word (the
-//! boxed buffer), so it rides the STM's inline action slots without a heap
-//! allocation; the byte buffers themselves are pooled and recycled, so the
-//! steady state allocates nothing.  Aborted attempts simply drop the buffer,
-//! which returns it to the pool — nothing was logged, matching the STM's
-//! exactly-once post-commit contract.
+//! `Txn::on_commit_sequenced`.  The action is one word (the boxed buffer),
+//! so it rides the STM's inline action slots without a heap allocation; the
+//! byte buffers themselves are pooled and recycled, so the steady state
+//! allocates nothing.  Aborted attempts simply drop the buffer, which
+//! returns it to the pool — nothing was logged, matching the STM's
+//! exactly-once commit-action contract.
+//!
+//! The *sequenced* hook matters: it fires at the commit's serialization
+//! point, after the attempt can no longer abort but **before** its writes
+//! become visible to other transactions.  Submitting there gives the queue
+//! a causal order — any commit that read this commit's effects necessarily
+//! submitted after it — which is what lets [`Wal::sync`]'s simple
+//! "everything submitted so far" watermark cover every commit the caller
+//! could have observed (see the `map` module's contract docs).
 //!
 //! # Group commit
 //!
@@ -33,11 +41,15 @@
 //!
 //! # Failure policy
 //!
-//! The log is fail-stop: the first append or fsync error poisons it.  The
-//! error is sticky — every subsequent [`Wal::sync`] returns it — and later
-//! submissions are dropped (they were never acknowledged, so the durability
-//! contract is intact).  A log that lied about an fsync cannot be trusted
-//! to order anything after it, so there is deliberately no retry.
+//! The log is fail-stop: the first append or fsync error poisons it, and so
+//! does a commit record larger than [`MAX_FRAME_BYTES`] (recovery treats
+//! bigger length prefixes as tail corruption, so appending one would write
+//! a record that is acknowledged but unreadable — the oversized record is
+//! dropped *before* it reaches the file).  The error is sticky — every
+//! subsequent [`Wal::sync`] returns it — and later submissions are dropped
+//! (they were never acknowledged, so the durability contract is intact).
+//! A log that lied about an fsync cannot be trusted to order anything after
+//! it, so there is deliberately no retry.
 //!
 //! # On-disk format
 //!
@@ -63,7 +75,9 @@ use crate::storage::{Storage, StorageFile};
 
 /// Largest frame recovery will believe.  A length prefix beyond this is
 /// treated as tail corruption, bounding the damage a flipped length byte
-/// can do.
+/// can do.  Enforced at the producer too: [`RecordBuf::submit`] poisons the
+/// log instead of appending a record recovery would refuse to read, so an
+/// oversized commit can never be acknowledged as durable.
 pub const MAX_FRAME_BYTES: u32 = 1 << 24;
 
 /// Segment header magic + format version.
@@ -195,10 +209,15 @@ impl RecordBuf {
 
     /// Patch the commit stamp in and hand the record to the writer.
     ///
-    /// Called from the post-commit hook with the stamp the clock assigned
-    /// to this commit.  Blocks briefly under backpressure.  If the log has
-    /// already failed or shut down the record is dropped: it was never
-    /// acknowledged, so dropping it cannot break the durability contract.
+    /// Called from the commit-sequenced hook with the stamp the clock
+    /// assigned to this commit, *before* the commit's writes become visible
+    /// to other transactions — that ordering is what makes [`Wal::sync`]'s
+    /// watermark cover every observable commit.  Blocks briefly under
+    /// backpressure.  If the log has already failed or shut down the record
+    /// is dropped: it was never acknowledged, so dropping it cannot break
+    /// the durability contract.  A record larger than [`MAX_FRAME_BYTES`]
+    /// poisons the log instead of being appended: recovery would treat its
+    /// length prefix as tail corruption, so acknowledging it would be a lie.
     pub fn submit(mut self, stamp: u64) {
         let Some(mut inner) = self.0.take() else {
             return;
@@ -206,6 +225,25 @@ impl RecordBuf {
         let Some(shared) = inner.shared.upgrade() else {
             return; // log torn down; nowhere to recycle to either
         };
+        if inner.bytes.len() > MAX_FRAME_BYTES as usize {
+            let len = inner.bytes.len();
+            // Drop the oversized allocation rather than pooling it.
+            inner.bytes = Vec::new();
+            inner.ops = 0;
+            let mut st = lock(&shared.state);
+            st.buf_pool.push(inner);
+            if st.error.is_none() {
+                st.error = Some(format!(
+                    "commit record of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte \
+                     frame limit; log poisoned before the record could be appended"
+                ));
+            }
+            drop(st);
+            shared.durable_cv.notify_all();
+            shared.space_cv.notify_all();
+            shared.work_cv.notify_one();
+            return;
+        }
         inner.bytes[0..8].copy_from_slice(&stamp.to_le_bytes());
         inner.bytes[8..12].copy_from_slice(&inner.ops.to_le_bytes());
         let bytes = mem::take(&mut inner.bytes);
@@ -501,6 +539,17 @@ fn writer_loop(
         {
             let mut st = lock(&shared.state);
             loop {
+                if st.error.is_some() {
+                    // Submit-side poison (oversized record): fail-stop like
+                    // our own I/O errors — queued records were never
+                    // acknowledged, so dropping them is safe.
+                    st.queue.clear();
+                    st.queue_bytes = 0;
+                    drop(st);
+                    shared.durable_cv.notify_all();
+                    shared.space_cv.notify_all();
+                    return;
+                }
                 if !st.queue.is_empty() {
                     break;
                 }
@@ -895,6 +944,34 @@ mod tests {
         buf.log_put(&2u64, &2u64);
         buf.submit(2);
         assert!(wal.sync().is_err());
+    }
+
+    #[test]
+    fn oversized_record_poisons_instead_of_acknowledging() {
+        let (storage, wal) = open_mem();
+        let mut buf = wal.lease();
+        // Payload = 12-byte record header + op overhead + a value just past
+        // the frame limit: recovery would refuse the frame, so the producer
+        // must refuse the record.
+        buf.log_put(&1u64, &vec![0u8; MAX_FRAME_BYTES as usize]);
+        buf.submit(1);
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("frame limit"), "{err}");
+        assert!(wal.error().is_some());
+        // The record never reached the segment: header only, no frames.
+        let bytes = storage
+            .bytes(&Path::new("/wal").join(segment_name(1)))
+            .unwrap();
+        assert_eq!(bytes.len(), SEGMENT_HEADER_BYTES);
+        // The poison is sticky; later (well-sized) submissions are dropped.
+        let mut buf = wal.lease();
+        buf.log_put(&2u64, &2u64);
+        buf.submit(2);
+        assert!(wal.sync().is_err());
+        let bytes = storage
+            .bytes(&Path::new("/wal").join(segment_name(1)))
+            .unwrap();
+        assert_eq!(bytes.len(), SEGMENT_HEADER_BYTES);
     }
 
     #[test]

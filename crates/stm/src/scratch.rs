@@ -257,6 +257,11 @@ pub(crate) struct TxnScratch {
     pub(crate) retired: Bag,
     pub(crate) keepalive: Vec<Arc<dyn Any + Send + Sync>>,
     pub(crate) post_commit: Vec<PostCommit>,
+    /// Commit-sequenced actions: run at the serialization point, after the
+    /// attempt can no longer abort but before its writes publish (see
+    /// `Txn::on_commit_sequenced`).  Same inline-storage representation as
+    /// the post-commit queue.
+    pub(crate) sequenced: Vec<PostCommit>,
     /// Snapshot pin versions collected at commit time (only when pins are
     /// live); reused so pin collection never allocates in steady state.
     pub(crate) pins: Vec<u64>,
@@ -271,6 +276,7 @@ impl TxnScratch {
             retired: Bag::new(),
             keepalive: Vec::new(),
             post_commit: Vec::new(),
+            sequenced: Vec::new(),
             pins: Vec::new(),
         }
     }
@@ -286,6 +292,7 @@ impl TxnScratch {
         self.writes.clear();
         self.keepalive.clear();
         self.post_commit.clear();
+        self.sequenced.clear();
         self.pins.clear();
     }
 }

@@ -388,6 +388,41 @@ impl<'stm> Txn<'stm> {
             .push(PostCommit::new_stamped(action));
     }
 
+    /// Like [`Txn::on_commit_with_stamp`], but the action runs at the
+    /// commit's **serialization point**: after the attempt has passed its
+    /// last abort point (stamp minted, validation passed — the commit is
+    /// certain), yet *before* any of its writes are published to other
+    /// transactions.
+    ///
+    /// This ordering is what a write-ahead log needs for its durability
+    /// barrier: a record enqueued here is registered with the log **before**
+    /// any other thread can observe the commit's effects, so a later commit
+    /// that read those effects necessarily registers after it, and a
+    /// "wait for everything registered so far" barrier covers every commit
+    /// the caller could have observed.  A plain post-commit action cannot
+    /// give this guarantee — it runs after the writes are globally visible,
+    /// leaving a window where a dependent commit's record can overtake this
+    /// one.
+    ///
+    /// Constraints, stricter than [`Txn::on_commit`]: the action runs with
+    /// the attempt's orecs still held and its epoch guard still pinned, so
+    /// it must **not** start transactions on any runtime (a transaction
+    /// touching this commit's cells would spin on the held orecs) and
+    /// should only do brief, non-transactional work (enqueue bytes, bump a
+    /// counter).  It may block briefly (e.g. log backpressure) — writers
+    /// contending on this commit's cells wait exactly as long.
+    ///
+    /// Exactly-once semantics match [`Txn::on_commit`]: aborted attempts
+    /// drop the action unrun; the committing attempt runs it once, with the
+    /// same stamp [`Txn::on_commit_with_stamp`] would see (writers: the
+    /// ticked `wv`; read-only commits: the read version).  Sequenced
+    /// actions run before every post-commit action, in registration order.
+    /// The same inline-storage rule applies: closures up to three words are
+    /// stored in the pooled action queue without boxing.
+    pub fn on_commit_sequenced<F: FnOnce(u64) + 'static>(&mut self, action: F) {
+        self.scratch.sequenced.push(PostCommit::new_stamped(action));
+    }
+
     /// Pin `value` so it outlives this transaction attempt, including the
     /// rollback that follows an abort.
     ///
@@ -555,6 +590,7 @@ impl<'stm> Txn<'stm> {
             // read version at the time it executed, so the read set already
             // forms a consistent snapshot and no further work is required.
             self.commit_stamp = self.rv;
+            self.run_sequenced();
             self.stm.stats.record_commit(true);
             self.flush_hot_path_stats();
             self.finished = true;
@@ -578,6 +614,10 @@ impl<'stm> Txn<'stm> {
                 }
             }
         }
+        // Serialization point: validation passed, so this attempt can no
+        // longer abort — but its writes are not yet published (the orecs are
+        // still held).  Commit-sequenced actions run exactly here.
+        self.run_sequenced();
         let TxnScratch {
             writes,
             retired,
@@ -617,6 +657,16 @@ impl<'stm> Txn<'stm> {
         self.flush_hot_path_stats();
         self.finished = true;
         Ok(())
+    }
+
+    /// Run the attempt's commit-sequenced actions at the serialization
+    /// point.  Called from [`Txn::commit`] after the last abort point, with
+    /// the commit stamp already assigned.
+    fn run_sequenced(&mut self) {
+        let stamp = self.commit_stamp;
+        for action in self.scratch.sequenced.drain(..) {
+            action.invoke(stamp);
+        }
     }
 
     /// Release the epoch pin and run the attempt's post-commit actions.
@@ -1083,6 +1133,127 @@ mod tests {
         // snapshot version the reads validated against.
         assert_eq!(seen.get(), rv_now);
         assert_eq!(stm.clock_now(), rv_now);
+    }
+
+    #[test]
+    fn on_commit_sequenced_fires_once_with_the_commit_stamp() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let seen = Rc::new(Cell::new((0u32, 0u64)));
+        let mut attempts = 0;
+        stm.run(|tx| {
+            attempts += 1;
+            let seen = Rc::clone(&seen);
+            tx.on_commit_sequenced(move |wv| {
+                let (count, _) = seen.get();
+                seen.set((count + 1, wv));
+            });
+            if attempts < 3 {
+                // Aborted attempts must drop their sequenced actions unrun.
+                return Err(TxAbort::Explicit);
+            }
+            cell.write(tx, attempts)
+        });
+        let (count, stamp) = seen.get();
+        assert_eq!(count, 1, "only the committing attempt may fire");
+        assert_eq!(stamp, 1, "the sequenced action sees the ticked wv");
+        assert_eq!(stm.clock_now(), stamp);
+    }
+
+    #[test]
+    fn on_commit_sequenced_runs_before_post_commit_actions() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(0u64);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        stm.run(|tx| {
+            let a = Rc::clone(&order);
+            // Registered first, but post-commit: must still run last.
+            tx.on_commit_with_stamp(move |wv| a.borrow_mut().push(("post", wv)));
+            let b = Rc::clone(&order);
+            tx.on_commit_sequenced(move |wv| b.borrow_mut().push(("sequenced", wv)));
+            cell.write(tx, 1)
+        });
+        let order = order.borrow();
+        assert_eq!(&*order, &[("sequenced", 1), ("post", 1)]);
+    }
+
+    #[test]
+    fn on_commit_sequenced_read_only_sees_its_read_version() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let cell = TCell::new(5u64);
+        stm.run(|tx| cell.write(tx, 6));
+        let rv_now = stm.clock_now();
+        let seen = Rc::new(Cell::new(u64::MAX));
+        let seen_in = Rc::clone(&seen);
+        stm.run(|tx| {
+            let seen = Rc::clone(&seen_in);
+            tx.on_commit_sequenced(move |wv| seen.set(wv));
+            cell.read(tx)
+        });
+        assert_eq!(seen.get(), rv_now);
+        assert_eq!(stm.clock_now(), rv_now);
+    }
+
+    #[test]
+    fn on_commit_sequenced_does_not_run_for_failed_try_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new();
+        let fired = Rc::new(Cell::new(false));
+        let result = stm.try_once(|tx| -> TxResult<()> {
+            let fired = Rc::clone(&fired);
+            tx.on_commit_sequenced(move |_| fired.set(true));
+            Err(TxAbort::Explicit)
+        });
+        assert!(result.is_err());
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn on_commit_sequenced_registration_precedes_visibility() {
+        // The property the WAL's durability barrier rides: by the time any
+        // other thread can observe a commit's writes, its sequenced action
+        // has already run.  A writer registers each commit's payload in a
+        // shared registry from the sequenced hook; a reader that observes
+        // value `k` in the cell must always find `k` already registered —
+        // if the action ran post-publication instead, this would race.
+        use std::sync::{Arc, Mutex};
+        let stm = Arc::new(Stm::new());
+        let cell = Arc::new(TCell::new(0u64));
+        let registry: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let rounds: u64 = if cfg!(miri) { 20 } else { 2000 };
+        let writer = {
+            let stm = Arc::clone(&stm);
+            let cell = Arc::clone(&cell);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for k in 1..=rounds {
+                    stm.run(|tx| {
+                        let registry = Arc::clone(&registry);
+                        tx.on_commit_sequenced(move |_| registry.lock().unwrap().push(k));
+                        cell.write(tx, k)
+                    });
+                }
+            })
+        };
+        let mut last = 0u64;
+        while last < rounds {
+            let v = cell.load_atomic();
+            if v != last {
+                assert!(
+                    registry.lock().unwrap().contains(&v),
+                    "observed commit {v} before its sequenced action ran"
+                );
+                last = v;
+            }
+        }
+        writer.join().unwrap();
     }
 
     #[test]
