@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod trajectory;
 
 use std::collections::HashMap;
 use std::time::Duration;

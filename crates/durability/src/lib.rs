@@ -49,6 +49,7 @@
 
 pub mod checkpoint;
 pub mod codec;
+mod lock;
 pub mod map;
 pub mod recovery;
 pub mod storage;

@@ -1,0 +1,228 @@
+//! Directory ownership: at most one live [`crate::DurableMap`] per
+//! directory.
+//!
+//! Two maps appending to one directory would interleave WAL segments and
+//! race checkpoint truncation — each would replay (and truncate!) the
+//! other's log, silently corrupting both.  [`DirLock`] makes that
+//! misconfiguration fail fast at [`crate::DurableMap::open`] instead:
+//! opening takes a `LOCK` file via the storage's exclusive-create
+//! primitive, and a second open on the same directory errors with the
+//! holder's PID while the first map is alive.
+//!
+//! # Stale locks
+//!
+//! A SIGKILLed process never runs `Drop`, so its `LOCK` file survives.
+//! The file therefore records the holder's PID; an acquirer that loses the
+//! exclusive create reads it back and *breaks* the lock when the recorded
+//! process is provably gone (on Linux: no `/proc/<pid>` entry), or when
+//! the file carries no parseable PID at all — the scar of a process killed
+//! between creating the file and writing its PID into it.  On platforms
+//! without a liveness probe every existing lock is treated as contended
+//! and must be removed by hand.
+//!
+//! Breaking is remove-then-retry in a bounded loop: if another acquirer
+//! wins the re-create race we re-read *its* PID and report contention
+//! against the new live holder rather than spinning.
+//!
+//! The PID test is a heuristic against PID reuse — a recycled PID makes a
+//! stale lock look contended (safe: fails fast, operator removes the
+//! file), never the reverse within one boot, because a live `/proc` entry
+//! is exactly what "still running" means.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::storage::Storage;
+
+/// Name of the lock file inside a durable map's directory.  Recovery and
+/// the WAL ignore it (segment and checkpoint files are matched by name
+/// pattern).
+pub(crate) const LOCK_FILE: &str = "LOCK";
+
+/// How many break-and-retry rounds an acquirer attempts before reporting
+/// the directory as contended.  Each round only recurs if another process
+/// re-created the lock in the window after we removed a stale one.
+const MAX_ATTEMPTS: usize = 8;
+
+/// Held directory lock; removing the lock file on drop releases it.
+pub(crate) struct DirLock {
+    storage: Arc<dyn Storage>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for DirLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirLock").field("path", &self.path).finish()
+    }
+}
+
+impl DirLock {
+    /// Take the lock for `dir`, breaking a stale one if its holder is
+    /// provably dead.
+    pub(crate) fn acquire(storage: Arc<dyn Storage>, dir: &Path) -> io::Result<Self> {
+        let path = dir.join(LOCK_FILE);
+        for _ in 0..MAX_ATTEMPTS {
+            match storage.create_new(&path) {
+                Ok(mut file) => {
+                    file.append(format!("{}\n", std::process::id()).as_bytes())?;
+                    file.sync()?;
+                    return Ok(Self { storage, path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    match read_holder(&*storage, &path)? {
+                        Some(pid) if process_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "directory {} is locked by a live durable map \
+                                     (pid {pid}); a directory can host at most one \
+                                     open DurableMap at a time",
+                                    dir.display()
+                                ),
+                            ));
+                        }
+                        // Dead holder, or a PID-less scar: break the lock.
+                        // A NotFound from the remove just means another
+                        // acquirer broke it first; retry either way.
+                        _ => match self::remove_ignoring_missing(&*storage, &path) {
+                            Ok(()) => continue,
+                            Err(e) => return Err(e),
+                        },
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "directory {} lock did not settle after {MAX_ATTEMPTS} \
+                 break-and-retry rounds",
+                dir.display()
+            ),
+        ))
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Best-effort: a failed remove leaves a stale lock that the next
+        // open breaks via the liveness probe.
+        let _ = self.storage.remove(&self.path);
+    }
+}
+
+/// The PID recorded in the lock file, or `None` when the file vanished or
+/// holds no parseable PID (both mean "no provable live holder").
+fn read_holder(storage: &dyn Storage, path: &Path) -> io::Result<Option<u32>> {
+    let mut file = match storage.open_read(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    match file.read_to_vec(&mut bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    Ok(String::from_utf8_lossy(&bytes).trim().parse::<u32>().ok())
+}
+
+fn remove_ignoring_missing(storage: &dyn Storage, path: &Path) -> io::Result<()> {
+    match storage.remove(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Whether `pid` names a live process.
+///
+/// Linux: a `/proc/<pid>` entry exists exactly while the process (or a
+/// zombie awaiting reap) does.  Elsewhere there is no portable probe the
+/// storage seam can express, so every recorded holder counts as live —
+/// stale locks on such platforms need manual removal, as the module docs
+/// say.
+fn process_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn mem() -> Arc<dyn Storage> {
+        Arc::new(MemStorage::new())
+    }
+
+    #[test]
+    fn acquire_writes_own_pid_and_release_removes() {
+        let storage = mem();
+        let dir = Path::new("/db");
+        let lock = DirLock::acquire(Arc::clone(&storage), dir).unwrap();
+        assert_eq!(
+            read_holder(&*storage, &dir.join(LOCK_FILE)).unwrap(),
+            Some(std::process::id())
+        );
+        drop(lock);
+        assert!(read_holder(&*storage, &dir.join(LOCK_FILE))
+            .unwrap()
+            .is_none());
+        // Released: a fresh acquire succeeds.
+        DirLock::acquire(storage, dir).unwrap();
+    }
+
+    #[test]
+    fn contended_acquire_fails_fast_with_holder_pid() {
+        let storage = mem();
+        let dir = Path::new("/db");
+        let _held = DirLock::acquire(Arc::clone(&storage), dir).unwrap();
+        let err = DirLock::acquire(Arc::clone(&storage), dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let message = err.to_string();
+        assert!(
+            message.contains(&std::process::id().to_string()),
+            "error names the live holder: {message}"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_dead_pid_is_broken() {
+        let storage = MemStorage::new();
+        let dir = Path::new("/db");
+        // PIDs are bounded by /proc/sys/kernel/pid_max (< 2^22 by default,
+        // hard-capped at 2^31); u32::MAX can never be live.
+        storage.put(&dir.join(LOCK_FILE), format!("{}\n", u32::MAX).into_bytes());
+        let lock = DirLock::acquire(Arc::new(storage.clone()), dir).unwrap();
+        assert_eq!(
+            read_holder(&storage, &dir.join(LOCK_FILE)).unwrap(),
+            Some(std::process::id()),
+            "the broken lock was re-taken under our own pid"
+        );
+        drop(lock);
+    }
+
+    #[test]
+    fn pidless_scar_is_broken() {
+        // A process killed between create_new and the PID append leaves an
+        // empty file; garbage bytes get the same treatment.
+        for scar in [&b""[..], b"not a pid\n"] {
+            let storage = MemStorage::new();
+            let dir = Path::new("/db");
+            storage.put(&dir.join(LOCK_FILE), scar.to_vec());
+            DirLock::acquire(Arc::new(storage), dir).unwrap();
+        }
+    }
+}

@@ -57,6 +57,7 @@ use skiphash_stm::{Stm, TxResult};
 
 use crate::checkpoint::write_checkpoint;
 use crate::codec::Codec;
+use crate::lock::DirLock;
 use crate::recovery::recover;
 use crate::storage::{StdStorage, Storage};
 use crate::wal::{RecordBuf, Wal, WalConfig};
@@ -145,6 +146,8 @@ pub struct DurableMap<K: MapKey + Codec, V: MapValue + Codec> {
     ops_since_checkpoint: AtomicU64,
     checkpoint_every_ops: Option<u64>,
     checkpoint_error: Mutex<Option<io::Error>>,
+    /// Exclusive ownership of `dir`; released (lock file removed) on drop.
+    _dir_lock: DirLock,
 }
 
 impl<K: MapKey + Codec, V: MapValue + Codec> std::fmt::Debug for DurableMap<K, V> {
@@ -178,6 +181,9 @@ impl<K: MapKey + Codec, V: MapValue + Codec> DurableMap<K, V> {
             checkpoint_every_ops,
         } = builder;
         storage.create_dir_all(&dir)?;
+        // Fail fast before touching any WAL/checkpoint file: two maps on
+        // one directory would replay and truncate each other's log.
+        let dir_lock = DirLock::acquire(Arc::clone(&storage), &dir)?;
         let recovered = recover::<K, V>(&*storage, &dir)?;
         let map = SkipHash::with_config(map_config);
         for (key, value) in &recovered.entries {
@@ -215,6 +221,7 @@ impl<K: MapKey + Codec, V: MapValue + Codec> DurableMap<K, V> {
             ops_since_checkpoint: AtomicU64::new(0),
             checkpoint_every_ops,
             checkpoint_error: Mutex::new(None),
+            _dir_lock: dir_lock,
         })
     }
 
@@ -626,7 +633,8 @@ mod tests {
     #[test]
     fn failed_log_surfaces_through_sync_not_panic() {
         let fault = FaultStorage::new(FaultPlan {
-            fail_sync_at: Some(2), // header sync ok, first batch sync fails
+            // Lock-file and header syncs ok, first batch sync fails.
+            fail_sync_at: Some(3),
             ..FaultPlan::default()
         });
         let map: DurableMap<u64, u64> = DurableMapBuilder::new("/db")
@@ -679,6 +687,53 @@ mod tests {
         let map = open();
         assert_eq!(map.to_vec(), vec![(1, vec![1u8])]);
         assert!(!map.recovery_info().truncated_tail);
+    }
+
+    #[test]
+    fn second_open_on_a_locked_directory_fails_fast() {
+        let storage = MemStorage::new();
+        let held = open_mem(&storage);
+        held.insert(1, 10);
+        let err = DurableMapBuilder::new("/db")
+            .storage(Arc::new(storage.clone()))
+            .wal_config(fast_wal())
+            .open::<u64, u64>()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            err.to_string().contains("locked by a live durable map"),
+            "contended open explains itself: {err}"
+        );
+        // The loser must not have disturbed the winner's files: the held
+        // map keeps working and a post-release reopen recovers its data.
+        held.insert(2, 20);
+        held.sync().unwrap();
+        drop(held);
+        let map = open_mem(&storage);
+        assert_eq!(map.to_vec(), vec![(1, 10), (2, 20)]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_a_crashed_process_is_broken() {
+        let storage = MemStorage::new();
+        {
+            let map = open_mem(&storage);
+            map.insert(1, 10);
+            map.sync().unwrap();
+        }
+        // Forge the scar a SIGKILLed holder leaves: a lock file naming a
+        // PID that no longer exists (u32::MAX is above pid_max).
+        storage.put(
+            Path::new("/db/LOCK"),
+            format!("{}\n", u32::MAX).into_bytes(),
+        );
+        let map = open_mem(&storage);
+        assert_eq!(
+            map.to_vec(),
+            vec![(1, 10)],
+            "stale lock broken, data intact"
+        );
     }
 
     #[test]

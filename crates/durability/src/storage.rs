@@ -46,6 +46,24 @@ pub trait StorageFile: Send {
 pub trait Storage: Send + Sync {
     /// Create (or truncate) a file for writing.
     fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Create a file that must not yet exist
+    /// ([`io::ErrorKind::AlreadyExists`] otherwise) — the mutual-exclusion
+    /// primitive behind the directory lock.
+    ///
+    /// The default implementation is check-then-create and therefore racy
+    /// against a concurrent creator; all in-tree storages override it with
+    /// an atomic version (`O_EXCL`, or a check under the backing-map
+    /// mutex).  Custom storages used with multi-process locking should do
+    /// the same.
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        if self.open_read(path).is_ok() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "file already exists",
+            ));
+        }
+        self.create(path)
+    }
     /// Open an existing file for appending.
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
     /// Open an existing file for reading.
@@ -96,6 +114,15 @@ impl Storage for StdStorage {
                 .create(true)
                 .write(true)
                 .truncate(true)
+                .read(true)
+                .open(path)?,
+        )))
+    }
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(StdFile(
+            std::fs::OpenOptions::new()
+                .create_new(true)
+                .write(true)
                 .read(true)
                 .open(path)?,
         )))
@@ -229,6 +256,21 @@ impl StorageFile for MemFile {
 impl Storage for MemStorage {
     fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
         lock(&self.files).insert(path.to_path_buf(), Vec::new());
+        Ok(Box::new(MemFile {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+        }))
+    }
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        // Atomic under the backing-map mutex, unlike the trait's default.
+        let mut files = lock(&self.files);
+        if files.contains_key(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "file already exists",
+            ));
+        }
+        files.insert(path.to_path_buf(), Vec::new());
         Ok(Box::new(MemFile {
             files: Arc::clone(&self.files),
             path: path.to_path_buf(),
@@ -445,6 +487,18 @@ impl Storage for FaultStorage {
     fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
         self.check_alive()?;
         self.mem.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner: MemFile {
+                files: Arc::clone(&self.mem.files),
+                path: path.to_path_buf(),
+            },
+            plan: self.plan,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check_alive()?;
+        self.mem.create_new(path)?;
         Ok(Box::new(FaultFile {
             inner: MemFile {
                 files: Arc::clone(&self.mem.files),

@@ -451,6 +451,98 @@ pub fn rqc_handoff_body(handoff_ok: bool) -> impl Fn() + Send + Sync + 'static {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Borrowed hops (crates/skiphash/src/node.rs `RawNode` + the range.rs scans)
+// ---------------------------------------------------------------------------
+
+/// A transcription of the borrowed-hop scan recipe onto the race detector:
+/// the scan loops in `skiphash::range` chase tower links through `RawNode`
+/// handles — pointer-only copies whose `unsafe fn node()` contract is
+/// "dereference only inside the attempt whose epoch guard pinned you".
+/// The pin is the *entire* safety argument: an unstitched node is retired,
+/// and retirement frees it as soon as no guard from an earlier epoch is
+/// live.  There is no per-hop recheck — the borrowed pointer is used after
+/// the link that produced it may already point elsewhere.
+///
+/// State: `pins` (the epoch guard census), `link` (the predecessor's next
+/// pointer: `1` = the node is stitched in, `2` = unstitched), `node_next`
+/// (the borrowed node's *own* forward link, which the advance loop chases
+/// before the payload is consumed), and a [`ShadowSlot`] for the node's
+/// payload.  The **scanner** pins, borrows the link, hops through the
+/// node's next pointer, and only then reads the payload — exactly the
+/// borrow-then-dereference split the raw loops make, with the next-link
+/// load sitting inside the window.  The **remover** unstitches the node
+/// and frees it only when the guard census is empty (retirement deferring
+/// to live guards); freeing is an install into recycled storage,
+/// `on_write`.
+///
+/// With the pin (`pinned = true`) the remover either observes the
+/// scanner's guard (and defers) or the all-SeqCst store-buffering shape
+/// forces the scanner's borrow to see the unstitch (and skip) — no
+/// schedule lets the free overlap the dereference.  Dropping the pin
+/// (`pinned = false`) models dereferencing a `RawNode` outside its guard:
+/// the remover's census check passes while the scanner still holds the
+/// borrowed pointer, and the free races the payload read — a replayable
+/// use-after-free token.
+pub fn rawhop_scan_body(pinned: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let pins = Arc::new(AtomicUsize::new(0));
+        let link = Arc::new(AtomicUsize::new(1));
+        let node_next = Arc::new(AtomicUsize::new(0));
+        let slot = Arc::new(ShadowSlot::new("rawhop.node"));
+
+        let scanner = {
+            let (pins, link, node_next, slot) = (
+                Arc::clone(&pins),
+                Arc::clone(&link),
+                Arc::clone(&node_next),
+                Arc::clone(&slot),
+            );
+            model::thread::spawn(move || {
+                if pinned {
+                    // SC: guard publication — the census bump must be
+                    // ordered against the remover's census read (the
+                    // store-buffering pair below).
+                    pins.fetch_add(1, Ordering::SeqCst);
+                }
+                // The borrowed hop: read the link once, keep the handle.
+                // SC: pairs with the unstitch store on the same location.
+                let hop = link.load(Ordering::SeqCst);
+                if hop == 1 {
+                    // Advance through the borrowed node: the loop loads
+                    // the node's own next pointer before its payload is
+                    // consumed, so the dereference sits strictly after the
+                    // borrow with nothing revalidated in between.
+                    let _succ = node_next.load(Ordering::Acquire);
+                    slot.on_read_confirmed();
+                }
+                if pinned {
+                    // SC: guard drop hands custody back to retirement.
+                    pins.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        let remover = {
+            let (pins, link, slot) = (Arc::clone(&pins), Arc::clone(&link), Arc::clone(&slot));
+            model::thread::spawn(move || {
+                // SC: unstitch — publish before the census read, the other
+                // half of the store-buffering pair.
+                link.store(2, Ordering::SeqCst);
+                // SC: the retirement census; a live guard defers the free.
+                if pins.load(Ordering::SeqCst) == 0 {
+                    // Reclamation recycles the block: a fresh install
+                    // lands in the same storage.
+                    slot.on_write();
+                }
+            })
+        };
+
+        scanner.join().unwrap();
+        remover.join().unwrap();
+    }
+}
+
 /// Look up a model body by the name used in the replay corpus.
 pub fn by_name(name: &str) -> Option<Box<dyn Fn() + Send + Sync>> {
     match name {
@@ -473,6 +565,8 @@ pub fn by_name(name: &str) -> Option<Box<dyn Fn() + Send + Sync>> {
         "snapshot-no-preserve" => Some(Box::new(snapshot_preserve_body(false))),
         "rqc-handoff" => Some(Box::new(rqc_handoff_body(true))),
         "rqc-unstitch-early" => Some(Box::new(rqc_handoff_body(false))),
+        "rawhop-pinned" => Some(Box::new(rawhop_scan_body(true))),
+        "rawhop-unpinned" => Some(Box::new(rawhop_scan_body(false))),
         _ => None,
     }
 }

@@ -89,6 +89,7 @@ impl<K, T> Chain<K, T> {
     }
 
     /// Iterate mutably over the pairs.
+    #[cfg_attr(not(test), allow(dead_code))] // used by tests and kept for API symmetry
     pub(crate) fn iter_mut(&mut self) -> std::slice::IterMut<'_, (K, T)> {
         self.as_mut_slice().iter_mut()
     }
@@ -140,6 +141,15 @@ impl<K, T> Chain<K, T> {
         self.len += 1;
     }
 
+    /// Mutable access to the value of the pair at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub(crate) fn value_mut(&mut self, index: usize) -> &mut T {
+        &mut self.as_mut_slice()[index].1
+    }
+
     /// Remove and return the pair at `index`, replacing it with the last
     /// pair (like `Vec::swap_remove`).
     ///
@@ -159,6 +169,34 @@ impl<K, T> Chain<K, T> {
             }
             removed
         }
+    }
+}
+
+impl<K: PartialEq, T> Chain<K, T> {
+    /// Linear-probe the chain for `key`, returning its slot index.
+    ///
+    /// This is the one scan loop behind every `TxHashMap` bucket operation
+    /// (get/contains/insert/upsert/remove).  Chains keep their pairs in one
+    /// dense forward array — grouped, never linked — precisely so this probe
+    /// is a streaming scan the hardware prefetcher likes; for chains long
+    /// enough to span cache lines we also issue an explicit software
+    /// prefetch one line ahead, so the next line's miss overlaps the key
+    /// comparisons in the current one (same policy as the skip-list level-0
+    /// scan; see docs/PERF.md, Mechanism 6).
+    pub(crate) fn probe(&self, key: &K) -> Option<usize> {
+        const LINE_BYTES: usize = 64;
+        // Pairs per cache line (floor 1 for pairs larger than a line).
+        let stride = (LINE_BYTES / Self::ELEM.max(1)).max(1);
+        let slice = self.as_slice();
+        for (index, (k, _)) in slice.iter().enumerate() {
+            if index % stride == 0 && index + stride < slice.len() {
+                skiphash_stm::sync::prefetch_read(std::ptr::from_ref(&slice[index + stride]));
+            }
+            if k == key {
+                return Some(index);
+            }
+        }
+        None
     }
 }
 
@@ -261,6 +299,26 @@ mod tests {
             arena::chain_recycle_hits() > before,
             "chain churn must recycle arena blocks"
         );
+    }
+
+    #[test]
+    fn probe_finds_keys_across_cache_lines() {
+        // Pairs of 16 bytes: four per line, so a 40-element chain spans ten
+        // lines and exercises the probe's line-ahead prefetch arm.
+        let mut chain: Chain<u64, u64> = Chain::new();
+        assert_eq!(chain.probe(&0), None, "empty chain probes clean");
+        for i in 0..40u64 {
+            chain.push((i, i * 3));
+        }
+        for i in 0..40u64 {
+            let index = chain.probe(&i).expect("every pushed key is found");
+            assert_eq!(chain.as_slice()[index], (i, i * 3));
+        }
+        assert_eq!(chain.probe(&999), None);
+        // Probe agrees with value_mut: update through the probed slot.
+        let index = chain.probe(&7).unwrap();
+        *chain.value_mut(index) = 0;
+        assert_eq!(chain.as_slice()[index], (7, 0));
     }
 
     #[test]

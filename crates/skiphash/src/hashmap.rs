@@ -81,9 +81,8 @@ where
     pub fn get(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Option<T>> {
         self.bucket_for(key).read_with(tx, |chain| {
             chain
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, value)| value.clone())
+                .probe(key)
+                .map(|index| chain.as_slice()[index].1.clone())
         })
     }
 
@@ -91,7 +90,7 @@ where
     #[must_use = "a TxAbort must be propagated with `?` so the enclosing transaction retries"]
     pub fn contains(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<bool> {
         self.bucket_for(key)
-            .read_with(tx, |chain| chain.iter().any(|(k, _)| k == key))
+            .read_with(tx, |chain| chain.probe(key).is_some())
     }
 
     /// Transactionally collect every key (test helper; `O(buckets + n)`).
@@ -118,7 +117,7 @@ where
     pub fn insert(&self, tx: &mut Txn<'_>, key: K, value: T) -> TxResult<bool> {
         let cell = self.bucket_for(&key);
         let mut chain = cell.read(tx)?;
-        if chain.iter().any(|(k, _)| *k == key) {
+        if chain.probe(&key).is_some() {
             return Ok(false);
         }
         chain.push((key, value));
@@ -133,8 +132,8 @@ where
     pub fn upsert(&self, tx: &mut Txn<'_>, key: K, value: T) -> TxResult<Option<T>> {
         let cell = self.bucket_for(&key);
         let mut chain = cell.read(tx)?;
-        let previous = if let Some(slot) = chain.iter_mut().find(|(k, _)| *k == key) {
-            Some(std::mem::replace(&mut slot.1, value))
+        let previous = if let Some(index) = chain.probe(&key) {
+            Some(std::mem::replace(chain.value_mut(index), value))
         } else {
             chain.push((key, value));
             None
@@ -148,7 +147,7 @@ where
     pub fn remove(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<Option<T>> {
         let cell = self.bucket_for(key);
         let mut chain = cell.read(tx)?;
-        match chain.iter().position(|(k, _)| k == key) {
+        match chain.probe(key) {
             None => Ok(None),
             Some(index) => {
                 let (_, value) = chain.swap_remove(index);

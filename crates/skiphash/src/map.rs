@@ -103,7 +103,7 @@ impl PopulationCounter {
         self.shard().fetch_sub(1, Ordering::Relaxed);
     }
 
-    fn total(&self) -> usize {
+    pub(crate) fn total(&self) -> usize {
         let sum: i64 = self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum();
         debug_assert!(sum >= 0, "population counter went negative: {sum}");
         sum.max(0) as usize

@@ -18,8 +18,8 @@
 //! [`skiphash_stm::arena`]'s size-classed pools:
 //!
 //! ```text
-//! NodeBlock { refs: AtomicUsize, node: Node { bound, height, value,
-//!             i_time, r_time, tower: ↓ }, [Level; height] ← points here }
+//! NodeBlock { refs: AtomicUsize, node: Node { bound, r_time, value,
+//!             i_time, height, tower: ↓ }, [Level; height] ← points here }
 //! ```
 //!
 //! [`NodeRef`] is the `Arc` replacement: a pointer-sized handle whose
@@ -109,11 +109,18 @@ impl<K: Ord> Bound<K> {
 pub type Link<K, V> = Option<NodeRef<K, V>>;
 
 /// Predecessor/successor links for one level of a node's tower.
+///
+/// `repr(C)` with `succ` first: forward traversal (descent and level-0
+/// scans) touches only successor links, so keeping `succ` at offset 0 means
+/// the tower-line prefetch issued one hop ahead (`RawNode::prefetch`)
+/// covers the next hop's link without also paying for the predecessor cell
+/// (see docs/PERF.md, Mechanism 6).
+#[repr(C)]
 pub struct Level<K, V> {
-    /// Link to the previous node at this level.
-    pub pred: TCell<Link<K, V>>,
     /// Link to the next node at this level.
     pub succ: TCell<Link<K, V>>,
+    /// Link to the previous node at this level.
+    pub pred: TCell<Link<K, V>>,
 }
 
 impl<K, V> Level<K, V> {
@@ -155,19 +162,28 @@ fn block_layout<K, V>(height: usize) -> (Layout, usize) {
 ///
 /// Obtained by dereferencing a [`NodeRef`]; never exists outside a node
 /// block.
+///
+/// `repr(C)` with the scan-hot fields first: a level-0 scan reads, per
+/// element, the key (`bound`), the deletion mark (`r_time`), and the value
+/// cell — so those lead the header and, for small keys, land in the block's
+/// first cache line together with `refs` (blocks are cache-line aligned,
+/// see `stm::arena::BLOCK_ALIGN`).  The descent-only and immutable-cold
+/// fields (`i_time`, `height`, `tower`) trail.  Layout rules are documented
+/// in docs/PERF.md, Mechanism 6.
+#[repr(C)]
 pub struct Node<K, V> {
     /// The node's position on the key axis (immutable).
     pub bound: Bound<K>,
-    /// Tower height (immutable, at least 1).
-    pub height: usize,
+    /// `None` while the node is logically present; set to the most recent
+    /// range query version when the node is logically deleted.
+    pub r_time: TCell<Option<u64>>,
     /// The associated value (`None` only for sentinels).
     pub value: TCell<Option<V>>,
     /// Version of the most recent slow-path range query that began before
     /// this node was inserted.
     pub i_time: TCell<u64>,
-    /// `None` while the node is logically present; set to the most recent
-    /// range query version when the node is logically deleted.
-    pub r_time: TCell<Option<u64>>,
+    /// Tower height (immutable, at least 1).
+    pub height: usize,
     /// The inline tower: points at the `[Level; height]` array stored in the
     /// same arena block, immediately after this header.  Stable for the
     /// block's lifetime (blocks never move).
@@ -348,6 +364,23 @@ impl<K, V> RawNode<K, V> {
         unsafe { &(*self.block.as_ptr()).node }
     }
 
+    /// Hint the prefetcher at this node's header line and its tower's first
+    /// line (level 0), without dereferencing anything.
+    ///
+    /// The tower array sits at a *height-independent* offset inside the
+    /// block (`Layout::extend` pads the fixed-size header to the tower's
+    /// alignment), so both lines are computable from the bare block pointer
+    /// — which is what makes it safe to issue this one hop *ahead* of
+    /// validation: a prefetch never faults, and the worst a stale pointer
+    /// costs is a wasted cache fill.
+    #[inline]
+    pub(crate) fn prefetch(&self) {
+        let base = self.block.as_ptr().cast::<u8>();
+        skiphash_stm::sync::prefetch_read(base);
+        let (_, tower_offset) = block_layout::<K, V>(1);
+        skiphash_stm::sync::prefetch_read(base.wrapping_add(tower_offset));
+    }
+
     /// Promote to a counted [`NodeRef`].
     ///
     /// # Safety
@@ -418,10 +451,10 @@ fn alloc_node<K: MapKey, V: MapValue>(
         addr_of_mut!((*block).refs).write(AtomicUsize::new(1));
         addr_of_mut!((*block).node).write(Node {
             bound,
-            height,
+            r_time: TCell::new_at(None, born),
             value: TCell::new_at(value, born),
             i_time: TCell::new_at(i_time, born),
-            r_time: TCell::new_at(None, born),
+            height,
             tower: NonNull::new_unchecked(tower),
         });
         NodeRef {

@@ -25,13 +25,21 @@ use skiphash_stm::{TxResult, Txn};
 
 use crate::config::RangePolicy;
 use crate::map::{Inner, SkipHash};
-use crate::node::{Bound as NodeBound, NodeRef};
+use crate::node::{Bound as NodeBound, NodeRef, RawNode};
 use crate::{MapKey, MapValue};
 
-/// An owned iterator over one linearizable range-query snapshot, in
-/// ascending key order.
+/// Collection vectors are pre-sized from the sharded population estimate,
+/// clamped to this many pairs so a huge map does not turn a short range
+/// query into a huge allocation.  The estimate only sizes the first
+/// allocation; results longer than the clamp simply grow normally.
+const RANGE_PRESIZE_CAP: usize = 1_024;
+
+/// An owned iterator over one linearizable range-query snapshot, in key
+/// order — ascending from [`SkipHash::range`], descending from
+/// [`SkipHash::range_rev`].
 ///
-/// Returned by [`SkipHash::range`], [`SkipHash::range_attempt_fast`], and
+/// Returned by [`SkipHash::range`], [`SkipHash::range_rev`],
+/// [`SkipHash::range_attempt_fast`], and
 /// [`TxView::range`](crate::TxView::range).  The snapshot is materialized at
 /// the query's linearization point; iterating it performs no further
 /// synchronization.
@@ -121,7 +129,23 @@ pub(crate) fn end_allows<K: Ord>(position: &NodeBound<K>, end: StdBound<&K>) -> 
     }
 }
 
+/// True when a node at `position` still lies at or above the start bound
+/// (the back-walk's mirror of [`end_allows`]).
+pub(crate) fn start_allows<K: Ord>(position: &NodeBound<K>, start: StdBound<&K>) -> bool {
+    match start {
+        StdBound::Unbounded => true,
+        StdBound::Included(l) => !position.is_before(l),
+        StdBound::Excluded(l) => position.cmp_key(l) == CmpOrdering::Greater,
+    }
+}
+
 impl<K: MapKey, V: MapValue> Inner<K, V> {
+    /// How many pairs to reserve before a collection walk: the sharded
+    /// population estimate, clamped (see [`RANGE_PRESIZE_CAP`]).
+    fn collect_capacity(&self) -> usize {
+        self.population.total().min(RANGE_PRESIZE_CAP)
+    }
+
     /// Walk the range inside `tx` (fast-path style: one transaction sees the
     /// whole snapshot).  Shared by the fast path and by
     /// [`TxView::range`](crate::TxView::range).
@@ -131,28 +155,152 @@ impl<K: MapKey, V: MapValue> Inner<K, V> {
         start: StdBound<&K>,
         end: StdBound<&K>,
     ) -> TxResult<Vec<(K, V)>> {
+        self.collect_range_with(tx, start, end, &K::clone)
+    }
+
+    /// [`Inner::collect_range`] with a caller-chosen key extractor (`|k| *k`
+    /// for `Copy` keys, `K::clone` otherwise), hopping on borrowed
+    /// [`RawNode`] handles: zero refcount traffic per link, one software
+    /// prefetch of the successor per element (docs/PERF.md, Mechanism 6).
+    pub(crate) fn collect_range_with(
+        &self,
+        tx: &mut Txn<'_>,
+        start: StdBound<&K>,
+        end: StdBound<&K>,
+        extract: &impl Fn(&K) -> K,
+    ) -> TxResult<Vec<(K, V)>> {
         let mut out = Vec::new();
         if range_is_empty(&start, &end) {
             return Ok(out);
         }
+        out.reserve(self.collect_capacity());
+        // SAFETY (for every `node()` below): each handle was read through a
+        // link cell inside this same attempt `tx`, whose epoch guard stays
+        // pinned for the whole call — the RawNode validity contract.
+        let head = RawNode::from_ref(self.skiplist.head());
         let mut node = match start {
-            StdBound::Unbounded => self.skiplist.head().succ0(tx)?,
-            StdBound::Included(low) => self.skiplist.ceil_raw(tx, low)?,
+            // SAFETY: head handle; the attempt's guard is pinned (note above).
+            StdBound::Unbounded => unsafe { head.node() }
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel"),
+            StdBound::Included(low) => self.skiplist.ceil_raw_borrowed(tx, low)?,
             StdBound::Excluded(low) => {
                 // Skip *every* node carrying the excluded key, including
                 // logically deleted duplicates lingering before the live one.
-                let mut node = self.skiplist.ceil_raw(tx, low)?;
-                while !node.is_tail() && node.bound.cmp_key(low) == CmpOrdering::Equal {
-                    node = node.succ0(tx)?;
+                let mut node = self.skiplist.ceil_raw_borrowed(tx, low)?;
+                while {
+                    // SAFETY: same contract — read under this attempt.
+                    let n = unsafe { node.node() };
+                    !n.is_tail() && n.bound.cmp_key(low) == CmpOrdering::Equal
+                } {
+                    // SAFETY: same contract — read under this attempt.
+                    node = unsafe { node.node() }
+                        .level(0)
+                        .succ
+                        .read_with(tx, RawNode::from_link)?
+                        .expect("levels are always terminated by the tail sentinel");
                 }
                 node
             }
         };
-        while !node.is_tail() && end_allows(&node.bound, end) {
-            if !node.is_logically_deleted(tx)? {
-                out.push((node.key().clone(), node.read_value(tx)?));
+        loop {
+            // SAFETY: same contract — read under this attempt.
+            let n = unsafe { node.node() };
+            if n.is_tail() || !end_allows(&n.bound, end) {
+                break;
             }
-            node = node.succ0(tx)?;
+            let next = n
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+            // Overlap the successor's cache miss with this element's
+            // mark/value reads — the level-0 scan's dominant stall.
+            next.prefetch();
+            if !n.r_time.read_with(tx, Option::is_some)? {
+                let value = n
+                    .value
+                    .read_with(tx, Option::clone)?
+                    .expect("regular nodes always carry a value");
+                out.push((extract(n.key()), value));
+            }
+            node = next;
+        }
+        Ok(out)
+    }
+
+    /// Walk the range *backwards* inside `tx` via the predecessor links,
+    /// yielding pairs in descending key order — the borrowed back-walk
+    /// behind [`SkipHash::range_rev`].
+    pub(crate) fn collect_range_rev_with(
+        &self,
+        tx: &mut Txn<'_>,
+        start: StdBound<&K>,
+        end: StdBound<&K>,
+        extract: &impl Fn(&K) -> K,
+    ) -> TxResult<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        if range_is_empty(&start, &end) {
+            return Ok(out);
+        }
+        out.reserve(self.collect_capacity());
+        // SAFETY (for every `node()` below): each handle was read through a
+        // link cell inside this same attempt `tx`, whose epoch guard stays
+        // pinned for the whole call — the RawNode validity contract.
+        //
+        // Position on the first node strictly *beyond* the end bound (the
+        // tail for an unbounded end), then step back once: its level-0
+        // predecessor is the last node the end bound allows.
+        let after_end = match end {
+            StdBound::Unbounded => RawNode::from_ref(self.skiplist.tail()),
+            StdBound::Excluded(high) => self.skiplist.ceil_raw_borrowed(tx, high)?,
+            StdBound::Included(high) => {
+                let mut node = self.skiplist.ceil_raw_borrowed(tx, high)?;
+                while {
+                    // SAFETY: same contract — read under this attempt.
+                    let n = unsafe { node.node() };
+                    !n.is_tail() && n.bound.cmp_key(high) == CmpOrdering::Equal
+                } {
+                    // SAFETY: same contract — read under this attempt.
+                    node = unsafe { node.node() }
+                        .level(0)
+                        .succ
+                        .read_with(tx, RawNode::from_link)?
+                        .expect("levels are always terminated by the tail sentinel");
+                }
+                node
+            }
+        };
+        // SAFETY: same contract — read under this attempt.
+        let mut node = unsafe { after_end.node() }
+            .level(0)
+            .pred
+            .read_with(tx, RawNode::from_link)?
+            .expect("interior nodes always have a level-0 predecessor");
+        loop {
+            // SAFETY: same contract — read under this attempt.
+            let n = unsafe { node.node() };
+            if n.is_head() || !start_allows(&n.bound, start) {
+                break;
+            }
+            let prev = n
+                .level(0)
+                .pred
+                .read_with(tx, RawNode::from_link)?
+                .expect("interior nodes always have a level-0 predecessor");
+            // Overlap the predecessor's cache miss with this element's
+            // mark/value reads, mirroring the forward scan.
+            prev.prefetch();
+            if !n.r_time.read_with(tx, Option::is_some)? {
+                let value = n
+                    .value
+                    .read_with(tx, Option::clone)?
+                    .expect("regular nodes always carry a value");
+                out.push((extract(n.key()), value));
+            }
+            node = prev;
         }
         Ok(out)
     }
@@ -180,6 +328,12 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// The execution strategy (fast path, slow path, or fast-then-slow) is
     /// chosen by the configured [`RangePolicy`].
     pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_with(range, &K::clone)
+    }
+
+    /// Policy dispatch shared by [`SkipHash::range`] (keys cloned out) and
+    /// [`SkipHash::range_copied`] (keys copied out).
+    fn range_with<R: RangeBounds<K>>(&self, range: R, extract: &impl Fn(&K) -> K) -> Range<K, V> {
         let start = clone_bound(range.start_bound());
         let end = clone_bound(range.end_bound());
         if range_is_empty(&start, &end) {
@@ -187,21 +341,68 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         }
         let pairs = match self.inner.config.range_policy {
             RangePolicy::FastOnly => loop {
-                if let Some(result) = self.range_fast(bound_as_ref(&start), bound_as_ref(&end)) {
+                if let Some(result) =
+                    self.range_fast_with(bound_as_ref(&start), bound_as_ref(&end), extract)
+                {
                     break result;
                 }
             },
-            RangePolicy::SlowOnly => self.range_slow(bound_as_ref(&start), bound_as_ref(&end)),
+            RangePolicy::SlowOnly => {
+                self.range_slow_with(bound_as_ref(&start), bound_as_ref(&end), extract)
+            }
             RangePolicy::TwoPath { tries } => 'outer: {
                 for _ in 0..tries.max(1) {
-                    if let Some(result) = self.range_fast(bound_as_ref(&start), bound_as_ref(&end))
+                    if let Some(result) =
+                        self.range_fast_with(bound_as_ref(&start), bound_as_ref(&end), extract)
                     {
                         break 'outer result;
                     }
                 }
-                self.range_slow(bound_as_ref(&start), bound_as_ref(&end))
+                self.range_slow_with(bound_as_ref(&start), bound_as_ref(&end), extract)
             }
         };
+        Range::new(pairs)
+    }
+
+    /// Collect every `(key, value)` pair whose key lies in `range`, in
+    /// **descending** key order, as one atomic (fast-path style)
+    /// transaction.
+    ///
+    /// The walk itself runs backwards over the predecessor links (this is
+    /// where the doubly linked tower pays off for reverse iteration): no
+    /// forward pass plus reverse, just one borrowed back-walk from the end
+    /// bound.  Unlike [`SkipHash::range`] this always uses the coherent
+    /// full-transaction path — the RQC slow path's safe-node argument is
+    /// forward-oriented and does not apply to a backwards traversal.
+    ///
+    /// ```
+    /// use skiphash::SkipHash;
+    ///
+    /// let map: SkipHash<u64, u64> = SkipHash::new();
+    /// for k in [1, 3, 5, 7] {
+    ///     map.insert(k, k * 10);
+    /// }
+    /// assert_eq!(map.range_rev(3..=7).collect::<Vec<_>>(), vec![(7, 70), (5, 50), (3, 30)]);
+    /// assert_eq!(map.range_rev(5..2).count(), 0, "inverted ranges are empty, not a panic");
+    /// ```
+    pub fn range_rev<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_rev_with(range, &K::clone)
+    }
+
+    fn range_rev_with<R: RangeBounds<K>>(
+        &self,
+        range: R,
+        extract: &impl Fn(&K) -> K,
+    ) -> Range<K, V> {
+        let start = clone_bound(range.start_bound());
+        let end = clone_bound(range.end_bound());
+        if range_is_empty(&start, &end) {
+            return Range::new(Vec::new());
+        }
+        let pairs = self.inner.stm.run(|tx| {
+            self.inner
+                .collect_range_rev_with(tx, bound_as_ref(&start), bound_as_ref(&end), extract)
+        });
         Range::new(pairs)
     }
 
@@ -223,10 +424,20 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// One fast-path attempt: the entire query as a single transaction that
     /// does not retry on conflict.  Returns `None` if the attempt aborted.
     pub(crate) fn range_fast(&self, start: StdBound<&K>, end: StdBound<&K>) -> Option<Vec<(K, V)>> {
+        self.range_fast_with(start, end, &K::clone)
+    }
+
+    /// [`SkipHash::range_fast`] with a caller-chosen key extractor.
+    fn range_fast_with(
+        &self,
+        start: StdBound<&K>,
+        end: StdBound<&K>,
+        extract: &impl Fn(&K) -> K,
+    ) -> Option<Vec<(K, V)>> {
         let attempt = self
             .inner
             .stm
-            .try_once(|tx| self.inner.collect_range(tx, start, end));
+            .try_once(|tx| self.inner.collect_range_with(tx, start, end, extract));
         match attempt {
             Ok(result) => {
                 self.inner
@@ -246,9 +457,20 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     }
 
     /// The slow path: register with the RQC, then gather the range across
-    /// several transactions, pausing only on safe nodes.
-    pub(crate) fn range_slow(&self, start: StdBound<&K>, end: StdBound<&K>) -> Vec<(K, V)> {
+    /// several transactions, pausing only on safe nodes.  `extract` is the
+    /// key extractor ([`Clone::clone`] or a copy-out for `Copy` keys).
+    fn range_slow_with(
+        &self,
+        start: StdBound<&K>,
+        end: StdBound<&K>,
+        extract: &impl Fn(&K) -> K,
+    ) -> Vec<(K, V)> {
         let inner = &self.inner;
+        // Unsatisfiable bounds never register with the RQC or descend the
+        // tower (defense in depth: public entry points guard too).
+        if range_is_empty(&start, &end) {
+            return Vec::new();
+        }
         // Setup transaction: find the starting node and acquire a version
         // number atomically, so the start node is a safe node for this query.
         // This commit is the query's linearization point.
@@ -266,17 +488,35 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
         // by the closure (`no_local_undo`): when an attempt aborts, all pairs
         // gathered so far and the current safe node are retained, so the next
         // attempt resumes exactly where the previous one stopped.
-        let mut collected: Vec<(K, V)> = Vec::new();
+        //
+        // Inside one attempt the walk hops on borrowed handles; the counted
+        // local is only written back at each element boundary (the custody
+        // handoff point — the node the next attempt must resume from), so
+        // the safe-node search between elements pays no refcount traffic.
+        let mut collected: Vec<(K, V)> = Vec::with_capacity(inner.collect_capacity());
         let mut node: NodeRef<K, V> = start_node;
         inner.stm.run(|tx| {
-            while !node.is_tail() && end_allows(&node.bound, end) {
-                let value = node.read_value(tx)?;
-                let next = self.next_safe(tx, &node, version)?;
+            loop {
+                let raw = RawNode::from_ref(&node);
+                // SAFETY: (this and every `node()` below) the handle is
+                // rooted in the counted local `node` or was read through a
+                // link cell inside this same attempt, whose epoch guard
+                // stays pinned — the RawNode validity contract.
+                let n = unsafe { raw.node() };
+                if n.is_tail() || !end_allows(&n.bound, end) {
+                    break;
+                }
+                let value = n
+                    .value
+                    .read_with(tx, Option::clone)?
+                    .expect("regular nodes always carry a value");
+                let next = self.next_safe(tx, raw, version)?;
                 // Only update the locals once everything read for this node
                 // is known to be consistent, so an abort never records a
                 // partially processed node (and never records it twice).
-                collected.push((node.key().clone(), value));
-                node = next;
+                collected.push((extract(n.key()), value));
+                // SAFETY: obtained under the still-running attempt `tx`.
+                node = unsafe { next.upgrade() };
             }
             Ok(())
         });
@@ -295,17 +535,33 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     }
 
     /// Find the next safe node after `node` for a query with version
-    /// `version` by walking the bottom level.  The tail sentinel is always
-    /// safe, so this always terminates.
+    /// `version` by walking the bottom level on borrowed handles.  The tail
+    /// sentinel is always safe, so this always terminates.
     fn next_safe(
         &self,
         tx: &mut Txn<'_>,
-        node: &NodeRef<K, V>,
+        node: RawNode<K, V>,
         version: u64,
-    ) -> TxResult<NodeRef<K, V>> {
-        let mut candidate = node.succ0(tx)?;
-        while !Self::is_safe(tx, &candidate, version)? {
-            candidate = candidate.succ0(tx)?;
+    ) -> TxResult<RawNode<K, V>> {
+        // SAFETY: (every `node()` below) each handle was read through a
+        // link cell inside this same attempt, whose epoch guard stays pinned
+        // for the whole call.
+        let mut candidate = unsafe { node.node() }
+            .level(0)
+            .succ
+            .read_with(tx, RawNode::from_link)?
+            .expect("levels are always terminated by the tail sentinel");
+        // Warm the candidate's header line ahead of the safety test's
+        // timestamp reads.
+        candidate.prefetch();
+        while !Self::is_safe(tx, candidate, version)? {
+            // SAFETY: same contract — read under this attempt.
+            candidate = unsafe { candidate.node() }
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+            candidate.prefetch();
         }
         Ok(candidate)
     }
@@ -313,17 +569,48 @@ impl<K: MapKey, V: MapValue> SkipHash<K, V> {
     /// §4.3's safety test: sentinels are always safe; a node is safe for a
     /// query with version `version` iff it was inserted before the query
     /// began and was not logically deleted before the query began.
-    fn is_safe(tx: &mut Txn<'_>, node: &NodeRef<K, V>, version: u64) -> TxResult<bool> {
-        if node.is_sentinel() {
+    fn is_safe(tx: &mut Txn<'_>, node: RawNode<K, V>, version: u64) -> TxResult<bool> {
+        // SAFETY: the handle was obtained inside this same attempt, whose
+        // epoch guard stays pinned — the RawNode validity contract.
+        let n = unsafe { node.node() };
+        if n.is_sentinel() {
             return Ok(true);
         }
-        if node.i_time.read(tx)? >= version {
+        if n.i_time.read_with(tx, |t| *t)? >= version {
             return Ok(false);
         }
-        Ok(match node.r_time.read(tx)? {
+        Ok(match n.r_time.read_with(tx, |t| *t)? {
             None => true,
             Some(removed_at) => removed_at >= version,
         })
+    }
+}
+
+impl<K: MapKey + Copy, V: MapValue> SkipHash<K, V> {
+    /// [`SkipHash::range`] for `Copy` keys: keys are copied out of the node
+    /// instead of cloned.
+    ///
+    /// Rust has no specialization, so the generic path must call `K::clone`
+    /// even when `K` is a plain integer; this method (same policy dispatch,
+    /// same linearization guarantees) is the explicit opt-in the benchmark
+    /// adapters use.  For `Copy` keys the compiler reduces the copy-out to a
+    /// load, where the clone call was an opaque per-element function edge.
+    pub fn range_copied<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_with(range, &|k: &K| *k)
+    }
+
+    /// [`SkipHash::range_rev`] for `Copy` keys (see
+    /// [`SkipHash::range_copied`]).
+    pub fn range_rev_copied<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_rev_with(range, &|k: &K| *k)
+    }
+
+    /// [`SkipHash::to_vec`](crate::SkipHash::to_vec) for `Copy` keys (see
+    /// [`SkipHash::range_copied`]).
+    pub fn to_vec_copied(&self) -> Vec<(K, V)> {
+        self.inner
+            .stm
+            .run(|tx| self.inner.skiplist.collect_present_with(tx, &|k: &K| *k))
     }
 }
 

@@ -225,7 +225,7 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
     ///
     /// The returned handle obeys the [`RawNode`] validity contract (valid
     /// within the attempt `tx`).
-    fn ceil_raw_borrowed(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<RawNode<K, V>> {
+    pub(crate) fn ceil_raw_borrowed(&self, tx: &mut Txn<'_>, key: &K) -> TxResult<RawNode<K, V>> {
         // SAFETY (for every `node()` below): each handle was read through a
         // link cell inside this same attempt, whose epoch guard stays pinned
         // for the whole call.
@@ -238,6 +238,11 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                     .succ
                     .read_with(tx, RawNode::from_link)?
                     .expect("levels are always terminated by the tail sentinel");
+                // Warm the candidate's header and tower lines while the
+                // bound comparison below resolves (docs/PERF.md, Mechanism
+                // 6: the tower line is the next dependent load on the
+                // continue-at-this-level path).
+                next.prefetch();
                 // SAFETY: same contract — read under this attempt.
                 if unsafe { next.node() }.bound.is_before(key) {
                     pred = next;
@@ -260,12 +265,13 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
                 .succ
                 .read_with(tx, RawNode::from_link)?
                 .expect("levels are always terminated by the tail sentinel");
+            curr.prefetch();
         }
         Ok(curr)
     }
 
     /// Hop forward (level 0) over logically deleted nodes, borrowed.
-    fn skip_deleted_forward(
+    pub(crate) fn skip_deleted_forward(
         &self,
         tx: &mut Txn<'_>,
         mut node: RawNode<K, V>,
@@ -475,29 +481,83 @@ impl<K: MapKey, V: MapValue> SkipList<K, V> {
         Ok(())
     }
 
-    /// Count logically present nodes by walking level 0.
+    /// Count logically present nodes by walking level 0 with borrowed hops.
     pub fn count_present(&self, tx: &mut Txn<'_>) -> TxResult<usize> {
+        // SAFETY (for every `node()` below): each handle was read through a
+        // link cell inside this same attempt, whose epoch guard stays pinned
+        // for the whole call.
         let mut count = 0;
-        let mut node = self.head.succ0(tx)?;
-        while !node.is_tail() {
-            if !node.is_logically_deleted(tx)? {
+        let head = RawNode::from_ref(&self.head);
+        // SAFETY: head handle; the attempt's guard is pinned (note above).
+        let mut node = unsafe { head.node() }
+            .level(0)
+            .succ
+            .read_with(tx, RawNode::from_link)?
+            .expect("levels are always terminated by the tail sentinel");
+        // SAFETY: same contract — read under this attempt.
+        while !unsafe { node.node() }.is_tail() {
+            // SAFETY: same contract — read under this attempt.
+            let n = unsafe { node.node() };
+            let next = n
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+            // Overlap the successor's cache miss with this node's mark read.
+            next.prefetch();
+            if !n.r_time.read_with(tx, Option::is_some)? {
                 count += 1;
             }
-            node = node.succ0(tx)?;
+            node = next;
         }
         Ok(count)
     }
 
     /// Collect every logically present `(key, value)` pair in order by
-    /// walking level 0.
+    /// walking level 0 (borrowed hops; keys copied out via `K::clone`).
     pub fn collect_present(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(K, V)>> {
+        self.collect_present_with(tx, &K::clone)
+    }
+
+    /// [`SkipList::collect_present`] with a caller-chosen key extractor, so
+    /// `Copy` keys can be copied out of the node instead of cloned (the
+    /// `*_copied` fast paths; see docs/PERF.md, Mechanism 6).
+    pub(crate) fn collect_present_with(
+        &self,
+        tx: &mut Txn<'_>,
+        extract: &impl Fn(&K) -> K,
+    ) -> TxResult<Vec<(K, V)>> {
+        // SAFETY (for every `node()` below): each handle was read through a
+        // link cell inside this same attempt, whose epoch guard stays pinned
+        // for the whole call.
         let mut out = Vec::new();
-        let mut node = self.head.succ0(tx)?;
-        while !node.is_tail() {
-            if !node.is_logically_deleted(tx)? {
-                out.push((node.key().clone(), node.read_value(tx)?));
+        let head = RawNode::from_ref(&self.head);
+        // SAFETY: head handle; the attempt's guard is pinned (note above).
+        let mut node = unsafe { head.node() }
+            .level(0)
+            .succ
+            .read_with(tx, RawNode::from_link)?
+            .expect("levels are always terminated by the tail sentinel");
+        // SAFETY: same contract — read under this attempt.
+        while !unsafe { node.node() }.is_tail() {
+            // SAFETY: same contract — read under this attempt.
+            let n = unsafe { node.node() };
+            let next = n
+                .level(0)
+                .succ
+                .read_with(tx, RawNode::from_link)?
+                .expect("levels are always terminated by the tail sentinel");
+            // Overlap the successor's cache miss with this element's
+            // mark/value reads (the scan loop's dominant stall).
+            next.prefetch();
+            if !n.r_time.read_with(tx, Option::is_some)? {
+                let value = n
+                    .value
+                    .read_with(tx, Option::clone)?
+                    .expect("regular nodes always carry a value");
+                out.push((extract(n.key()), value));
             }
-            node = node.succ0(tx)?;
+            node = next;
         }
         Ok(out)
     }

@@ -225,6 +225,13 @@ impl<K: MapKey, V: MapValue> Snapshot<K, V> {
     /// split and no abort accounting — a pinned walk cannot conflict with
     /// anything.
     pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_with(range, &K::clone)
+    }
+
+    /// Collection walk shared by [`Snapshot::range`] (keys cloned out) and
+    /// [`Snapshot::range_copied`] (keys copied out), hopping on borrowed
+    /// handles with the same successor prefetch as the live-map scan.
+    fn range_with<R: RangeBounds<K>>(&self, range: R, extract: &impl Fn(&K) -> K) -> Range<K, V> {
         let start = clone_bound(range.start_bound());
         let end = clone_bound(range.end_bound());
         if range_is_empty(&start, &end) {
@@ -253,10 +260,15 @@ impl<K: MapKey, V: MapValue> Snapshot<K, V> {
             if n.is_tail() || !end_allows(&n.bound, bound_as_ref(&end)) {
                 break;
             }
+            let next = self.hop(node, 0);
+            // Overlap the successor's cache miss with this element's
+            // mark/value reads, exactly as in the transactional scan
+            // (docs/PERF.md, Mechanism 6).
+            next.prefetch();
             if self.present_at(node) {
-                out.push((n.key().clone(), self.value_at(node)));
+                out.push((extract(n.key()), self.value_at(node)));
             }
-            node = self.hop(node, 0);
+            node = next;
         }
         Range::new(out)
     }
@@ -318,6 +330,21 @@ impl<K: MapKey, V: MapValue> Snapshot<K, V> {
             }
             node = self.hop(node, 0);
         }
+    }
+}
+
+impl<K: MapKey + Copy, V: MapValue> Snapshot<K, V> {
+    /// [`Snapshot::range`] for `Copy` keys: keys are copied out of the node
+    /// instead of cloned (see
+    /// [`SkipHash::range_copied`](crate::SkipHash::range_copied) for why
+    /// this is a separate method).
+    pub fn range_copied<R: RangeBounds<K>>(&self, range: R) -> Range<K, V> {
+        self.range_with(range, &|k: &K| *k)
+    }
+
+    /// [`Snapshot::to_vec`] for `Copy` keys (see [`Snapshot::range_copied`]).
+    pub fn to_vec_copied(&self) -> Vec<(K, V)> {
+        self.range_copied(..).collect()
     }
 }
 

@@ -69,7 +69,14 @@ const NUM_CLASSES: usize = CLASS_SIZES.len();
 
 /// Every pooled block is aligned to this; stricter alignments fall back to
 /// the global allocator (same policy as the payload slab).
-const BLOCK_ALIGN: usize = 16;
+///
+/// One cache line: pooled blocks back skip-hash node headers and hash-chain
+/// buffers, and cache-line alignment is what makes the node header's
+/// "scan-hot fields in the first line" layout rule (docs/PERF.md, Mechanism
+/// 6) mean an actual line rather than an arbitrary 64-byte window.  The
+/// cost is only alignment slack on the global allocator's side — class
+/// sizes themselves are unchanged.
+const BLOCK_ALIGN: usize = 64;
 
 /// Magazine size at which half the blocks are flushed to the global pool.
 const MAGAZINE_CAP: usize = 32;
@@ -310,9 +317,10 @@ mod tests {
     fn classes_cover_sizes_and_reject_extremes() {
         assert!(pooled(1, 1));
         assert!(pooled(4096, 16));
+        assert!(pooled(64, 64), "cache-line alignment is pooled");
         assert!(!pooled(4097, 8), "oversized blocks fall back");
         assert!(!pooled(0, 8), "zero-size requests fall back");
-        assert!(!pooled(64, 64), "over-aligned blocks fall back");
+        assert!(!pooled(64, 128), "over-aligned blocks fall back");
         // Exhaustive on native runs; Miri strides to keep the interpreted
         // run fast while still probing every class boundary region.
         let step = if cfg!(miri) { 7 } else { 1 };
@@ -331,7 +339,8 @@ mod tests {
         assert_eq!(recommended_size(33, 8), 64);
         assert_eq!(recommended_size(4096, 8), 4096);
         assert_eq!(recommended_size(5000, 8), 5000, "oversize is unchanged");
-        assert_eq!(recommended_size(48, 64), 48, "over-aligned is unchanged");
+        assert_eq!(recommended_size(48, 64), 64, "cache-line alignment pools");
+        assert_eq!(recommended_size(48, 128), 48, "over-aligned is unchanged");
         // The round-trip invariant chains rely on: a recommended size maps to
         // the class whose full size it is.  (Strided under Miri, as above.)
         let step = if cfg!(miri) { 7 } else { 1 };
@@ -375,11 +384,11 @@ mod tests {
         assert!(!recycled);
         // SAFETY: `big` came from `alloc_raw` with the same size/align and is not used again.
         unsafe { free_raw(big, 8192, 8) };
-        let (aligned, recycled) = alloc_raw(128, 64);
+        let (aligned, recycled) = alloc_raw(128, 128);
         assert!(!recycled);
-        assert_eq!(aligned as usize % 64, 0);
+        assert_eq!(aligned as usize % 128, 0);
         // SAFETY: `aligned` came from `alloc_raw` with the same size/align and is not used again.
-        unsafe { free_raw(aligned, 128, 64) };
+        unsafe { free_raw(aligned, 128, 128) };
     }
 
     #[test]

@@ -78,3 +78,38 @@ impl ShadowSlot {
     #[inline]
     pub fn on_read_confirmed(&self) {}
 }
+
+/// Best-effort software prefetch of the cache line holding `ptr`, for a
+/// read that is about to happen (all cache levels, temporal locality).
+///
+/// This is a *hint*: prefetch instructions never fault — even on dangling
+/// or unmapped addresses — and have no architectural effect beyond warming
+/// the cache, so passing a pointer that is about to be validated (e.g. a
+/// borrowed skip-list link before its orec recheck) is fine.  Compiles to
+/// nothing on targets without a prefetch instruction and in model builds
+/// (the checker schedules no caches, and an extra hint would change
+/// nothing it can observe).
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "model")))]
+    // SAFETY: `prefetcht0` is architecturally defined to never fault and
+    // to have no effect other than a cache-fill hint, for any address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "model")))]
+    // SAFETY: `prfm pldl1keep` is a hint instruction: it never faults and
+    // has no architectural effect, for any address.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(any(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        feature = "model"
+    ))]
+    let _ = ptr;
+}

@@ -26,6 +26,11 @@ enum Op {
     Remove(u16),
     Get(u16),
     Range(u16, u16),
+    /// `range_rev` (descending borrowed back-walk) plus the `Copy`-key
+    /// copy-out variants of both scan directions over the same bounds.
+    RangeRev(u16, u16),
+    /// Full scans: `to_vec` and `to_vec_copied` against the whole model.
+    ToVec,
     Ceil(u16),
     Floor(u16),
     Succ(u16),
@@ -41,18 +46,20 @@ enum Op {
 }
 
 fn random_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..14u32) {
         0 => Op::Insert(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>()),
         1 => Op::Remove(rng.gen::<u32>() as u16 % 512),
         2 => Op::Get(rng.gen::<u32>() as u16 % 512),
         3 => Op::Range(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
-        4 => Op::Ceil(rng.gen::<u32>() as u16 % 512),
-        5 => Op::Floor(rng.gen::<u32>() as u16 % 512),
-        6 => Op::Succ(rng.gen::<u32>() as u16 % 512),
-        7 => Op::Pred(rng.gen::<u32>() as u16 % 512),
-        8 => Op::Snapshot,
-        9 => Op::SnapshotGet(rng.gen::<u32>() as u16 % 512),
-        10 => Op::SnapshotRange(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
+        4 => Op::RangeRev(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
+        5 => Op::ToVec,
+        6 => Op::Ceil(rng.gen::<u32>() as u16 % 512),
+        7 => Op::Floor(rng.gen::<u32>() as u16 % 512),
+        8 => Op::Succ(rng.gen::<u32>() as u16 % 512),
+        9 => Op::Pred(rng.gen::<u32>() as u16 % 512),
+        10 => Op::Snapshot,
+        11 => Op::SnapshotGet(rng.gen::<u32>() as u16 % 512),
+        12 => Op::SnapshotRange(rng.gen::<u32>() as u16 % 512, rng.gen::<u32>() as u16 % 64),
         _ => Op::DropSnapshot,
     }
 }
@@ -123,6 +130,39 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
                     "range({low},{high})"
                 );
             }
+            Op::RangeRev(low, len) => {
+                let low = low as u64;
+                let high = low + len as u64;
+                let expected_rev: Vec<(u64, u64)> = reference
+                    .range(low..=high)
+                    .rev()
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(
+                    map.range_rev(low..=high).collect::<Vec<_>>(),
+                    expected_rev,
+                    "range_rev({low},{high})"
+                );
+                // The copy-out specializations must agree with the cloning
+                // paths in both directions (u64 is Copy).
+                assert_eq!(
+                    map.range_rev_copied(low..=high).collect::<Vec<_>>(),
+                    expected_rev,
+                    "range_rev_copied({low},{high})"
+                );
+                let expected_fwd: Vec<(u64, u64)> =
+                    reference.range(low..=high).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(
+                    map.range_copied(low..=high).collect::<Vec<_>>(),
+                    expected_fwd,
+                    "range_copied({low},{high})"
+                );
+            }
+            Op::ToVec => {
+                let all: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(map.to_vec(), all, "to_vec");
+                assert_eq!(map.to_vec_copied(), all, "to_vec_copied");
+            }
             Op::Ceil(k) => {
                 let k = k as u64;
                 let expected = reference.range(k..).next().map(|(k, _)| *k);
@@ -168,6 +208,11 @@ fn check_skiphash_against_btreemap(policy: RangePolicy, ops: &[Op]) {
                         snap.range(low..=high).collect::<Vec<_>>(),
                         expected,
                         "snapshot {i} range({low},{high})"
+                    );
+                    assert_eq!(
+                        snap.range_copied(low..=high).collect::<Vec<_>>(),
+                        expected,
+                        "snapshot {i} range_copied({low},{high})"
                     );
                 }
             }
@@ -253,6 +298,123 @@ fn skiphash_slow_only_matches_btreemap() {
     for_each_case(80, |ops| {
         check_skiphash_against_btreemap(RangePolicy::SlowOnly, ops);
     });
+}
+
+/// The borrowed-hop scan loops (forward fast path, RQC custody slow path,
+/// the `range_rev` back-walk, full `to_vec` scans, and the `Copy`-key
+/// copy-out variants) under concurrent insert/remove churn.
+///
+/// Under churn there is no single reference sequence, but every scan runs
+/// at one consistent version (fast path: one transaction; slow path: one
+/// RQC-registered version), so three invariants must hold for every result:
+/// strict key ordering (ascending forward, descending reverse), the value
+/// law `v == k * 10` that every writer maintains, and the presence of every
+/// never-touched "stable" key inside the bounds.  After the writers join,
+/// all paths must agree exactly.
+#[test]
+fn scan_paths_stay_coherent_under_concurrent_churn() {
+    // FACADE-EXEMPT: test-only stop flag; this integration test runs real
+    // threads outside the model checker, so there is nothing to instrument.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const STABLE_STEP: u64 = 4; // keys 0, 4, 8, ... are never touched
+    const UNIVERSE: u64 = 400;
+    const LOW: u64 = 50;
+    const HIGH: u64 = 350;
+    let scans: usize = if cfg!(debug_assertions) { 40 } else { 150 };
+
+    for policy in [
+        RangePolicy::FastOnly,
+        RangePolicy::SlowOnly,
+        RangePolicy::TwoPath { tries: 3 },
+    ] {
+        let map = Arc::new(skiphash_with(policy));
+        for k in (0..UNIVERSE).step_by(STABLE_STEP as usize) {
+            assert!(map.insert(k, k * 10));
+        }
+        let stable_in_bounds: Vec<u64> = (0..UNIVERSE)
+            .step_by(STABLE_STEP as usize)
+            .filter(|k| (LOW..HIGH).contains(k))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let map = Arc::clone(&map);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xC0_0000 + w);
+                    while !stop.load(Ordering::Relaxed) {
+                        // Odd keys only: writer w churns keys ≡ 2w+1 mod 4,
+                        // so writers never collide with stable keys or each
+                        // other, and the value law always holds.
+                        let k = rng.gen_range(0..UNIVERSE / 4) * 4 + 2 * w + 1;
+                        if !map.insert(k, k * 10) {
+                            map.remove(&k);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let check = |pairs: &[(u64, u64)], descending: bool, label: &str| {
+            for pair in pairs.windows(2) {
+                if descending {
+                    assert!(pair[0].0 > pair[1].0, "{label}: descending order");
+                } else {
+                    assert!(pair[0].0 < pair[1].0, "{label}: ascending order");
+                }
+            }
+            for &(k, v) in pairs {
+                assert_eq!(v, k * 10, "{label}: value law for key {k}");
+            }
+            let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
+            for stable in &stable_in_bounds {
+                assert!(
+                    keys.binary_search_by(|k| if descending {
+                        stable.cmp(k)
+                    } else {
+                        k.cmp(stable)
+                    })
+                    .is_ok(),
+                    "{label}: stable key {stable} missing"
+                );
+            }
+        };
+        for _ in 0..scans {
+            check(&map.range(LOW..HIGH).collect::<Vec<_>>(), false, "range");
+            check(
+                &map.range_copied(LOW..HIGH).collect::<Vec<_>>(),
+                false,
+                "range_copied",
+            );
+            check(
+                &map.range_rev(LOW..HIGH).collect::<Vec<_>>(),
+                true,
+                "range_rev",
+            );
+            check(
+                &map.range_rev_copied(LOW..HIGH).collect::<Vec<_>>(),
+                true,
+                "range_rev_copied",
+            );
+            check(&map.to_vec(), false, "to_vec");
+            check(&map.to_vec_copied(), false, "to_vec_copied");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for writer in writers {
+            writer.join().expect("writer thread");
+        }
+        // Quiescent: every path agrees exactly.
+        let fwd: Vec<(u64, u64)> = map.range(LOW..HIGH).collect();
+        assert_eq!(map.range_copied(LOW..HIGH).collect::<Vec<_>>(), fwd);
+        let mut rev: Vec<(u64, u64)> = map.range_rev(LOW..HIGH).collect();
+        assert_eq!(map.range_rev_copied(LOW..HIGH).collect::<Vec<_>>(), rev);
+        rev.reverse();
+        assert_eq!(rev, fwd, "reverse walk is the exact mirror");
+        assert_eq!(map.to_vec(), map.to_vec_copied());
+        map.check_invariants().expect("internal invariants");
+    }
 }
 
 #[test]
